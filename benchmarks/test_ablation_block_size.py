@@ -1,0 +1,45 @@
+"""Ablation A1 — MILC/Fix block size sweep.
+
+The fixed-length schemes take the block cardinality ``m`` as a
+hyper-parameter (the paper's Example 1 uses m = 8; Section 5.3 motivates
+Adapt precisely by the difficulty of tuning such knobs).  This bench sweeps
+``m`` and shows (i) the size U-curve — small blocks drown in metadata, large
+blocks absorb skew — and (ii) that CSS's DP sits at or below the best fixed
+choice without tuning.
+"""
+
+from conftest import print_block, search_dataset
+from repro.bench import render_table
+from repro.search import InvertedIndex
+
+BLOCK_SIZES = [4, 8, 16, 32, 64, 128]
+
+
+def test_block_size_sweep(benchmark):
+    dataset = search_dataset("tweet")
+
+    def sweep():
+        sizes = {
+            m: InvertedIndex(
+                dataset.collection, scheme="milc", block_size=m
+            ).size_mb()
+            for m in BLOCK_SIZES
+        }
+        sizes["css"] = InvertedIndex(dataset.collection, scheme="css").size_mb()
+        return sizes
+
+    sizes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best_fixed = min(sizes[m] for m in BLOCK_SIZES)
+    rows = [[str(m), round(sizes[m], 3)] for m in BLOCK_SIZES]
+    rows.append(["css (DP)", round(sizes["css"], 3)])
+    print_block(
+        render_table(
+            ["block size m", "index MB"],
+            rows,
+            title="Ablation A1: MILC block-size sweep vs CSS (Tweet)",
+        )
+    )
+    # CSS needs no tuning yet matches or beats the best fixed block size
+    assert sizes["css"] <= best_fixed * 1.02
+    # extreme block sizes are visibly worse than the best
+    assert max(sizes[m] for m in BLOCK_SIZES) > best_fixed * 1.1

@@ -1,0 +1,65 @@
+"""Ablation A4 — related-work codecs vs the two-layer schemes.
+
+Chapter 8 surveys the codec families the paper rules out (delta codecs that
+must decompress, bitmaps that cannot update online).  This bench puts them
+on the same posting lists: size for VByte, Elias-Fano, Roaring, both
+PForDelta width rules, MILC, and CSS — plus each codec's random-access
+capability, the property that actually disqualifies the sequential codecs
+for MergeSkip.
+"""
+
+from conftest import print_block, search_dataset
+from repro.bench import render_table
+from repro.search import InvertedIndex
+
+CODECS = [
+    ("uncomp", {}),
+    ("vbyte", {}),
+    ("groupvarint", {}),
+    ("simple8b", {}),
+    ("pfordelta", {}),  # classic p90 rule
+    ("pfordelta", {"width_rule": "opt"}),
+    ("eliasfano", {}),
+    ("roaring", {}),
+    ("milc", {}),
+    ("css", {}),
+]
+
+
+def test_codec_comparison(benchmark):
+    dataset = search_dataset("tweet")
+
+    def sweep():
+        table = []
+        for scheme, kwargs in CODECS:
+            index = InvertedIndex(dataset.collection, scheme=scheme, **kwargs)
+            label = scheme + ("(opt)" if kwargs.get("width_rule") == "opt" else "")
+            table.append(
+                (
+                    label,
+                    index.size_mb(),
+                    index.compression_ratio(),
+                    index.supports_random_access,
+                )
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [label, round(mb, 3), round(ratio, 2), "yes" if ra else "NO"]
+        for label, mb, ratio, ra in table
+    ]
+    print_block(
+        render_table(
+            ["codec", "index MB", "ratio", "random access"],
+            rows,
+            title="Ablation A4: codec comparison (Tweet search index)",
+        )
+    )
+    sizes = {label: mb for label, mb, _, _ in table}
+    access = {label: ra for label, _, _, ra in table}
+    # the disqualifier the paper leans on: sequential codecs can't seek
+    assert not access["vbyte"] and not access["pfordelta"]
+    assert access["milc"] and access["css"] and access["eliasfano"]
+    # two-layer schemes compress; css beats milc
+    assert sizes["css"] <= sizes["milc"] < sizes["uncomp"]

@@ -1,0 +1,68 @@
+"""Table 7.3 — Index Size for Compression Schemes: Similarity Join (MB).
+
+One filter per dataset, as in the paper: Count/DBLP, Prefix/Tweet,
+Position/DNA (Jaccard tau = 0.6) and Segment/AOL (edit distance 4).  The
+index is built online during the join under Uncomp, Fix, Vari, and Adapt.
+
+Expected shape (paper): all compressed schemes well below Uncomp; Vari the
+smallest (it runs the DP); Adapt close behind Vari; Fix the largest of the
+compressed trio.  On AOL's very short segment lists Adapt degrades (the
+paper measures Adapt *above* Fix there).
+"""
+
+import pytest
+
+from conftest import join_dataset, print_block
+from repro.bench import run_join
+from repro.bench.tables import render_table
+from repro.bench.paper_numbers import TABLE_7_3_MB, TABLE_7_3_SETUP
+
+SCHEMES = ["uncomp", "fix", "vari", "adapt"]
+
+_results = {}
+
+
+@pytest.mark.parametrize("name", ["dblp", "tweet", "dna", "aol"])
+def test_join_index_size(benchmark, name):
+    dataset = join_dataset(name)
+    filter_name, threshold = TABLE_7_3_SETUP[name]
+
+    def run_all():
+        return {
+            scheme: run_join(dataset, filter_name, scheme, threshold)
+            for scheme in SCHEMES
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sizes = {scheme: result.index_mb for scheme, result in results.items()}
+    _results[name] = (filter_name, threshold, sizes)
+    for scheme, size in sizes.items():
+        benchmark.extra_info[f"{scheme}_mb"] = round(size, 4)
+
+    # every scheme must produce the same join result
+    pair_counts = {result.pairs for result in results.values()}
+    assert len(pair_counts) == 1
+
+    # shape: Vari compresses at least as well as Fix (it runs the DP)
+    assert sizes["vari"] <= sizes["fix"] * 1.01
+
+
+def test_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, (filter_name, threshold, sizes) in _results.items():
+        paper = TABLE_7_3_MB[name]
+        rows.append(
+            [f"{name}/{filter_name}@{threshold}"]
+            + [sizes[s] for s in SCHEMES]
+            + [paper[s] for s in SCHEMES]
+        )
+    print_block(
+        render_table(
+            ["workload"]
+            + [f"{s}_mb" for s in SCHEMES]
+            + [f"paper_{s}" for s in SCHEMES],
+            rows,
+            title="Table 7.3: Index Size, Similarity Join (measured | paper)",
+        )
+    )

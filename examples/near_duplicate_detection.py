@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Near-duplicate detection in a bibliography under a memory budget.
+
+The paper's introductory motivation: near-duplicate detection and data
+cleaning run similarity self-joins whose inverted indexes can outgrow
+memory.  This example deduplicates a synthetic bibliographic corpus (the
+DBLP stand-in) and compares every online compression scheme on the axes the
+operator cares about — pairs found (identical for all schemes), index
+memory, and join time.
+
+Run:  python examples/near_duplicate_detection.py [cardinality]
+"""
+
+import sys
+import time
+
+from repro import CountFilterJoin, tokenize_collection
+from repro.datasets import dblp_like
+
+# The Count Filter indexes *every* signature (not just rare prefix tokens),
+# so its posting lists are long enough for compression to pay off even at
+# example scale — the same reason Table 7.3 pairs it with the big DBLP run.
+SCHEMES = ["uncomp", "fix", "vari", "adapt"]
+THRESHOLD = 0.8
+
+
+def main() -> None:
+    cardinality = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
+    print(f"generating {cardinality} bibliographic records...")
+    titles = dblp_like(cardinality)
+    collection = tokenize_collection(titles, mode="word")
+
+    print(f"{'scheme':>8} | {'pairs':>6} | {'index KB':>9} | {'join s':>7}")
+    print("-" * 42)
+    reference_pairs = None
+    sample = []
+    for scheme in SCHEMES:
+        join = CountFilterJoin(collection, scheme=scheme)
+        start = time.perf_counter()
+        pairs = join.join(THRESHOLD)
+        elapsed = time.perf_counter() - start
+        stats = join.last_stats
+        print(
+            f"{scheme:>8} | {len(pairs):>6} | "
+            f"{stats.index_bits / 8 / 1024:>9.1f} | {elapsed:>7.2f}"
+        )
+        if reference_pairs is None:
+            reference_pairs = pairs
+            sample = pairs[:3]
+        elif pairs != reference_pairs:
+            raise AssertionError(
+                f"scheme {scheme} changed the join result — lossless "
+                "compression violated"
+            )
+
+    print(f"\nall schemes found the same {len(reference_pairs)} duplicate pairs.")
+    print("sample near-duplicates:")
+    for left, right in sample:
+        print(f"  - {titles[left]!r}")
+        print(f"    {titles[right]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: compressed similarity search and join in a dozen lines.
+
+Demonstrates the two halves of CSS on a tiny product-title catalog:
+
+1. *Similarity search* (offline index, threshold known only at query time):
+   tokenize, build a CSS-compressed inverted index, run Jaccard queries.
+2. *Similarity join* (online index, built during the join): find all
+   near-duplicate pairs with the Position Filter over the Adapt scheme.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    InvertedIndex,
+    JaccardSearcher,
+    PositionFilterJoin,
+    tokenize_collection,
+)
+
+CATALOG = [
+    "wireless bluetooth headphones with noise cancelling",
+    "bluetooth wireless headphones noise cancelling",
+    "usb c charging cable 2m braided",
+    "usb c charging cable 1m braided",
+    "mechanical keyboard with rgb backlight",
+    "rgb backlight mechanical gaming keyboard",
+    "stainless steel water bottle 750ml",
+    "insulated stainless steel water bottle 750ml",
+    "wireless mouse ergonomic design",
+    "noise cancelling wireless bluetooth headphones",
+]
+
+
+def main() -> None:
+    collection = tokenize_collection(CATALOG, mode="word")
+
+    # ---- similarity search over a compressed offline index ------------- #
+    index = InvertedIndex(collection, scheme="css")
+    searcher = JaccardSearcher(index, algorithm="mergeskip")
+
+    query = "bluetooth noise cancelling headphones wireless"
+    print(f"query: {query!r}")
+    for threshold in (0.9, 0.7, 0.5):
+        hits = searcher.search(query, threshold)
+        print(f"  tau={threshold}: {len(hits)} hits")
+        for hit in hits:
+            print(f"    [{hit}] {CATALOG[hit]}")
+
+    uncompressed = InvertedIndex(collection, scheme="uncomp")
+    print(
+        f"\nindex size: {index.size_bits()} bits compressed (CSS) vs "
+        f"{uncompressed.size_bits()} bits uncompressed "
+        f"(ratio {index.compression_ratio():.2f})"
+    )
+
+    # ---- similarity join over an online compressed index --------------- #
+    join = PositionFilterJoin(collection, scheme="adapt")
+    pairs = join.join(0.6)
+    print(f"\nself-join at tau=0.6 found {len(pairs)} similar pairs:")
+    for left, right in pairs:
+        print(f"  [{left}] {CATALOG[left]}")
+        print(f"  [{right}] {CATALOG[right]}\n")
+    print(
+        f"join index: {join.last_stats.num_lists} posting lists, "
+        f"{join.last_stats.index_bits} bits (built online during the join)"
+    )
+
+
+if __name__ == "__main__":
+    main()

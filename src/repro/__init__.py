@@ -1,0 +1,97 @@
+"""CSS — Compressed String Similarity search and join.
+
+Reproduction of *"Highly Efficient String Similarity Search and Join over
+Compressed Indexes"* (Xiao, Wang, Lin, Zaniolo; ICDE 2022).
+
+Quick tour
+----------
+
+Offline (similarity search)::
+
+    from repro import tokenize_collection, InvertedIndex, JaccardSearcher
+
+    coll = tokenize_collection(strings, mode="qgram", q=3)
+    index = InvertedIndex(coll, scheme="css")      # or uncomp / milc / pfordelta
+    hits = JaccardSearcher(index).search("query string", threshold=0.8)
+
+Online (similarity join)::
+
+    from repro import PositionFilterJoin
+
+    join = PositionFilterJoin(coll, scheme="adapt")  # or uncomp / fix / vari
+    pairs = join.join(0.8)
+    print(join.last_stats.index_mb)
+
+Subpackages
+-----------
+
+* :mod:`repro.compression` — offline codecs (Uncomp, MILC, CSS, PForDelta, …)
+  and the online two-region lists (Fix, Vari, Adapt, Model),
+* :mod:`repro.core` — list operations and the scheme registry,
+* :mod:`repro.similarity` — tokenizers, measures, verification,
+* :mod:`repro.search` — SSS engines (ScanCount / MergeSkip / DivideSkip),
+* :mod:`repro.join` — SSJ engines (Count / Prefix / Position / Segment),
+* :mod:`repro.datasets` — seeded synthetic workloads,
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from .compression import (
+    CSSList,
+    EliasFanoList,
+    MILCList,
+    PForDeltaList,
+    RoaringList,
+    SortedIDList,
+    UncompressedList,
+    VByteList,
+)
+from .compression.online import AdaptList, FixList, ModelList, VariList
+from .core import offline_factory, online_factory
+from .datasets import load_dataset
+from .join import (
+    CountFilterJoin,
+    PrefixFilterRSJoin,
+    PositionFilterJoin,
+    PrefixFilterJoin,
+    SegmentFilterJoin,
+)
+from .search import EditDistanceSearcher, InvertedIndex, JaccardSearcher
+from .similarity import (
+    edit_distance,
+    jaccard,
+    tokenize_collection,
+    tokenize_pair,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SortedIDList",
+    "UncompressedList",
+    "MILCList",
+    "CSSList",
+    "PForDeltaList",
+    "VByteList",
+    "EliasFanoList",
+    "RoaringList",
+    "FixList",
+    "VariList",
+    "AdaptList",
+    "ModelList",
+    "offline_factory",
+    "online_factory",
+    "tokenize_collection",
+    "jaccard",
+    "edit_distance",
+    "InvertedIndex",
+    "JaccardSearcher",
+    "EditDistanceSearcher",
+    "CountFilterJoin",
+    "PrefixFilterJoin",
+    "PositionFilterJoin",
+    "SegmentFilterJoin",
+    "PrefixFilterRSJoin",
+    "tokenize_pair",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Reusable experiment kernels shared by the benchmark suite.
+
+Each function computes one measured quantity of Chapter 7 (an index size, a
+build time, a batch query time, a join time) for one (dataset, scheme,
+algorithm) combination; the ``benchmarks/`` files sweep these kernels over
+the paper's grids and print the corresponding table or figure series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..datasets.loader import Dataset
+from ..join.count import CountFilterJoin
+from ..join.position import PositionFilterJoin
+from ..join.prefix import PrefixFilterJoin
+from ..join.segment import SegmentFilterJoin
+from ..search.edsearch import EditDistanceSearcher
+from ..search.searcher import InvertedIndex, JaccardSearcher
+
+__all__ = [
+    "SearchIndexResult",
+    "build_search_index",
+    "run_search_queries",
+    "JoinResult",
+    "run_join",
+    "sample_queries",
+    "JOIN_ALGORITHMS",
+]
+
+
+@dataclass
+class SearchIndexResult:
+    scheme: str
+    size_mb: float
+    build_seconds: float
+    compression_ratio: float
+    index: InvertedIndex
+
+
+def build_search_index(
+    dataset: Dataset, scheme: str, **scheme_kwargs
+) -> SearchIndexResult:
+    """Offline index for similarity search under ``scheme`` (Tables 7.2/7.4)."""
+    index = InvertedIndex(dataset.collection, scheme=scheme, **scheme_kwargs)
+    return SearchIndexResult(
+        scheme=scheme,
+        size_mb=index.size_mb(),
+        build_seconds=index.build_seconds,
+        compression_ratio=index.compression_ratio(),
+        index=index,
+    )
+
+
+def sample_queries(
+    dataset: Dataset, count: int, seed: int = 99
+) -> List[str]:
+    """The paper's protocol: random strings from the dataset as queries."""
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(dataset.strings), size=count)
+    return [dataset.strings[i] for i in picks.tolist()]
+
+
+def run_search_queries(
+    index: InvertedIndex,
+    queries: Sequence[str],
+    threshold: float,
+    algorithm: str,
+    metric: str = "jaccard",
+) -> Dict[str, float]:
+    """Average per-query latency + result counts for one (algo, tau) cell."""
+    if metric == "edit_distance":
+        searcher = EditDistanceSearcher(index, algorithm=algorithm)
+        run = lambda query: searcher.search(query, int(threshold))
+    else:
+        searcher = JaccardSearcher(index, algorithm=algorithm, metric=metric)
+        run = lambda query: searcher.search(query, threshold)
+    start = time.perf_counter()
+    total_results = sum(len(run(query)) for query in queries)
+    elapsed = time.perf_counter() - start
+    return {
+        "avg_ms": 1000 * elapsed / max(1, len(queries)),
+        "total_results": total_results,
+    }
+
+
+JOIN_ALGORITHMS = {
+    "count": CountFilterJoin,
+    "prefix": PrefixFilterJoin,
+    "position": PositionFilterJoin,
+    "segment": SegmentFilterJoin,
+}
+
+
+@dataclass
+class JoinResult:
+    filter_name: str
+    scheme: str
+    threshold: float
+    seconds: float
+    pairs: int
+    index_mb: float
+
+
+def run_join(
+    dataset: Dataset,
+    filter_name: str,
+    scheme: str,
+    threshold: float,
+    **scheme_kwargs,
+) -> JoinResult:
+    """One similarity-join run (Table 7.3 / Figure 7.3 cell).
+
+    Index construction happens inside ``join`` — its time is charged to the
+    join, as Section 2.1 requires for the online setting.
+    """
+    if filter_name == "segment":
+        join = SegmentFilterJoin(dataset.strings, scheme=scheme, **scheme_kwargs)
+        argument: float = int(threshold)
+    else:
+        join_cls = JOIN_ALGORITHMS[filter_name]
+        join = join_cls(dataset.collection, scheme=scheme, **scheme_kwargs)
+        argument = threshold
+    start = time.perf_counter()
+    pairs = join.join(argument)
+    elapsed = time.perf_counter() - start
+    return JoinResult(
+        filter_name=filter_name,
+        scheme=scheme,
+        threshold=threshold,
+        seconds=elapsed,
+        pairs=len(pairs),
+        index_mb=join.last_stats.index_mb,
+    )

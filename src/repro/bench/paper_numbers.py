@@ -1,0 +1,70 @@
+"""The paper's reported numbers, for paper-vs-measured bench output.
+
+Transcribed from Chapter 7 (Tables 7.1-7.4; figure values are approximate
+readings of the plotted points quoted in the running text).  Absolute values
+are NOT expected to match — the paper ran C++ on full-scale corpora; this
+reproduction runs Python on scaled synthetic data.  The benches compare
+*shapes*: orderings between schemes and trends across thresholds/sizes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE_7_1",
+    "TABLE_7_2_MB",
+    "TABLE_7_3_MB",
+    "TABLE_7_4_GB",
+    "FIGURE_7_2_TWEET_MS",
+    "FIGURE_7_3_DNA_S",
+    "FIGURE_7_4_CSS_MB",
+]
+
+#: Table 7.1 — dataset statistics (average length, cardinality, raw MB).
+TABLE_7_1 = {
+    "dblp": {"average_length": 12.1, "cardinality": 10_000_000, "size_mb": 155.0},
+    "tweet": {"average_length": 21.6, "cardinality": 2_000_000, "size_mb": 203.3},
+    "dna": {"average_length": 103.0, "cardinality": 1_000_000, "size_mb": 269.9},
+    "aol": {"average_length": 20.9, "cardinality": 1_200_000, "size_mb": 27.6},
+}
+
+#: Table 7.2 — index size for similarity search (MB).
+TABLE_7_2_MB = {
+    "dblp": {"uncomp": 992.68, "pfordelta": 496.45, "milc": 229.26, "css": 200.10},
+    "tweet": {"uncomp": 351.92, "pfordelta": 186.24, "milc": 107.55, "css": 85.84},
+    "dna": {"uncomp": 1812.76, "pfordelta": 1020.30, "milc": 408.06, "css": 376.66},
+    "aol": {"uncomp": 191.80, "pfordelta": 96.06, "milc": 44.31, "css": 40.2},
+}
+
+#: Table 7.3 — index size for similarity join (MB); one filter per dataset:
+#: Count/DBLP, Prefix/Tweet, Position/DNA (Jaccard tau=0.6), Segment/AOL (ed=4).
+TABLE_7_3_MB = {
+    "dblp": {"uncomp": 992.68, "fix": 361.48, "vari": 201.45, "adapt": 225.36},
+    "tweet": {"uncomp": 147.61, "fix": 59.69, "vari": 44.56, "adapt": 45.73},
+    "dna": {"uncomp": 554.70, "fix": 260.75, "vari": 188.94, "adapt": 192.61},
+    "aol": {"uncomp": 72.22, "fix": 34.91, "vari": 29.94, "adapt": 40.76},
+}
+
+#: which filter Table 7.3 pairs with each dataset, and the threshold used.
+TABLE_7_3_SETUP = {
+    "dblp": ("count", 0.6),
+    "tweet": ("prefix", 0.6),
+    "dna": ("position", 0.6),
+    "aol": ("segment", 4),
+}
+
+#: Table 7.4 — Amazon Reviews case study (GB).
+TABLE_7_4_GB = {
+    "search": {"uncomp": 39.4, "pfordelta": 18.7, "milc": 8.7, "css": 7.9},
+    "join": {"uncomp": 39.4, "fix": 11.9, "vari": 8.1, "adapt": 8.9},
+}
+
+#: Figure 7.2 — quoted point: Tweet, tau=0.75, avg search ms per query.
+FIGURE_7_2_TWEET_MS = {"uncomp_ms": 24.6, "milc_ms": 30.0, "css_ms": 33.6}
+
+#: Figure 7.3 — quoted points: DNA tau=0.8 Prefix-Filter join seconds, and
+#: Tweet tau=0.8 Position-Filter join seconds.
+FIGURE_7_3_DNA_S = {"uncomp": 180.0, "fix": 207.0, "vari": 249.0, "adapt": 197.0}
+FIGURE_7_3_TWEET_POSITION_S = {"uncomp": 325.0, "adapt": 314.0}
+
+#: Figure 7.4 — quoted series: CSS index size (MB) on Uniform at 20%..100%.
+FIGURE_7_4_CSS_MB = [45.78, 91.66, 137.57, 183.49, 214.36]

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series the paper reports, with the paper's own
+numbers alongside where available, so EXPERIMENTS.md can record
+paper-vs-measured at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows: List[List[str]] = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in text_rows))
+        if text_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

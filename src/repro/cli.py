@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library for shell use on line-delimited text files (one record
+per line):
+
+* ``generate`` — write a synthetic dataset (DESIGN.md §2 stand-ins),
+* ``stats``    — per-scheme index sizes and compression ratios for a corpus,
+* ``index``    — build and persist a compressed inverted index (``.npz``),
+* ``search``   — query a corpus (Jaccard or edit distance), optionally
+  through a persisted index,
+* ``join``     — self-join a corpus and print the similar pairs.
+
+Every command prints to stdout and exits non-zero on bad arguments, so the
+tool composes with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .compression.serialize import dump_index, load_index
+from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
+from .datasets import dataset_names, load_dataset
+from .join import (
+    CountFilterJoin,
+    EDCountFilterJoin,
+    PositionFilterJoin,
+    PrefixFilterJoin,
+    SegmentFilterJoin,
+)
+from .search import EditDistanceSearcher, InvertedIndex, JaccardSearcher
+from .similarity import tokenize_collection
+
+__all__ = ["main", "build_parser"]
+
+_JOIN_FILTERS = {
+    "count": CountFilterJoin,
+    "prefix": PrefixFilterJoin,
+    "position": PositionFilterJoin,
+    "segment": SegmentFilterJoin,
+    "edcount": EDCountFilterJoin,
+}
+
+
+def _read_lines(path: str) -> List[str]:
+    with open(path, encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle if line.rstrip("\n")]
+
+
+def _add_tokenize_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mode",
+        choices=("word", "qgram"),
+        default="word",
+        help="signature tokenizer (default: word)",
+    )
+    parser.add_argument(
+        "--q", type=int, default=3, help="q-gram width for --mode qgram"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSS: string similarity search/join over compressed indexes",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic dataset to a file"
+    )
+    generate.add_argument("dataset", choices=dataset_names())
+    generate.add_argument("output", help="output path (one record per line)")
+    generate.add_argument("--cardinality", type=int, default=0)
+
+    stats = commands.add_parser(
+        "stats", help="index sizes per compression scheme for a corpus"
+    )
+    stats.add_argument("corpus", help="text file, one record per line")
+    _add_tokenize_args(stats)
+    stats.add_argument(
+        "--schemes",
+        default="uncomp,pfordelta,milc,css",
+        help="comma-separated offline schemes",
+    )
+
+    index = commands.add_parser(
+        "index", help="build and persist a compressed inverted index"
+    )
+    index.add_argument("corpus")
+    index.add_argument("output", help="output .npz path")
+    _add_tokenize_args(index)
+    index.add_argument(
+        "--scheme", choices=sorted(OFFLINE_SCHEMES), default="css"
+    )
+
+    search = commands.add_parser("search", help="similarity search a corpus")
+    search.add_argument("corpus")
+    search.add_argument("query")
+    _add_tokenize_args(search)
+    search.add_argument(
+        "--scheme", choices=sorted(OFFLINE_SCHEMES), default="css"
+    )
+    search.add_argument(
+        "--metric", choices=("jaccard", "cosine", "dice", "ed"), default="jaccard"
+    )
+    search.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="similarity threshold (or max edits for --metric ed)",
+    )
+    search.add_argument(
+        "--algorithm",
+        choices=("scancount", "mergeskip", "divideskip"),
+        default="mergeskip",
+    )
+    search.add_argument(
+        "--load-index", default=None, help="persisted .npz index to reuse"
+    )
+
+    join = commands.add_parser("join", help="similarity self-join a corpus")
+    join.add_argument("corpus")
+    _add_tokenize_args(join)
+    join.add_argument("--filter", choices=sorted(_JOIN_FILTERS), default="position")
+    join.add_argument(
+        "--scheme", choices=sorted(ONLINE_SCHEMES), default="adapt"
+    )
+    join.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="similarity threshold (or max edits for --filter segment)",
+    )
+    join.add_argument(
+        "--show", type=int, default=10, help="print at most this many pairs"
+    )
+
+    check = commands.add_parser(
+        "check", help="validate the integrity of a persisted index"
+    )
+    check.add_argument("index", help=".npz file written by `repro index`")
+    check.add_argument("corpus", help="the corpus the index was built from")
+    _add_tokenize_args(check)
+
+    report = commands.add_parser(
+        "report", help="regenerate the headline paper tables as markdown"
+    )
+    report.add_argument("-o", "--output", default="report.md")
+    report.add_argument("--scale", type=float, default=0.25)
+    report.add_argument("--queries", type=int, default=20)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    dataset = load_dataset(args.dataset, cardinality=args.cardinality)
+    Path(args.output).write_text(
+        "\n".join(dataset.strings) + "\n", encoding="utf-8"
+    )
+    print(
+        f"wrote {len(dataset.strings)} records to {args.output} "
+        f"(avg length {dataset.statistics['average_length']:.1f})"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    strings = _read_lines(args.corpus)
+    collection = tokenize_collection(strings, mode=args.mode, q=args.q)
+    print(
+        f"{len(strings)} records, {collection.num_tokens} distinct signatures"
+    )
+    print(f"{'scheme':>10} | {'size KB':>9} | {'ratio':>6} | {'build s':>8}")
+    print("-" * 42)
+    for scheme in args.schemes.split(","):
+        scheme = scheme.strip()
+        index = InvertedIndex(collection, scheme=scheme)
+        print(
+            f"{scheme:>10} | {index.size_bits() / 8 / 1024:>9.1f} | "
+            f"{index.compression_ratio():>6.2f} | {index.build_seconds:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_index(args) -> int:
+    strings = _read_lines(args.corpus)
+    collection = tokenize_collection(strings, mode=args.mode, q=args.q)
+    index = InvertedIndex(collection, scheme=args.scheme)
+    dump_index(index, args.output)
+    print(
+        f"indexed {len(strings)} records under {args.scheme}: "
+        f"{len(index)} lists, {index.size_mb():.3f} MB (paper accounting), "
+        f"saved to {args.output}"
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    strings = _read_lines(args.corpus)
+    mode = "qgram" if args.metric == "ed" else args.mode
+    q = 2 if args.metric == "ed" and args.mode == "word" else args.q
+    collection = tokenize_collection(strings, mode=mode, q=q)
+    if args.load_index:
+        index = load_index(args.load_index, collection)
+    else:
+        index = InvertedIndex(collection, scheme=args.scheme)
+    start = time.perf_counter()
+    if args.metric == "ed":
+        searcher = EditDistanceSearcher(index, algorithm=args.algorithm)
+        hits = searcher.search(args.query, int(args.threshold))
+    else:
+        searcher = JaccardSearcher(
+            index, algorithm=args.algorithm, metric=args.metric
+        )
+        hits = searcher.search(args.query, args.threshold)
+    elapsed = 1000 * (time.perf_counter() - start)
+    print(f"{len(hits)} hits in {elapsed:.2f} ms:")
+    for hit in hits:
+        print(f"  [{hit}] {strings[hit]}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .compression.validate import check_index
+
+    strings = _read_lines(args.corpus)
+    collection = tokenize_collection(strings, mode=args.mode, q=args.q)
+    index = load_index(args.index, collection)
+    issues = check_index(index)
+    if issues:
+        print(f"{len(issues)} integrity violations:")
+        for issue in issues[:50]:
+            print(f"  - {issue}")
+        return 1
+    print(
+        f"ok: {len(index.lists)} lists, {index.size_mb():.3f} MB, "
+        "no violations"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .bench.report import generate_report
+
+    markdown = generate_report(scale=args.scale, query_count=args.queries)
+    Path(args.output).write_text(markdown, encoding="utf-8")
+    print(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
+    return 0
+
+
+def _cmd_join(args) -> int:
+    strings = _read_lines(args.corpus)
+    if args.filter in ("segment", "edcount"):
+        join = _JOIN_FILTERS[args.filter](strings, scheme=args.scheme)
+        threshold: float = int(args.threshold)
+    else:
+        collection = tokenize_collection(strings, mode=args.mode, q=args.q)
+        join = _JOIN_FILTERS[args.filter](collection, scheme=args.scheme)
+        threshold = args.threshold
+    start = time.perf_counter()
+    pairs = join.join(threshold)
+    elapsed = time.perf_counter() - start
+    stats = join.last_stats
+    print(
+        f"{len(pairs)} pairs in {elapsed:.2f} s — index "
+        f"{stats.index_mb:.4f} MB over {stats.num_lists} lists "
+        f"({stats.verifications} verifications)"
+    )
+    for left, right in pairs[: args.show]:
+        print(f"  [{left}] {strings[left]}")
+        print(f"  [{right}] {strings[right]}")
+        print()
+    if len(pairs) > args.show:
+        print(f"  ... and {len(pairs) - args.show} more")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "index": _cmd_index,
+    "search": _cmd_search,
+    "join": _cmd_join,
+    "report": _cmd_report,
+    "check": _cmd_check,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

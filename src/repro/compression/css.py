@@ -1,0 +1,31 @@
+"""CSS: variable-length two-layer compression (Chapter 4, the paper's core).
+
+CSS keeps MILC's two-layer layout but chooses block boundaries with the
+dynamic program of Algorithm 2, maximizing the total saved bits.  Skewed
+lists — exactly what q-gram inverted indexes produce — get split where the
+gaps are, so a handful of outliers no longer inflates the delta width of a
+whole block (Example 2: 337 bits vs. MILC's 404 on the running example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .partition import DEFAULT_MAX_BLOCK, optimal_partition
+from .twolayer import TwoLayerList
+
+__all__ = ["CSSList"]
+
+
+class CSSList(TwoLayerList):
+    """Two-layer list with saving-optimal variable-length partitioning."""
+
+    scheme_name = "css"
+
+    def __init__(
+        self,
+        values: Sequence[int],
+        max_block: Optional[int] = DEFAULT_MAX_BLOCK,
+    ) -> None:
+        boundaries = optimal_partition(values, max_block=max_block)
+        super().__init__(values, boundaries)

@@ -1,0 +1,118 @@
+"""Elias-Fano encoding, a related-work ablation codec (cf. PEF, Ottaviano &
+Venturini).
+
+A sorted list of ``n`` ids with universe ``U`` splits every id into ``l =
+max(0, floor(log2(U / n)))`` low bits (packed) and high bits (unary-coded in
+a bit vector).  Random access is a *select1* on the high bits; we accelerate
+it with per-word popcount prefix sums.  Elias-Fano is near-optimal for
+uniform lists but, unlike the two-layer layout, has no block structure to
+exploit clustering — the codec ablation bench (A4) shows where each wins.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import METADATA_BITS, SortedIDList, as_id_array, check_sorted_ids
+from .bitpack import BitBuffer
+
+__all__ = ["EliasFanoList"]
+
+
+class EliasFanoList(SortedIDList):
+    """Quasi-succinct sorted id list with O(1) random access."""
+
+    scheme_name = "eliasfano"
+
+    def __init__(self, values: Sequence[int]) -> None:
+        values = as_id_array(values)
+        check_sorted_ids(values)
+        self._length = int(values.size)
+        if self._length == 0:
+            self._low_bits = 0
+            self._lows = BitBuffer()
+            self._high_words = np.zeros(1, dtype=np.uint64)
+            self._rank_prefix = np.zeros(2, dtype=np.int64)
+            return
+        universe = int(values[-1]) + 1
+        self._low_bits = max(0, (universe // self._length).bit_length() - 1)
+        self._lows = BitBuffer()
+        if self._low_bits:
+            self._lows.append(
+                (values & ((1 << self._low_bits) - 1)).astype(np.uint64),
+                self._low_bits,
+            )
+        highs = (values >> self._low_bits).astype(np.int64)
+        # unary: id i sets bit (highs[i] + i) in the high bit vector
+        set_positions = highs + np.arange(self._length, dtype=np.int64)
+        num_bits = int(set_positions[-1]) + 1
+        self._high_words = np.zeros(num_bits // 64 + 1, dtype=np.uint64)
+        np.bitwise_or.at(
+            self._high_words,
+            set_positions // 64,
+            np.uint64(1) << (set_positions % 64).astype(np.uint64),
+        )
+        # per-word popcount prefix sums for fast select1
+        as_bytes = self._high_words.view(np.uint8).reshape(-1, 8)
+        popcounts = np.unpackbits(as_bytes, axis=1).sum(axis=1)
+        self._rank_prefix = np.concatenate(
+            [[0], np.cumsum(popcounts)]
+        ).astype(np.int64)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _select1(self, rank: int) -> int:
+        """Bit position of the ``rank``-th (0-based) set bit in the highs."""
+        word = int(np.searchsorted(self._rank_prefix, rank + 1, side="left")) - 1
+        remaining = rank - int(self._rank_prefix[word])
+        bits = int(self._high_words[word])
+        while True:
+            lowest = bits & -bits
+            if remaining == 0:
+                return word * 64 + lowest.bit_length() - 1
+            bits ^= lowest
+            remaining -= 1
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range")
+        high = self._select1(index) - index
+        low = (
+            self._lows.read_one(0, self._low_bits, index) if self._low_bits else 0
+        )
+        return (high << self._low_bits) | low
+
+    def to_array(self) -> np.ndarray:
+        if self._length == 0:
+            return np.empty(0, dtype=np.int64)
+        positions = np.nonzero(
+            np.unpackbits(
+                self._high_words.view(np.uint8), bitorder="little"
+            )
+        )[0][: self._length]
+        highs = positions - np.arange(self._length)
+        if self._low_bits:
+            lows = self._lows.read(0, self._low_bits, self._length).astype(np.int64)
+        else:
+            lows = np.zeros(self._length, dtype=np.int64)
+        return (highs.astype(np.int64) << self._low_bits) | lows
+
+    def lower_bound(self, key: int) -> int:
+        lo, hi = 0, self._length
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def size_bits(self) -> int:
+        if self._length:
+            high_bits = int(self._select1(self._length - 1)) + 1
+        else:
+            high_bits = 0
+        return METADATA_BITS + self._low_bits * self._length + high_bits

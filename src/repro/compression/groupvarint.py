@@ -1,0 +1,91 @@
+"""Group Varint gap compression (Dean, WSDM'09 keynote) — a related-work
+ablation codec (cited as [16], "GroupVB", in the paper).
+
+Gaps are encoded in groups of four: one descriptor byte holds four 2-bit
+length codes (1-4 bytes per value), followed by the four values'
+little-endian bytes.  Decoding a group is branch-light — the reason Google
+preferred it over classic VByte — but the format remains sequential-only.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import SortedIDList, as_id_array, check_sorted_ids
+
+__all__ = ["GroupVarintList"]
+
+
+def _byte_length(value: int) -> int:
+    if value < 1 << 8:
+        return 1
+    if value < 1 << 16:
+        return 2
+    if value < 1 << 24:
+        return 3
+    return 4
+
+
+class GroupVarintList(SortedIDList):
+    """Gap list in descriptor-byte groups of four."""
+
+    scheme_name = "groupvarint"
+    supports_random_access = False
+
+    def __init__(self, values: Sequence[int]) -> None:
+        values = as_id_array(values)
+        check_sorted_ids(values)
+        self._length = int(values.size)
+        if self._length == 0:
+            self._bytes = np.empty(0, dtype=np.uint8)
+            return
+        gaps = np.empty(self._length, dtype=np.int64)
+        gaps[0] = int(values[0])
+        gaps[1:] = np.diff(values)
+
+        encoded = bytearray()
+        for group_start in range(0, self._length, 4):
+            group = gaps[group_start : group_start + 4].tolist()
+            lengths = [_byte_length(gap) for gap in group]
+            descriptor = 0
+            for slot, length in enumerate(lengths):
+                descriptor |= (length - 1) << (2 * slot)
+            encoded.append(descriptor)
+            for gap, length in zip(group, lengths):
+                encoded.extend(int(gap).to_bytes(length, "little"))
+        self._bytes = np.frombuffer(bytes(encoded), dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def to_array(self) -> np.ndarray:
+        out = np.empty(self._length, dtype=np.int64)
+        data = self._bytes.tobytes()
+        position = 0
+        emitted = 0
+        running = 0
+        while emitted < self._length:
+            descriptor = data[position]
+            position += 1
+            for slot in range(min(4, self._length - emitted)):
+                length = ((descriptor >> (2 * slot)) & 0x3) + 1
+                running += int.from_bytes(
+                    data[position : position + length], "little"
+                )
+                position += length
+                out[emitted] = running
+                emitted += 1
+        return out
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range")
+        return int(self.to_array()[index])
+
+    def lower_bound(self, key: int) -> int:
+        return int(np.searchsorted(self.to_array(), key, side="left"))
+
+    def size_bits(self) -> int:
+        return 8 * int(self._bytes.size)

@@ -1,0 +1,35 @@
+"""MILC: fixed-length two-layer compression (Wang et al., the paper's baseline).
+
+MILC partitions a sorted list into equal-cardinality blocks of ``m`` elements
+(Figure 2.2) and stores each block in the two-layer layout.  Random access
+and binary search run directly on the compressed data, but data skew wastes
+space: one large gap inside a block inflates the delta width for every
+element in it (Example 1 — the motivation for CSS's variable-length scheme).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import as_id_array
+from .twolayer import TwoLayerList
+
+__all__ = ["MILCList", "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+class MILCList(TwoLayerList):
+    """Two-layer list with fixed-length partitioning."""
+
+    scheme_name = "milc"
+
+    def __init__(
+        self, values: Sequence[int], block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        values = as_id_array(values)
+        self.block_size = block_size
+        boundaries = list(range(0, int(values.size), block_size))
+        super().__init__(values, boundaries)

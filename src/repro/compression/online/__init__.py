@@ -1,0 +1,28 @@
+"""Online (incremental) compressed inverted lists for similarity joins.
+
+The two-region layout (compressed blocks + uncompressed buffer) with the
+paper's four seal policies: :class:`FixList` (online MILC),
+:class:`VariList` (online CSS), :class:`AdaptList` (O(1) benefit predicate),
+and :class:`ModelList` (the full KDE benefit model of Section 5.3).
+"""
+
+from .adapt import RHO, AdaptList
+from .base import OnlineSortedIDList
+from .benefit import EpanechnikovKDE
+from .fix import DEFAULT_ONLINE_BLOCK, FixList
+from .model import ModelList
+from .positions import FixedWidthVector
+from .vari import THEOREM_1_BUFFER, VariList
+
+__all__ = [
+    "OnlineSortedIDList",
+    "FixList",
+    "VariList",
+    "AdaptList",
+    "ModelList",
+    "EpanechnikovKDE",
+    "FixedWidthVector",
+    "RHO",
+    "THEOREM_1_BUFFER",
+    "DEFAULT_ONLINE_BLOCK",
+]

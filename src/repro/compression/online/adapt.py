@@ -1,0 +1,65 @@
+"""Adapt: O(1) benefit-predicate compression (Algorithm 3, Section 5.3).
+
+Instead of maintaining the full KDE benefit model, Adapt makes the seal
+decision from the single incoming element: it compares the bits saved by
+sealing the buffer *without* the new element (``b'``) against sealing *with*
+it (``b''``), both computed in O(1) from the buffer's span.  When
+``b' - b'' > rho`` (``rho = 37``, the net cost of a one-element block:
+69-bit metadata minus the 32-bit element it absorbs), appending the element
+would dilute the block more than a fresh metadata block costs — so the
+buffer is sealed and the element starts a new one.
+
+Example 5 walkthrough: with buffer {15..40} (width 5) and incoming 4058
+(width 12), ``b' - b'' = 206 - 163 = 43 > 37`` — seal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..base import ELEMENT_BITS, METADATA_BITS
+from ..bitpack import width_for
+from .base import OnlineSortedIDList
+
+__all__ = ["AdaptList", "RHO"]
+
+#: initial benefit of a block: metadata (69) minus the absorbed base (32).
+RHO = METADATA_BITS - ELEMENT_BITS
+
+
+def _seal_benefit(count: int, span: int) -> int:
+    """Bits saved by sealing ``count`` buffered elements spanning ``span``.
+
+    The paper's ``b' = (x - 1) * (32 - b̄) - rho``: every non-base element
+    shrinks from 32 bits to the delta width, minus the net metadata cost.
+    """
+    if count <= 1:
+        return -RHO
+    return (count - 1) * (ELEMENT_BITS - width_for(span)) - RHO
+
+
+class AdaptList(OnlineSortedIDList):
+    """Online two-region list with the O(1) adaptive seal predicate."""
+
+    scheme_name = "adapt"
+
+    def __init__(self, max_buffer: Optional[int] = None) -> None:
+        """``max_buffer`` optionally bounds the uncompressed region; the paper
+        leaves it unbounded (the predicate seals long before dense buffers
+        become a problem in practice), but a bound caps peak memory for
+        pathological inputs."""
+        super().__init__()
+        if max_buffer is not None and max_buffer < 2:
+            raise ValueError(f"max_buffer must be >= 2, got {max_buffer}")
+        self.max_buffer = max_buffer
+
+    def _should_seal(self, incoming: int) -> bool:
+        count = len(self._buffer)
+        if self.max_buffer is not None and count >= self.max_buffer:
+            return True
+        if count < 2:
+            return False
+        first = self._buffer[0]
+        without = _seal_benefit(count, self._buffer[-1] - first)
+        with_incoming = _seal_benefit(count + 1, incoming - first)
+        return without - with_incoming > RHO

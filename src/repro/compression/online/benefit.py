@@ -1,0 +1,94 @@
+"""Kernel-density benefit estimation (Section 5.3, Equations 5.7-5.10).
+
+The paper's full benefit model treats the gaps between consecutive buffered
+ids as draws from an unknown distribution, approximates its density with an
+Epanechnikov-kernel KDE, predicts the ids still to come by inverse-transform
+sampling from that density, and seals the buffer at the point of maximum
+expected benefit.  The paper then observes the bookkeeping is costly and
+approximates the whole model with the O(1) Adapt predicate — we implement
+both so the ablation bench (A3) can quantify what the approximation gives up.
+
+Epanechnikov sampling uses the classic identity: the median of three
+independent Uniform[-1, 1] draws follows the Epanechnikov density, so a
+kernel sample is ``center + bandwidth * median(u1, u2, u3)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EpanechnikovKDE"]
+
+
+class EpanechnikovKDE:
+    """Incremental KDE over positive integer gaps.
+
+    Supports O(1) insertion of new observations (Equation 5.7 is a sum of
+    kernels, so adding a gap just appends a component) and vectorized
+    sampling / density evaluation.  The bandwidth follows Silverman's rule,
+    refreshed lazily when observations change.
+    """
+
+    def __init__(self, max_observations: int = 138) -> None:
+        # footnote to Eq. 5.7: at most M = 138 gaps are ever relevant
+        self.max_observations = max_observations
+        self._gaps: list = []
+        self._bandwidth: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._gaps)
+
+    def add(self, gap: int) -> None:
+        """Record one inter-element gap (sliding out the oldest past the cap)."""
+        if gap <= 0:
+            raise ValueError(f"gaps must be positive, got {gap}")
+        self._gaps.append(float(gap))
+        if len(self._gaps) > self.max_observations:
+            del self._gaps[0]
+        self._bandwidth = None
+
+    def reset(self) -> None:
+        self._gaps.clear()
+        self._bandwidth = None
+
+    @property
+    def bandwidth(self) -> float:
+        if self._bandwidth is None:
+            gaps = np.asarray(self._gaps)
+            spread = float(gaps.std()) if gaps.size > 1 else 0.0
+            # Silverman's rule of thumb; floor keeps degenerate (constant-gap)
+            # buffers sampleable.
+            self._bandwidth = max(
+                1.06 * spread * max(gaps.size, 1) ** (-1 / 5), 0.5
+            )
+        return self._bandwidth
+
+    def pdf(self, points: Sequence[float]) -> np.ndarray:
+        """Density estimate at ``points`` (Equation 5.7)."""
+        points = np.asarray(points, dtype=np.float64)
+        if not self._gaps:
+            return np.zeros_like(points)
+        gaps = np.asarray(self._gaps)
+        h = self.bandwidth
+        u = (points[:, None] - gaps[None, :]) / h
+        kernel = np.where(np.abs(u) <= 1.0, 0.75 * (1.0 - u * u), 0.0)
+        return kernel.sum(axis=1) / (len(self._gaps) * h)
+
+    def sample_gaps(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` predicted gaps (inverse sampling, Equation 5.8).
+
+        Mixture sampling is equivalent to inverting the estimated CDF: pick a
+        kernel component uniformly, then draw from the Epanechnikov kernel
+        via the median-of-three-uniforms identity.  Results are rounded to
+        integers and clamped to >= 1 since ids are strictly increasing.
+        """
+        if not self._gaps:
+            return np.ones(count, dtype=np.int64)
+        gaps = np.asarray(self._gaps)
+        centers = gaps[rng.integers(0, gaps.size, size=count)]
+        uniforms = rng.uniform(-1.0, 1.0, size=(count, 3))
+        kernel_draws = np.median(uniforms, axis=1)
+        samples = np.rint(centers + self.bandwidth * kernel_draws)
+        return np.maximum(samples.astype(np.int64), 1)

@@ -1,0 +1,31 @@
+"""Fix: the online extension of MILC (Section 5.2).
+
+The uncompressed region has the same fixed cardinality ``m`` as the data
+blocks; whenever a new element would overflow it, the buffered ``m`` elements
+are sealed into one block.  Cheap (O(1) per append) but inherits MILC's
+skew-blindness, hence the lowest compression ratio of the online trio
+(Table 7.3).
+"""
+
+from __future__ import annotations
+
+from .base import OnlineSortedIDList
+
+__all__ = ["FixList", "DEFAULT_ONLINE_BLOCK"]
+
+DEFAULT_ONLINE_BLOCK = 16
+
+
+class FixList(OnlineSortedIDList):
+    """Online two-region list sealing full fixed-size buffers."""
+
+    scheme_name = "fix"
+
+    def __init__(self, block_size: int = DEFAULT_ONLINE_BLOCK) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        super().__init__()
+        self.block_size = block_size
+
+    def _should_seal(self, incoming: int) -> bool:
+        return len(self._buffer) >= self.block_size

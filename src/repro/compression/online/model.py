@@ -1,0 +1,83 @@
+"""Model: the full KDE benefit-estimation seal policy (Section 5.3).
+
+For every incoming element the policy predicts the ids still to come by
+inverse-sampling gaps from an Epanechnikov KDE fitted over the gaps observed
+so far (Equations 5.7-5.8), then compares two futures over the Theorem 1
+horizon ``M = 138``:
+
+* **wait** — keep one growing block covering buffer + incoming + predicted
+  elements; its benefit at future length ``k`` is ``G(Z_k)`` (Equation 5.9);
+* **seal now** — seal the current buffer and start a fresh block at the
+  incoming element, earning the buffer's benefit plus the predicted block's.
+
+The buffer is sealed when the *expected* (mean over future lengths,
+Equation 5.10, averaged over sample paths) seal-now total exceeds the wait
+total.  The paper proposes this model, notes its maintenance cost, and
+approximates it with :class:`~repro.compression.online.adapt.AdaptList`;
+we keep the full model so ablation A3 can compare the two head-to-head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import METADATA_BITS
+from .adapt import _seal_benefit
+from .base import OnlineSortedIDList
+from .benefit import EpanechnikovKDE
+
+__all__ = ["ModelList"]
+
+#: Theorem 1 horizon: an optimal block never exceeds 2 * |M| elements.
+HORIZON = 2 * METADATA_BITS
+
+
+class ModelList(OnlineSortedIDList):
+    """Online two-region list sealed by expected-benefit maximization."""
+
+    scheme_name = "model"
+
+    def __init__(self, seed: int = 0, sample_paths: int = 2) -> None:
+        super().__init__()
+        if sample_paths < 1:
+            raise ValueError(f"sample_paths must be >= 1, got {sample_paths}")
+        self._kde = EpanechnikovKDE(max_observations=HORIZON)
+        self._rng = np.random.default_rng(seed)
+        self.sample_paths = sample_paths
+
+    def append(self, value: int) -> None:
+        previous = None
+        if self._buffer:
+            previous = self._buffer[-1]
+        elif len(self._store):
+            previous = self._store.last_value()
+        super().append(value)
+        if previous is not None:
+            self._kde.add(value - previous)
+
+    def _should_seal(self, incoming: int) -> bool:
+        count = len(self._buffer)
+        if count < 2:
+            return False
+        if count >= HORIZON:
+            return True
+        first = self._buffer[0]
+        seal_benefit_now = _seal_benefit(count, self._buffer[-1] - first)
+        future_len = min(HORIZON - count, HORIZON) - 1
+        advantage = 0.0
+        for _ in range(self.sample_paths):
+            # predicted continuation: the actual incoming element, then gaps
+            # inverse-sampled from the KDE (Eq. 5.8)
+            gaps = self._kde.sample_gaps(future_len, self._rng)
+            positions = incoming + np.concatenate([[0], np.cumsum(gaps)])
+            deltas = 0.0
+            for extra, position in enumerate(positions, start=1):
+                merged = _seal_benefit(count + extra, int(position) - first)
+                split = seal_benefit_now + _seal_benefit(
+                    extra, int(position) - incoming
+                )
+                deltas += split - merged
+            advantage += deltas / positions.size
+        # hysteresis of one metadata block: sampling noise must not trigger
+        # seals whose expected gain would not even pay for the extra metadata
+        return advantage / self.sample_paths > METADATA_BITS

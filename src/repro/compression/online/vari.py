@@ -1,0 +1,50 @@
+"""Vari: the online extension of CSS's variable-length scheme (Section 5.2).
+
+The buffer is capped at ``2 * |M| = 138`` elements — Theorem 1 proves an
+optimal variable-length block never exceeds that cardinality, so a larger
+buffer cannot improve the partition.  When the buffer fills, the dynamic
+program of Algorithm 2 runs over it and **only the first block** it produces
+is sealed; the remaining elements stay buffered awaiting more arrivals (the
+tail of the buffer may still merge better with future elements).
+
+Highest compression ratio of the online trio, at the cost of the per-seal
+DP — visible as Vari's extra join time in Figure 7.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import METADATA_BITS
+from ..partition import optimal_partition
+from .base import OnlineSortedIDList
+
+__all__ = ["VariList", "THEOREM_1_BUFFER"]
+
+#: Theorem 1 upper bound on an optimal block's cardinality: 2 * |M| elements.
+THEOREM_1_BUFFER = 2 * METADATA_BITS
+
+
+class VariList(OnlineSortedIDList):
+    """Online two-region list sealing DP-optimal leading blocks."""
+
+    scheme_name = "vari"
+
+    def __init__(self, buffer_capacity: int = THEOREM_1_BUFFER) -> None:
+        if buffer_capacity < 2:
+            raise ValueError(
+                f"buffer_capacity must be >= 2, got {buffer_capacity}"
+            )
+        super().__init__()
+        self.buffer_capacity = buffer_capacity
+
+    def _should_seal(self, incoming: int) -> bool:
+        # Example 4: the arrival that fills the buffer triggers the DP
+        return len(self._buffer) + 1 >= self.buffer_capacity
+
+    def _seal(self) -> None:
+        values = np.asarray(self._buffer, dtype=np.int64)
+        boundaries = optimal_partition(values, max_block=None)
+        first_block_end = boundaries[1] if len(boundaries) > 1 else len(self._buffer)
+        self._store.append_block(values[:first_block_end])
+        del self._buffer[:first_block_end]

@@ -1,0 +1,101 @@
+"""Variable-length partitioning (Algorithm 2 of the paper).
+
+Given a sorted list ``L``, find block boundaries maximizing the total saved
+bits, where sealing elements ``x..y`` into one block saves
+``G[x, y] = (y - x) * (32 - b) + 32 - 69`` bits (``b`` = delta width for the
+block; see :func:`repro.compression.twolayer.block_saving_bits`).
+
+The dynamic program is ``OPT[i] = max_j OPT[j] + G[j, i - 1]`` over all split
+points ``j``.  The paper notes the O(n^2) cost can be bounded by capping the
+block size; we expose that as ``max_block`` (default 256) and vectorize the
+inner maximization with numpy, so partitioning costs O(n * max_block / simd).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .base import ELEMENT_BITS, METADATA_BITS, as_id_array, check_sorted_ids
+
+__all__ = ["optimal_partition", "partition_savings", "DEFAULT_MAX_BLOCK"]
+
+DEFAULT_MAX_BLOCK = 256
+
+
+def optimal_partition(
+    values: Sequence[int], max_block: Optional[int] = DEFAULT_MAX_BLOCK
+) -> List[int]:
+    """Block start indices for the saving-maximizing partition of ``values``.
+
+    Returns a list of boundaries beginning with 0; block ``k`` spans
+    ``values[boundaries[k]:boundaries[k + 1]]``.  ``max_block=None`` runs the
+    exact unconstrained O(n^2) program.
+    """
+    values = as_id_array(values)
+    check_sorted_ids(values)
+    n = int(values.size)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    limit = n if max_block is None else max(2, int(max_block))
+
+    # opt[i] = best saving for the i-element prefix; split[i] = start of the
+    # final block in that optimum.
+    opt = np.zeros(n + 1, dtype=np.int64)
+    split = np.zeros(n + 1, dtype=np.int64)
+    fixed = ELEMENT_BITS - METADATA_BITS  # the "+ 32 - 69" term of G
+
+    # preallocated scratch (the inner maximization runs n times)
+    counts_minus_one = np.arange(limit - 1, -1, -1, dtype=np.int64)  # (i-j) - 1
+    scratch_f = np.empty(limit, dtype=np.float64)
+    scratch_m = np.empty(limit, dtype=np.float64)
+    scratch_e = np.empty(limit, dtype=np.int32)
+    scratch_g = np.empty(limit, dtype=np.int64)
+
+    for i in range(1, n + 1):
+        j_lo = max(0, i - limit)
+        span = i - j_lo
+        counts = counts_minus_one[limit - span :]
+        deltas = scratch_f[:span]
+        np.subtract(
+            float(values[i - 1]), values[j_lo:i], out=deltas, casting="unsafe"
+        )
+        mantissa = scratch_m[:span]
+        exponents = scratch_e[:span]
+        np.frexp(deltas, mantissa, exponents)  # exponent == bit_length for >0
+        widths = scratch_g[:span]
+        np.maximum(exponents, 1, out=widths, casting="unsafe")
+        # gains = (count - 1) * (32 - width) + fixed
+        np.subtract(ELEMENT_BITS, widths, out=widths)
+        np.multiply(widths, counts, out=widths)
+        widths += fixed
+        widths += opt[j_lo:i]
+        best = int(np.argmax(widths))
+        opt[i] = widths[best]
+        split[i] = j_lo + best
+
+    boundaries: List[int] = []
+    i = n
+    while i > 0:
+        j = int(split[i])
+        boundaries.append(j)
+        i = j
+    boundaries.reverse()
+    return boundaries
+
+
+def partition_savings(
+    values: Sequence[int], boundaries: Sequence[int]
+) -> int:
+    """Total bits saved by ``boundaries`` relative to uncompressed storage."""
+    from .twolayer import block_saving_bits
+
+    values = as_id_array(values)
+    total = 0
+    bounds = list(boundaries) + [int(values.size)]
+    for start, end in zip(bounds, bounds[1:]):
+        total += block_saving_bits(end - start, int(values[end - 1] - values[start]))
+    return total

@@ -1,0 +1,132 @@
+"""Roaring-style bitmap (Chambi et al.), a related-work ablation codec.
+
+The 32-bit universe is split into 2^16-wide chunks; each non-empty chunk is
+either an *array container* (sorted ``uint16`` ids, used when the chunk holds
+at most :data:`ARRAY_LIMIT` ids) or a *bitmap container* (a fixed 65536-bit
+bitmap).  The paper cites Roaring as a bitmap technique that cannot handle
+online incremental construction efficiently; we include it offline-only for
+the codec ablation (A4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .base import SortedIDList, as_id_array, check_sorted_ids
+
+__all__ = ["RoaringList", "ARRAY_LIMIT"]
+
+ARRAY_LIMIT = 4096
+CHUNK_BITS = 16
+CHUNK_SIZE = 1 << CHUNK_BITS
+#: per-container header: 16-bit key + 16-bit cardinality + 32-bit offset.
+CONTAINER_HEADER_BITS = 64
+
+
+class _Container:
+    __slots__ = ("key", "cardinality", "array", "bitmap", "start_rank")
+
+    def __init__(self, key: int, chunk_values: np.ndarray, start_rank: int) -> None:
+        self.key = key
+        self.cardinality = int(chunk_values.size)
+        self.start_rank = start_rank
+        if self.cardinality <= ARRAY_LIMIT:
+            self.array = chunk_values.astype(np.uint16)
+            self.bitmap = None
+        else:
+            self.array = None
+            bitmap = np.zeros(CHUNK_SIZE // 64, dtype=np.uint64)
+            np.bitwise_or.at(
+                bitmap,
+                chunk_values // 64,
+                np.uint64(1) << (chunk_values % 64).astype(np.uint64),
+            )
+            self.bitmap = bitmap
+
+    def size_bits(self) -> int:
+        if self.array is not None:
+            return CONTAINER_HEADER_BITS + 16 * self.cardinality
+        return CONTAINER_HEADER_BITS + CHUNK_SIZE
+
+    def decode(self) -> np.ndarray:
+        if self.array is not None:
+            return self.array.astype(np.int64)
+        bits = np.unpackbits(self.bitmap.view(np.uint8), bitorder="little")
+        return np.nonzero(bits)[0].astype(np.int64)
+
+    def get(self, within: int) -> int:
+        if self.array is not None:
+            return int(self.array[within])
+        return int(self.decode()[within])
+
+    def rank_lower(self, low_value: int) -> int:
+        """Number of ids in this container strictly below ``low_value``."""
+        if self.array is not None:
+            return int(np.searchsorted(self.array, low_value, side="left"))
+        return int(np.searchsorted(self.decode(), low_value, side="left"))
+
+
+class RoaringList(SortedIDList):
+    """Chunked array/bitmap hybrid with container-level adaptivity."""
+
+    scheme_name = "roaring"
+
+    def __init__(self, values: Sequence[int]) -> None:
+        values = as_id_array(values)
+        check_sorted_ids(values)
+        self._length = int(values.size)
+        self._containers: List[_Container] = []
+        if self._length == 0:
+            self._keys = np.empty(0, dtype=np.int64)
+            self._start_ranks = np.zeros(1, dtype=np.int64)
+            return
+        keys = (values >> CHUNK_BITS).astype(np.int64)
+        lows = (values & (CHUNK_SIZE - 1)).astype(np.int64)
+        boundaries = np.concatenate(
+            [[0], np.nonzero(np.diff(keys))[0] + 1, [self._length]]
+        )
+        ranks = [0]
+        for start, end in zip(boundaries, boundaries[1:]):
+            container = _Container(int(keys[start]), lows[start:end], ranks[-1])
+            self._containers.append(container)
+            ranks.append(ranks[-1] + container.cardinality)
+        self._keys = np.asarray([c.key for c in self._containers], dtype=np.int64)
+        self._start_ranks = np.asarray(ranks, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range")
+        which = int(np.searchsorted(self._start_ranks, index, side="right")) - 1
+        container = self._containers[which]
+        low = container.get(index - container.start_rank)
+        return (container.key << CHUNK_BITS) | low
+
+    def to_array(self) -> np.ndarray:
+        if self._length == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [
+                (c.key << CHUNK_BITS) | c.decode()
+                for c in self._containers
+            ]
+        )
+
+    def lower_bound(self, key: int) -> int:
+        if self._length == 0:
+            return 0
+        chunk = key >> CHUNK_BITS
+        which = int(np.searchsorted(self._keys, chunk, side="left"))
+        if which == len(self._containers):
+            return self._length
+        container = self._containers[which]
+        if container.key > chunk:
+            return container.start_rank
+        return container.start_rank + container.rank_lower(key & (CHUNK_SIZE - 1))
+
+    def size_bits(self) -> int:
+        return sum(c.size_bits() for c in self._containers)

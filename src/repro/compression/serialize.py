@@ -1,0 +1,200 @@
+"""Serialization of compressed lists and inverted indexes.
+
+The paper's SSD discussion (§6.1) assumes the offline index is "constructed
+in the offline step and dumped to SSD at once" and later queried in place.
+This module provides that dump/load path: compressed blocks are written
+verbatim (no re-encoding), so a CSS index pays the Algorithm-2 partitioning
+cost exactly once per corpus.
+
+On-disk layout (one ``.npz``): the per-token lists are *consolidated* —
+metadata arrays and packed data words of every list are concatenated into a
+handful of global arrays with per-list extents.  This keeps the container
+overhead O(1) instead of O(#lists), which matters because q-gram indexes
+hold tens of thousands of (often short) posting lists.
+
+Only the two-layer offline schemes (MILC/CSS) and the uncompressed baseline
+are supported: those are the layouts a search deployment persists.  Online
+lists are transient by design (they live for the duration of one join).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .bitpack import BitBuffer
+from .twolayer import TwoLayerList, TwoLayerStore
+from .uncompressed import UncompressedList
+
+__all__ = ["dump_index", "load_index", "store_to_arrays", "store_from_arrays"]
+
+FORMAT_VERSION = 2
+_KIND_TWOLAYER = 0
+_KIND_UNCOMP = 1
+
+
+def store_to_arrays(store: TwoLayerStore) -> Dict[str, np.ndarray]:
+    """Flatten one two-layer store into named numpy arrays (no re-encoding)."""
+    store._sync()
+    words_needed = store._data.num_bits // 64 + 2
+    return {
+        "bases": np.asarray(store._bases, dtype=np.int64),
+        "offsets": np.asarray(store._offsets, dtype=np.int64),
+        "widths": np.asarray(store._widths, dtype=np.int64),
+        "starts": np.asarray(store._starts, dtype=np.int64),
+        "words": store._data._words[:words_needed].copy(),
+        "num_bits": np.asarray([store._data.num_bits], dtype=np.int64),
+    }
+
+
+def store_from_arrays(arrays: Dict[str, np.ndarray]) -> TwoLayerStore:
+    """Rebuild a two-layer store from :func:`store_to_arrays` output."""
+    store = TwoLayerStore()
+    store._bases = arrays["bases"].astype(np.int64).tolist()
+    store._offsets = arrays["offsets"].astype(np.int64).tolist()
+    store._widths = arrays["widths"].astype(np.int64).tolist()
+    store._starts = arrays["starts"].astype(np.int64).tolist()
+    words = arrays["words"].astype(np.uint64)
+    data = BitBuffer(initial_words=max(2, words.size + 2))
+    data._words[: words.size] = words
+    data._num_bits = int(arrays["num_bits"][0])
+    store._data = data
+    store._dirty = True
+    return store
+
+
+class _LoadedTwoLayerList(TwoLayerList):
+    """A two-layer list reconstituted from disk (partitioning preserved)."""
+
+    def __init__(self, store: TwoLayerStore, scheme_name: str) -> None:
+        # bypass TwoLayerList.__init__: the store is already built
+        self._store = store
+        self.scheme_name = scheme_name
+
+
+def dump_index(index, path: Union[str, Path]) -> None:
+    """Persist an :class:`InvertedIndex` to ``path`` (``.npz``)."""
+    tokens: List[int] = []
+    kinds: List[int] = []
+    bases, offsets, widths, starts = [], [], [], []
+    block_counts, start_counts = [], []
+    word_chunks, word_counts, bit_counts = [], [], []
+    uncomp_values, uncomp_counts = [], []
+
+    for token, lst in index.lists.items():
+        tokens.append(int(token))
+        if isinstance(lst, TwoLayerList):
+            kinds.append(_KIND_TWOLAYER)
+            arrays = store_to_arrays(lst.store)
+            bases.append(arrays["bases"])
+            offsets.append(arrays["offsets"])
+            widths.append(arrays["widths"])
+            starts.append(arrays["starts"])
+            block_counts.append(arrays["bases"].size)
+            start_counts.append(arrays["starts"].size)
+            word_chunks.append(arrays["words"])
+            word_counts.append(arrays["words"].size)
+            bit_counts.append(int(arrays["num_bits"][0]))
+        elif isinstance(lst, UncompressedList):
+            kinds.append(_KIND_UNCOMP)
+            values = lst.to_array()
+            uncomp_values.append(values)
+            uncomp_counts.append(values.size)
+        else:
+            raise TypeError(
+                f"cannot serialize scheme {type(lst).__name__}; only "
+                "two-layer (MILC/CSS) and uncompressed lists are persistent"
+            )
+
+    def _concat(chunks, dtype):
+        if not chunks:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(chunks).astype(dtype)
+
+    manifest = {"version": FORMAT_VERSION, "scheme": index.scheme}
+    np.savez_compressed(
+        Path(path),
+        manifest=np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8),
+        tokens=np.asarray(tokens, dtype=np.int64),
+        kinds=np.asarray(kinds, dtype=np.uint8),
+        block_counts=np.asarray(block_counts, dtype=np.int64),
+        start_counts=np.asarray(start_counts, dtype=np.int64),
+        word_counts=np.asarray(word_counts, dtype=np.int64),
+        bit_counts=np.asarray(bit_counts, dtype=np.int64),
+        uncomp_counts=np.asarray(uncomp_counts, dtype=np.int64),
+        bases=_concat(bases, np.int64),
+        offsets=_concat(offsets, np.int64),
+        widths=_concat(widths, np.int64),
+        starts=_concat(starts, np.int64),
+        words=_concat(word_chunks, np.uint64),
+        uncomp_values=_concat(uncomp_values, np.int64),
+    )
+
+
+def load_index(path: Union[str, Path], collection):
+    """Load an index dumped by :func:`dump_index`, bound to ``collection``.
+
+    The caller supplies the (re-tokenized or separately persisted)
+    collection the index was built from; posting-list contents come from
+    the file verbatim.
+    """
+    from ..search.searcher import InvertedIndex
+
+    with np.load(Path(path)) as bundle:
+        manifest = json.loads(bytes(bundle["manifest"]).decode())
+        if manifest["version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {manifest['version']}"
+            )
+        index = InvertedIndex.__new__(InvertedIndex)
+        index.collection = collection
+        index.scheme = manifest["scheme"]
+        index.build_seconds = 0.0
+        index.lists = {}
+
+        tokens = bundle["tokens"]
+        kinds = bundle["kinds"]
+        block_counts = bundle["block_counts"]
+        start_counts = bundle["start_counts"]
+        word_counts = bundle["word_counts"]
+        bit_counts = bundle["bit_counts"]
+        uncomp_counts = bundle["uncomp_counts"]
+        bases, offsets = bundle["bases"], bundle["offsets"]
+        widths, starts = bundle["widths"], bundle["starts"]
+        words, uncomp_values = bundle["words"], bundle["uncomp_values"]
+
+        b = s = w = u = 0  # running extents into the consolidated arrays
+        twolayer_seen = 0
+        for position, token in enumerate(tokens.tolist()):
+            if kinds[position] == _KIND_TWOLAYER:
+                nb = int(block_counts[twolayer_seen])
+                ns = int(start_counts[twolayer_seen])
+                nw = int(word_counts[twolayer_seen])
+                arrays = {
+                    "bases": bases[b : b + nb],
+                    "offsets": offsets[b : b + nb],
+                    "widths": widths[b : b + nb],
+                    "starts": starts[s : s + ns],
+                    "words": words[w : w + nw],
+                    "num_bits": np.asarray(
+                        [bit_counts[twolayer_seen]], dtype=np.int64
+                    ),
+                }
+                index.lists[token] = _LoadedTwoLayerList(
+                    store_from_arrays(arrays), manifest["scheme"]
+                )
+                b += nb
+                s += ns
+                w += nw
+                twolayer_seen += 1
+            else:
+                count = int(uncomp_counts[position - twolayer_seen])
+                index.lists[token] = UncompressedList(
+                    uncomp_values[u : u + count]
+                )
+                u += count
+        index.supports_random_access = True
+        return index

@@ -1,0 +1,100 @@
+"""Simple8b gap compression (Anh & Moffat, "Index compression using 64-bit
+words") — a related-work ablation codec (cited as [5] in the paper).
+
+Every 64-bit output word holds a 4-bit *selector* plus 60 payload bits; the
+selector picks one of fourteen (count, width) layouts, e.g. 60 one-bit
+values, 20 three-bit values, … 1 sixty-bit value.  Encoding greedily packs
+the longest admissible run into each word.  Dense gap streams approach one
+bit per element; like the other delta codecs it only decodes sequentially.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .base import SortedIDList, as_id_array, check_sorted_ids
+
+__all__ = ["Simple8bList", "SELECTORS"]
+
+#: (values per word, bits per value); selector index = position in the list.
+#: The two "run of ones" modes of the original (240/120 zeros) are omitted —
+#: gaps of sorted unique ids are never zero, so they would never fire.
+SELECTORS: List = [
+    (60, 1), (30, 2), (20, 3), (15, 4), (12, 5), (10, 6),
+    (8, 7), (7, 8), (6, 10), (5, 12), (4, 15), (3, 20), (2, 30), (1, 60),
+]
+
+
+class Simple8bList(SortedIDList):
+    """Gap list packed into selector-tagged 64-bit words."""
+
+    scheme_name = "simple8b"
+    supports_random_access = False
+
+    def __init__(self, values: Sequence[int]) -> None:
+        values = as_id_array(values)
+        check_sorted_ids(values)
+        self._length = int(values.size)
+        if self._length == 0:
+            self._words = np.empty(0, dtype=np.uint64)
+            return
+        gaps = np.empty(self._length, dtype=np.int64)
+        gaps[0] = int(values[0]) + 1  # +1 keeps the first gap positive-width
+        gaps[1:] = np.diff(values)
+        widths = np.maximum(
+            np.frexp(gaps.astype(np.float64))[1], 1
+        ).astype(np.int64)
+
+        words: List[int] = []
+        position = 0
+        while position < self._length:
+            for selector, (count, bits) in enumerate(SELECTORS):
+                # greedy: densest layout whose width fits the next run; a
+                # final partial word pads with zero bits (decoder stops at n)
+                take = min(count, self._length - position)
+                if int(widths[position : position + take].max()) <= bits:
+                    word = selector
+                    shift = 4
+                    for gap in gaps[position : position + take].tolist():
+                        word |= gap << shift
+                        shift += bits
+                    words.append(word)
+                    position += take
+                    break
+            else:  # pragma: no cover - selector table covers widths <= 60
+                raise AssertionError("no selector found")
+        self._words = np.asarray(words, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def to_array(self) -> np.ndarray:
+        out = np.empty(self._length, dtype=np.int64)
+        position = 0
+        running = -1  # first gap was stored as value+1
+        for word in self._words.tolist():
+            selector = word & 0xF
+            count, bits = SELECTORS[selector]
+            payload = word >> 4
+            mask = (1 << bits) - 1
+            for _ in range(count):
+                if position >= self._length:
+                    break
+                running += payload & mask
+                payload >>= bits
+                out[position] = running
+                position += 1
+        return out
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range")
+        return int(self.to_array()[index])
+
+    def lower_bound(self, key: int) -> int:
+        return int(np.searchsorted(self.to_array(), key, side="left"))
+
+    def size_bits(self) -> int:
+        return 64 * int(self._words.size)

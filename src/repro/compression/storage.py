@@ -1,0 +1,86 @@
+"""Storage cost model for compressed indexes on HDD / SSD / DRAM (§6.1).
+
+The Discussion chapter argues the offline two-layer index transfers to SSD:
+random reads cost about the same as sequential reads there, so the
+metadata-then-data binary search stays cheap, while on a spinning disk every
+binary-search probe pays a seek.  This module makes that argument
+quantitative with a simple first-order device model:
+
+``cost = seeks * seek_us + bytes_read / throughput``
+
+Binary searches are modeled page-granular: once the search interval fits in
+one device page the remaining comparisons are free, so a search over ``b``
+bytes costs ``ceil(log2(b / page))`` random reads (at least one).
+Per-scheme lookup access patterns:
+
+* two-layer (MILC/CSS): page-binary-search over the metadata layer, then
+  over one data block (blocks are nearly always sub-page: one more read);
+* uncompressed: page-binary-search over the raw id array;
+* sequential codecs (PForDelta/VByte): one seek, then stream the whole
+  compressed list.
+
+This is a *model*, not a measurement — the ablation bench uses it to rank
+scheme/device combinations the way §6.1 does: the two-layer layout's few
+random reads dovetail with SSD (random ~ sequential) and DRAM, while on a
+spinning disk every probe pays a full seek and streaming codecs win.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import SortedIDList
+from .twolayer import TwoLayerList
+
+__all__ = ["StorageDevice", "HDD", "SSD", "DRAM", "estimate_lookup_us"]
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """First-order device model."""
+
+    name: str
+    seek_us: float  # latency per random access
+    throughput_mb_s: float  # sequential transfer rate
+    page_bytes: int  # smallest addressable read
+
+    def read_cost_us(self, num_seeks: int, num_bytes: int) -> float:
+        transfer_us = num_bytes / (self.throughput_mb_s * 1024 * 1024) * 1e6
+        return num_seeks * self.seek_us + transfer_us
+
+
+#: 7200rpm spinning disk: ~8ms seek, ~150 MB/s sequential.
+HDD = StorageDevice("hdd", seek_us=8000.0, throughput_mb_s=150.0, page_bytes=4096)
+#: NVMe SSD: ~80us random read, ~2.5 GB/s — random ~ sequential (§6.1).
+SSD = StorageDevice("ssd", seek_us=80.0, throughput_mb_s=2500.0, page_bytes=4096)
+#: DRAM with cache-line pages.
+DRAM = StorageDevice("dram", seek_us=0.1, throughput_mb_s=20000.0, page_bytes=64)
+
+
+def _page_probes(num_bytes: int, page_bytes: int) -> int:
+    """Random reads for a binary search over ``num_bytes`` of sorted data."""
+    pages = max(1, math.ceil(num_bytes / page_bytes))
+    return max(1, math.ceil(math.log2(pages))) if pages > 1 else 1
+
+
+def estimate_lookup_us(lst: SortedIDList, device: StorageDevice) -> float:
+    """Modeled cost of one membership lookup against ``lst`` on ``device``."""
+    if len(lst) == 0:
+        return 0.0
+    if isinstance(lst, TwoLayerList):
+        store = lst.store
+        from .base import METADATA_BITS
+
+        metadata_bytes = METADATA_BITS * store.num_blocks // 8 + 1
+        largest_block = max(store.block_sizes())
+        block_bytes = largest_block * max(store._widths) // 8 + 1
+        seeks = _page_probes(metadata_bytes, device.page_bytes) + _page_probes(
+            block_bytes, device.page_bytes
+        )
+        return device.read_cost_us(seeks, seeks * device.page_bytes)
+    if not lst.supports_random_access:
+        # sequential codec: one seek, then stream the compressed list
+        return device.read_cost_us(1, lst.size_bits() // 8 + 1)
+    probes = _page_probes(4 * len(lst), device.page_bytes)
+    return device.read_cost_us(probes, probes * device.page_bytes)

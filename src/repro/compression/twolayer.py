@@ -1,0 +1,392 @@
+"""The two-layer (metadata + data) compressed layout of MILC and CSS.
+
+Figure 2.1 of the paper: a list is partitioned into blocks.  For each block
+the *metadata layer* stores ``(b, o, n)`` — the base value (the block's first
+element), the bit offset of the block's packed deltas inside the data layer,
+and the per-element delta width.  The *data layer* stores, for a block of
+``m`` elements, the ``m - 1`` deltas ``v_t - b`` packed at ``n`` bits each
+(the base itself lives only in the metadata block).
+
+:class:`TwoLayerStore` is the shared engine: the offline schemes
+(:mod:`repro.compression.milc`, :mod:`repro.compression.css`) build it from a
+precomputed partitioning, and the online schemes append blocks one at a time
+as their buffers seal.  All read operations (random access, lower bound,
+block decode) work directly on the packed bits — no decompression step, which
+is what lets MergeSkip run over the compressed index (Example 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import (
+    ELEMENT_BITS,
+    METADATA_BITS,
+    SortedIDList,
+    as_id_array,
+    check_sorted_ids,
+)
+from .bitpack import BitBuffer, width_for
+
+__all__ = ["TwoLayerStore", "TwoLayerList", "block_cost_bits", "block_saving_bits"]
+
+
+def block_cost_bits(count: int, max_delta: int) -> int:
+    """Total bits to store ``count`` elements as one block.
+
+    One metadata block (69 bits) plus ``count - 1`` packed deltas at
+    ``ceil(log2(max_delta + 1))`` bits each.
+    """
+    if count <= 0:
+        raise ValueError("a block must contain at least one element")
+    if count == 1:
+        return METADATA_BITS
+    return METADATA_BITS + (count - 1) * width_for(max_delta)
+
+
+def block_saving_bits(count: int, max_delta: int) -> int:
+    """Bits saved vs. uncompressed storage: the paper's ``G[x, y]``.
+
+    For a block spanning elements ``x..y`` (``count = y - x + 1`` elements,
+    ``max_delta = L[y] - L[x]``) the paper computes
+    ``G = (y - x) * (32 - b) + 32 - 69`` where ``b`` is the delta width:
+    every non-base element shrinks from 32 to ``b`` bits, the base moves into
+    the metadata block for free (+32), and the metadata block costs 69.
+    """
+    return ELEMENT_BITS * count - block_cost_bits(count, max_delta)
+
+
+class TwoLayerStore:
+    """Growable sequence of compressed blocks with direct read access.
+
+    Metadata is held in parallel numpy arrays (``bases``, ``offsets``,
+    ``widths``) plus a prefix-count array ``starts`` mapping block index to
+    the global index of its first element; the packed deltas live in one
+    shared :class:`~repro.compression.bitpack.BitBuffer`.  Appending a block
+    is O(block size); reads never touch more than one block.
+    """
+
+    def __init__(self) -> None:
+        self._bases: List[int] = []
+        self._offsets: List[int] = []
+        self._widths: List[int] = []
+        self._starts: List[int] = [0]
+        self._data = BitBuffer()
+        # numpy mirrors of the metadata, rebuilt lazily for fast searchsorted.
+        self._bases_np: np.ndarray = np.empty(0, dtype=np.int64)
+        self._starts_np: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def append_block(self, values: np.ndarray) -> None:
+        """Seal ``values`` (sorted ids, all greater than the current tail) as a block."""
+        values = as_id_array(values)
+        if values.size == 0:
+            raise ValueError("cannot append an empty block")
+        check_sorted_ids(values)
+        if self._bases and int(values[0]) <= self.last_value():
+            raise ValueError(
+                "blocks must be appended in ascending id order "
+                f"({int(values[0])} <= {self.last_value()})"
+            )
+        base = int(values[0])
+        deltas = (values[1:] - base).astype(np.uint64)
+        width = width_for(int(values[-1]) - base) if values.size > 1 else 1
+        offset = self._data.append(deltas, width)
+        self._bases.append(base)
+        self._offsets.append(offset)
+        self._widths.append(width)
+        self._starts.append(self._starts[-1] + int(values.size))
+        self._dirty = True
+
+    def _sync(self) -> None:
+        if self._dirty:
+            self._bases_np = np.asarray(self._bases, dtype=np.int64)
+            self._starts_np = np.asarray(self._starts, dtype=np.int64)
+            self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # shape
+    # ------------------------------------------------------------------ #
+    @property
+    def num_blocks(self) -> int:
+        return len(self._bases)
+
+    def __len__(self) -> int:
+        return self._starts[-1]
+
+    def last_value(self) -> int:
+        """Largest id stored; raises ``IndexError`` when empty."""
+        if not self._bases:
+            raise IndexError("store is empty")
+        block = self.num_blocks - 1
+        count = self._starts[block + 1] - self._starts[block]
+        if count == 1:
+            return self._bases[block]
+        return self._bases[block] + self._data.read_one(
+            self._offsets[block], self._widths[block], count - 2
+        )
+
+    def block_sizes(self) -> List[int]:
+        """Element count of every block (used by tests and ablations)."""
+        return [
+            self._starts[i + 1] - self._starts[i] for i in range(self.num_blocks)
+        ]
+
+    def size_bits(self) -> int:
+        """Paper accounting: 69 bits per metadata block + packed data bits."""
+        return METADATA_BITS * self.num_blocks + self._data.num_bits
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def _block_of(self, index: int) -> int:
+        self._sync()
+        return int(np.searchsorted(self._starts_np, index, side="right")) - 1
+
+    def get(self, index: int) -> int:
+        """Random access to the ``index``-th id."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for length {len(self)}")
+        block = self._block_of(index)
+        within = index - self._starts[block]
+        if within == 0:
+            return self._bases[block]
+        return self._bases[block] + self._data.read_one(
+            self._offsets[block], self._widths[block], within - 1
+        )
+
+    def decode_block(self, block: int) -> np.ndarray:
+        """Decode one block to an ``int64`` array (vectorized)."""
+        count = self._starts[block + 1] - self._starts[block]
+        out = np.empty(count, dtype=np.int64)
+        out[0] = self._bases[block]
+        if count > 1:
+            deltas = self._data.read(
+                self._offsets[block], self._widths[block], count - 1
+            )
+            out[1:] = self._bases[block] + deltas.astype(np.int64)
+        return out
+
+    def to_array(self) -> np.ndarray:
+        """Decode the whole store in one vectorized pass.
+
+        Blocks pack deltas at different widths, so the decode builds one
+        (bit position, width) pair per non-base element and gathers them all
+        at once — much faster than per-block decoding when blocks are small
+        (e.g. the online Fix scheme's fixed 16-element blocks).
+        """
+        if not self._bases:
+            return np.empty(0, dtype=np.int64)
+        self._sync()
+        counts = np.diff(self._starts_np)
+        delta_counts = counts - 1
+        bases = np.repeat(self._bases_np, counts)
+        out = bases.copy()
+        total_deltas = int(delta_counts.sum())
+        if total_deltas:
+            widths = np.asarray(self._widths, dtype=np.int64)
+            offsets = np.asarray(self._offsets, dtype=np.int64)
+            per_elem_width = np.repeat(widths, delta_counts)
+            # index of each delta within its block: 0,1,2,... per block
+            block_starts_in_stream = np.repeat(
+                np.cumsum(delta_counts) - delta_counts, delta_counts
+            )
+            intra = np.arange(total_deltas, dtype=np.int64) - block_starts_in_stream
+            positions = np.repeat(offsets, delta_counts) + per_elem_width * intra
+            deltas = self._data.gather(positions, per_elem_width)
+            # non-base slots are everything except each block's first slot
+            mask = np.ones(len(self), dtype=bool)
+            mask[self._starts_np[:-1]] = False
+            out[mask] += deltas.astype(np.int64)
+        return out
+
+    def lower_bound(self, key: int) -> int:
+        """Global index of the first id ``>= key``.
+
+        Two binary searches, both on compressed data: first over the metadata
+        bases to locate the candidate block, then over the packed deltas
+        inside it (the paper's *metadata lookup* / *data lookup*).
+        """
+        if not self._bases:
+            return 0
+        self._sync()
+        block = int(np.searchsorted(self._bases_np, key, side="right")) - 1
+        if block < 0:
+            return 0
+        base = self._bases[block]
+        start = self._starts[block]
+        count = self._starts[block + 1] - start
+        if key <= base:
+            return start
+        target = key - base
+        offset, width = self._offsets[block], self._widths[block]
+        lo, hi = 0, count - 1  # searching within deltas[0 .. count-2]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._data.read_one(offset, width, mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        # lo in [0, count-1]; delta index lo corresponds to global start+1+lo
+        if lo == count - 1:
+            return start + count  # key greater than everything in this block
+        return start + 1 + lo
+
+    def iter_blocks(self) -> Iterator[np.ndarray]:
+        for block in range(self.num_blocks):
+            yield self.decode_block(block)
+
+
+class TwoLayerCursor:
+    """Block-local forward cursor over a :class:`TwoLayerStore`.
+
+    Keeps (block, within-block) coordinates so ``value``/``advance`` are O(1)
+    bit reads and ``seek`` restarts its metadata binary search from the
+    current block instead of the list head.  This is what makes MergeSkip on
+    the compressed layout competitive with uncompressed cursors.
+    """
+
+    __slots__ = ("_store", "_block", "_within", "_count")
+
+    def __init__(self, store: TwoLayerStore) -> None:
+        self._store = store
+        self._block = 0
+        self._within = 0
+        self._count = (
+            store._starts[1] - store._starts[0] if store.num_blocks else 0
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        return self._block >= self._store.num_blocks
+
+    @property
+    def position(self) -> int:
+        if self.exhausted:
+            return len(self._store)
+        return self._store._starts[self._block] + self._within
+
+    def value(self) -> int:
+        if self.exhausted:
+            raise IndexError("cursor exhausted")
+        store = self._store
+        if self._within == 0:
+            return store._bases[self._block]
+        return store._bases[self._block] + store._data.read_one(
+            store._offsets[self._block],
+            store._widths[self._block],
+            self._within - 1,
+        )
+
+    def _enter_block(self, block: int) -> None:
+        self._block = block
+        self._within = 0
+        store = self._store
+        if block < store.num_blocks:
+            self._count = store._starts[block + 1] - store._starts[block]
+
+    def advance(self) -> None:
+        self._within += 1
+        if self._within >= self._count:
+            self._enter_block(self._block + 1)
+
+    def seek(self, key: int) -> None:
+        if self.exhausted or self.value() >= key:
+            return
+        store = self._store
+        store._sync()
+        block = (
+            int(
+                np.searchsorted(
+                    store._bases_np[self._block :], key, side="right"
+                )
+            )
+            + self._block
+            - 1
+        )
+        if block != self._block:
+            self._enter_block(block)
+        if self.exhausted:
+            return
+        base = store._bases[block]
+        if key <= base:
+            return
+        target = key - base
+        offset, width = store._offsets[block], store._widths[block]
+        lo = max(self._within - 1, 0)
+        hi = self._count - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if store._data.read_one(offset, width, mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == self._count - 1 and (
+            self._count == 1
+            or store._data.read_one(offset, width, self._count - 2) < target
+        ):
+            self._enter_block(block + 1)
+        else:
+            self._within = lo + 1
+
+    def remaining(self) -> int:
+        return len(self._store) - self.position
+
+
+class TwoLayerList(SortedIDList):
+    """Offline two-layer compressed list built from an explicit partitioning.
+
+    ``boundaries`` gives the start index of every block; MILC computes them
+    with a fixed stride, CSS with the dynamic program of Algorithm 2.
+    """
+
+    scheme_name = "twolayer"
+
+    def __init__(self, values: Sequence[int], boundaries: Iterable[int]) -> None:
+        values = as_id_array(values)
+        check_sorted_ids(values)
+        self._store = TwoLayerStore()
+        bounds = list(boundaries)
+        if values.size and (not bounds or bounds[0] != 0):
+            raise ValueError("boundaries must start at 0")
+        edges: List[Tuple[int, int]] = list(
+            zip(bounds, bounds[1:] + [int(values.size)])
+        )
+        for start, end in edges:
+            if end <= start:
+                raise ValueError(f"invalid block boundaries: [{start}, {end})")
+            self._store.append_block(values[start:end])
+
+    @property
+    def store(self) -> TwoLayerStore:
+        return self._store
+
+    @property
+    def num_blocks(self) -> int:
+        return self._store.num_blocks
+
+    def block_sizes(self) -> List[int]:
+        return self._store.block_sizes()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __getitem__(self, index: int) -> int:
+        return self._store.get(index)
+
+    def to_array(self) -> np.ndarray:
+        return self._store.to_array()
+
+    def lower_bound(self, key: int) -> int:
+        return self._store.lower_bound(key)
+
+    def size_bits(self) -> int:
+        return self._store.size_bits()
+
+    def cursor(self) -> TwoLayerCursor:
+        return TwoLayerCursor(self._store)

@@ -1,0 +1,128 @@
+"""Integrity checking for compressed lists and indexes (ops tooling).
+
+Lossless compression is a *requirement* in the paper (Chapter 1, (iii)) —
+a corrupted or miscompressed posting list silently produces wrong join
+results.  These checkers verify the observable contract of any
+:class:`~repro.compression.base.SortedIDList` (sortedness, uniqueness,
+random-access/decode agreement, lower-bound consistency) plus the two-layer
+structural invariants, returning a list of human-readable violations.
+
+Used after deserialization, in debugging sessions, and by the test suite's
+fuzzers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import MAX_ELEMENT, SortedIDList
+from .twolayer import TwoLayerList
+
+__all__ = ["check_list", "check_index"]
+
+
+def check_list(lst: SortedIDList, sample: int = 64) -> List[str]:
+    """Violations of the sorted-id-list contract (empty list = healthy).
+
+    Corruption can make the accessors themselves raise; any exception during
+    checking is itself reported as a violation rather than propagated.
+    """
+    try:
+        return _check_list(lst, sample)
+    except Exception as error:  # noqa: BLE001 - diagnostics must not crash
+        return [f"checker raised {type(error).__name__}: {error}"]
+
+
+def _check_list(lst: SortedIDList, sample: int) -> List[str]:
+    issues: List[str] = []
+    # structural invariants first: if the layout itself is broken, decoding
+    # is unreliable and the contract checks would only add noise
+    if isinstance(lst, TwoLayerList):
+        issues.extend(_check_two_layer_structure(lst))
+        if issues:
+            return issues
+    decoded = lst.to_array()
+    if decoded.size != len(lst):
+        issues.append(
+            f"decode length {decoded.size} != reported length {len(lst)}"
+        )
+    if decoded.size:
+        if int(decoded[0]) < 0 or int(decoded[-1]) > MAX_ELEMENT:
+            issues.append("ids outside the 32-bit universe")
+        if decoded.size > 1 and not (np.diff(decoded) > 0).all():
+            issues.append("ids not strictly increasing")
+
+    rng = np.random.default_rng(0)
+    if decoded.size:
+        probes = rng.integers(0, decoded.size, size=min(sample, decoded.size))
+        for index in np.unique(probes).tolist():
+            if lst[index] != int(decoded[index]):
+                issues.append(
+                    f"random access disagrees with decode at {index}"
+                )
+                break
+        for index in np.unique(probes).tolist():
+            key = int(decoded[index])
+            expected = int(np.searchsorted(decoded, key, side="left"))
+            if lst.lower_bound(key) != expected:
+                issues.append(f"lower_bound disagrees at key {key}")
+                break
+            if lst.supports_random_access and not lst.contains(key):
+                issues.append(f"contains({key}) is False for a stored id")
+                break
+    if lst.size_bits() < 0:
+        issues.append("negative size accounting")
+    return issues
+
+
+def _check_two_layer_structure(lst: TwoLayerList) -> List[str]:
+    issues: List[str] = []
+    store = lst.store
+    bases = np.asarray(store._bases)
+    offsets = np.asarray(store._offsets)
+    widths = np.asarray(store._widths)
+    starts = np.asarray(store._starts)
+    if bases.size > 1 and not (np.diff(bases) > 0).all():
+        issues.append("metadata bases not strictly increasing")
+    if offsets.size > 1 and not (np.diff(offsets) >= 0).all():
+        issues.append("data-layer offsets not monotone")
+    if widths.size and (widths < 1).any() or (widths > 32).any():
+        issues.append("delta widths outside [1, 32]")
+    if starts.size > 1 and not (np.diff(starts) > 0).all():
+        issues.append("block starts not strictly increasing")
+    for block in range(store.num_blocks):
+        count = int(starts[block + 1] - starts[block])
+        try:
+            decoded = store.decode_block(block)
+        except Exception as error:  # noqa: BLE001
+            issues.append(
+                f"block {block} undecodable "
+                f"({type(error).__name__}: {error})"
+            )
+            break
+        if int(decoded[0]) != int(bases[block]):
+            issues.append(f"block {block} base mismatch")
+            break
+        if count > 1:
+            span = int(decoded[-1]) - int(bases[block])
+            if span >= (1 << min(32, int(widths[block]))):
+                issues.append(f"block {block} span exceeds its delta width")
+                break
+    return issues
+
+
+def check_index(index, max_lists: int = 0) -> List[str]:
+    """Violations across an inverted index's posting lists.
+
+    ``max_lists`` bounds the work (0 = check everything); violations are
+    prefixed with the offending token id.
+    """
+    issues: List[str] = []
+    for checked, (token, lst) in enumerate(index.lists.items()):
+        if max_lists and checked >= max_lists:
+            break
+        for issue in check_list(lst):
+            issues.append(f"token {token}: {issue}")
+    return issues

@@ -1,0 +1,78 @@
+"""VByte gap compression (Cutting & Pedersen), a related-work ablation codec.
+
+Each gap is stored as a sequence of 7-bit groups with a continuation bit —
+simple and byte-aligned, but like PForDelta it only supports sequential
+decoding, so it cannot serve MergeSkip.  Included for the codec ablation
+bench (DESIGN.md, A4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import SortedIDList, as_id_array, check_sorted_ids
+
+__all__ = ["VByteList"]
+
+
+class VByteList(SortedIDList):
+    """Gap list encoded with classic 7+1-bit variable bytes."""
+
+    scheme_name = "vbyte"
+    supports_random_access = False
+
+    def __init__(self, values: Sequence[int]) -> None:
+        values = as_id_array(values)
+        check_sorted_ids(values)
+        self._length = int(values.size)
+        if self._length == 0:
+            self._bytes = np.empty(0, dtype=np.uint8)
+            return
+        gaps = np.empty(self._length, dtype=np.int64)
+        gaps[0] = int(values[0])
+        gaps[1:] = np.diff(values)
+        encoded = bytearray()
+        for gap in gaps.tolist():
+            while True:
+                byte = gap & 0x7F
+                gap >>= 7
+                if gap:
+                    encoded.append(byte | 0x80)
+                else:
+                    encoded.append(byte)
+                    break
+        self._bytes = np.frombuffer(bytes(encoded), dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def to_array(self) -> np.ndarray:
+        out = np.empty(self._length, dtype=np.int64)
+        value = 0
+        current = 0
+        shift = 0
+        position = 0
+        for byte in self._bytes.tolist():
+            current |= (byte & 0x7F) << shift
+            if byte & 0x80:
+                shift += 7
+            else:
+                value += current
+                out[position] = value
+                position += 1
+                current = 0
+                shift = 0
+        return out
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range")
+        return int(self.to_array()[index])
+
+    def lower_bound(self, key: int) -> int:
+        return int(np.searchsorted(self.to_array(), key, side="left"))
+
+    def size_bits(self) -> int:
+        return 8 * int(self._bytes.size)

@@ -1,0 +1,22 @@
+"""Core of the CSS framework: list operations and the scheme registry."""
+
+from .framework import (
+    OFFLINE_SCHEMES,
+    ONLINE_SCHEMES,
+    UncompressedOnlineList,
+    offline_factory,
+    online_factory,
+)
+from .listops import intersect, intersect_many, merge_counts, union_many
+
+__all__ = [
+    "OFFLINE_SCHEMES",
+    "ONLINE_SCHEMES",
+    "offline_factory",
+    "online_factory",
+    "UncompressedOnlineList",
+    "intersect",
+    "intersect_many",
+    "union_many",
+    "merge_counts",
+]

@@ -1,0 +1,120 @@
+"""The CSS framework: a registry of compression schemes.
+
+The paper's framing is that CSS is a *flexible framework* — any filtering
+technique keeps its algorithm and swaps the posting-list representation.
+This module provides the factories search and join engines are parameterized
+with, keyed by the scheme names used throughout the evaluation chapter:
+
+* offline (similarity search): ``uncomp``, ``pfordelta``, ``milc``, ``css``
+  (+ ablation codecs ``vbyte``, ``eliasfano``, ``roaring``),
+* online (similarity join): ``uncomp``, ``fix``, ``vari``, ``adapt``
+  (+ the ablation policy ``model``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..compression import (
+    CSSList,
+    EliasFanoList,
+    MILCList,
+    PForDeltaList,
+    RoaringList,
+    SortedIDList,
+    UncompressedList,
+    VByteList,
+)
+from ..compression.groupvarint import GroupVarintList
+from ..compression.simple8b import Simple8bList
+from ..compression.online import (
+    AdaptList,
+    FixList,
+    ModelList,
+    OnlineSortedIDList,
+    VariList,
+)
+
+__all__ = [
+    "OFFLINE_SCHEMES",
+    "ONLINE_SCHEMES",
+    "offline_factory",
+    "online_factory",
+    "UncompressedOnlineList",
+]
+
+OfflineFactory = Callable[[Sequence[int]], SortedIDList]
+OnlineFactory = Callable[[], OnlineSortedIDList]
+
+
+class UncompressedOnlineList(OnlineSortedIDList):
+    """Appendable plain array: the ``Uncomp`` baseline of the join tables.
+
+    Ids accumulate in the uncompressed buffer forever — the seal predicate
+    never fires and ``finalize`` is a no-op, so ``size_bits`` stays at
+    32 bits per element.
+    """
+
+    scheme_name = "uncomp"
+
+    def _should_seal(self, incoming: int) -> bool:
+        return False
+
+    def finalize(self) -> None:  # keep everything uncompressed
+        return
+
+    def to_array(self) -> np.ndarray:
+        return np.asarray(self._buffer, dtype=np.int64)
+
+
+OFFLINE_SCHEMES: Dict[str, OfflineFactory] = {
+    "uncomp": UncompressedList,
+    "pfordelta": PForDeltaList,
+    "milc": MILCList,
+    "css": CSSList,
+    "vbyte": VByteList,
+    "eliasfano": EliasFanoList,
+    "roaring": RoaringList,
+    "simple8b": Simple8bList,
+    "groupvarint": GroupVarintList,
+}
+
+ONLINE_SCHEMES: Dict[str, OnlineFactory] = {
+    "uncomp": UncompressedOnlineList,
+    "fix": FixList,
+    "vari": VariList,
+    "adapt": AdaptList,
+    "model": ModelList,
+}
+
+
+def offline_factory(scheme: str) -> OfflineFactory:
+    """Factory for an offline scheme by its evaluation-chapter name."""
+    try:
+        return OFFLINE_SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown offline scheme {scheme!r}; "
+            f"choose from {sorted(OFFLINE_SCHEMES)}"
+        ) from None
+
+
+def online_factory(scheme: str) -> OnlineFactory:
+    """Factory for an online scheme by its evaluation-chapter name."""
+    try:
+        return ONLINE_SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown online scheme {scheme!r}; "
+            f"choose from {sorted(ONLINE_SCHEMES)}"
+        ) from None
+
+
+def offline_scheme_names() -> List[str]:
+    return sorted(OFFLINE_SCHEMES)
+
+
+def online_scheme_names() -> List[str]:
+    return sorted(ONLINE_SCHEMES)

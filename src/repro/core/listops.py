@@ -1,0 +1,99 @@
+"""Generic operations over posting lists (Section 3.2).
+
+The filtering techniques of Chapter 3 reduce to four list operations —
+Verification, Intersection, Union, Insert — plus the seek used by MergeSkip.
+These implementations work on any :class:`~repro.compression.base.SortedIDList`
+through the cursor interface, so they run unmodified over uncompressed
+arrays, the two-layer MILC/CSS layouts, and the online two-region lists:
+exactly the "direct list operations without decompression" property the
+paper builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..compression.base import SortedIDList
+
+__all__ = [
+    "intersect",
+    "intersect_many",
+    "union_many",
+    "contains_all",
+    "merge_counts",
+]
+
+
+def intersect(left: SortedIDList, right: SortedIDList) -> np.ndarray:
+    """Ids present in both lists (galloping binary search on the shorter one).
+
+    Seeks run directly on the compressed layout via ``lower_bound``; the
+    asymptotic cost is ``O(min * log(max))`` — the textbook small-vs-large
+    intersection the count filter relies on.
+    """
+    if len(left) > len(right):
+        left, right = right, left
+    result: List[int] = []
+    probe_cursor = right.cursor()
+    for value in left:
+        probe_cursor.seek(value)
+        if probe_cursor.exhausted:
+            break
+        if probe_cursor.value() == value:
+            result.append(value)
+    return np.asarray(result, dtype=np.int64)
+
+
+def intersect_many(lists: Sequence[SortedIDList]) -> np.ndarray:
+    """Ids present in every list; processes from shortest to longest."""
+    if not lists:
+        return np.empty(0, dtype=np.int64)
+    ordered = sorted(lists, key=len)
+    current = ordered[0].to_array()
+    for other in ordered[1:]:
+        if current.size == 0:
+            break
+        kept: List[int] = []
+        cursor = other.cursor()
+        for value in current.tolist():
+            cursor.seek(value)
+            if cursor.exhausted:
+                break
+            if cursor.value() == value:
+                kept.append(value)
+        current = np.asarray(kept, dtype=np.int64)
+    return current
+
+
+def union_many(lists: Iterable[SortedIDList]) -> np.ndarray:
+    """Sorted distinct ids appearing in at least one list (k-way heap merge)."""
+    cursors = [lst.cursor() for lst in lists if len(lst)]
+    heap = [(cursor.value(), index) for index, cursor in enumerate(cursors)]
+    heapq.heapify(heap)
+    result: List[int] = []
+    while heap:
+        value, index = heapq.heappop(heap)
+        if not result or result[-1] != value:
+            result.append(value)
+        cursor = cursors[index]
+        cursor.advance()
+        if not cursor.exhausted:
+            heapq.heappush(heap, (cursor.value(), index))
+    return np.asarray(result, dtype=np.int64)
+
+
+def contains_all(lst: SortedIDList, keys: Iterable[int]) -> bool:
+    """Verification of several keys against one list."""
+    return all(lst.contains(key) for key in keys)
+
+
+def merge_counts(lists: Iterable[SortedIDList]) -> "dict[int, int]":
+    """Occurrence count of every id across ``lists`` (the ScanCount kernel)."""
+    counts: dict = {}
+    for lst in lists:
+        for value in lst.to_array().tolist():
+            counts[value] = counts.get(value, 0) + 1
+    return counts

@@ -1,0 +1,35 @@
+"""Seeded synthetic workloads standing in for the paper's corpora.
+
+See DESIGN.md §2 for the substitution rationale: each generator reproduces
+the signature regime (token skew, record length, duplication rate) of the
+corresponding real dataset in Table 7.1.
+"""
+
+from .amazon import amazon_like
+from .dna import dna_like
+from .loader import (
+    PAPER_CARDINALITIES,
+    Dataset,
+    dataset_names,
+    default_cardinality,
+    load_dataset,
+    repro_scale,
+)
+from .synthetic import uniform_sets, zipf_sets
+from .text import aol_like, dblp_like, tweet_like
+
+__all__ = [
+    "Dataset",
+    "load_dataset",
+    "dataset_names",
+    "default_cardinality",
+    "repro_scale",
+    "PAPER_CARDINALITIES",
+    "dblp_like",
+    "tweet_like",
+    "aol_like",
+    "dna_like",
+    "amazon_like",
+    "zipf_sets",
+    "uniform_sets",
+]

@@ -1,0 +1,41 @@
+"""Deterministic pseudo-word machinery shared by the text generators.
+
+Real corpora are unavailable offline, so the generators synthesize them:
+vocabularies of pronounceable pseudo-words, sampled with Zipfian skew —
+matching the rank-frequency shape that makes inverted lists skewed, which is
+the regime CSS's variable-length partitioning exploits (Chapter 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_word", "zipf_weights", "sample_ranks"]
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+_SYLLABLES = [c + v for c in _CONSONANTS for v in _VOWELS]
+
+
+def make_word(index: int) -> str:
+    """The ``index``-th pseudo-word: a unique syllable expansion."""
+    syllables = []
+    index += 1
+    while index > 0:
+        index, remainder = divmod(index, len(_SYLLABLES))
+        syllables.append(_SYLLABLES[remainder])
+    return "".join(syllables)
+
+
+def zipf_weights(size: int, skew: float) -> np.ndarray:
+    """Normalized Zipf rank weights ``rank^-skew`` for a vocabulary."""
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+def sample_ranks(
+    rng: np.random.Generator, cumulative: np.ndarray, count: int
+) -> np.ndarray:
+    """Inverse-CDF sampling of vocabulary ranks (with replacement)."""
+    return np.searchsorted(cumulative, rng.random(count), side="right")

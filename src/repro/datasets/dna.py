@@ -1,0 +1,53 @@
+"""Synthetic DNA reads (the paper's DNA dataset substitute).
+
+Sequences are assembled from a shared motif pool with point mutations, which
+reproduces the two properties that matter for the 6-gram experiments: a tiny
+signature universe (4^6 upper-bounds the distinct 6-grams) producing very
+long, very skewed inverted lists — the regime where CSS's variable-length
+blocks beat MILC hardest (Table 7.2, DNA row) — and enough shared motifs
+that similarity queries return non-trivial answers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["dna_like"]
+
+_BASES = np.array(list("ACGT"))
+
+
+def dna_like(
+    cardinality: int,
+    average_length: int = 103,
+    seed: int = 3,
+    motif_pool: int = 64,
+) -> List[str]:
+    """Reads of ~``average_length`` bases built from a mutated motif pool."""
+    rng = np.random.default_rng(seed)
+    motif_lengths = rng.integers(12, 40, size=motif_pool)
+    motifs = [
+        "".join(_BASES[rng.integers(0, 4, size=int(length))])
+        for length in motif_lengths
+    ]
+    # skewed motif popularity: a few motifs dominate, like repeats in genomes
+    weights = np.arange(1, motif_pool + 1, dtype=np.float64) ** -1.1
+    cumulative = np.cumsum(weights / weights.sum())
+
+    reads: List[str] = []
+    for _ in range(cardinality):
+        target = max(10, int(rng.normal(average_length, average_length * 0.2)))
+        pieces: List[str] = []
+        length = 0
+        while length < target:
+            motif = motifs[int(np.searchsorted(cumulative, rng.random()))]
+            mutated = list(motif)
+            for position in range(len(mutated)):
+                if rng.random() < 0.03:  # point mutation
+                    mutated[position] = str(_BASES[int(rng.integers(0, 4))])
+            pieces.append("".join(mutated))
+            length += len(motif)
+        reads.append("".join(pieces)[:target])
+    return reads

@@ -1,0 +1,71 @@
+"""Mann-et-al.-style synthetic set generators (the scalability experiments).
+
+Figure 7.4/7.5 use the set-similarity-join benchmark generator of Mann,
+Augsten & Bouros with the parameters the paper quotes: a Zipf dataset
+(average set size 50, universe 116,346) and a Uniform dataset (average set
+size 25, universe 150).  Records are emitted as space-joined integer tokens
+so they flow through the same tokenization path as the text corpora.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ._words import zipf_weights
+
+__all__ = ["zipf_sets", "uniform_sets"]
+
+
+def _sets_to_strings(sets: List[np.ndarray]) -> List[str]:
+    return [" ".join(str(token) for token in record) for record in sets]
+
+
+def _draw_set(
+    rng: np.random.Generator, cumulative: np.ndarray, size: int, universe: int
+) -> np.ndarray:
+    """A set of ``size`` distinct tokens sampled by the given distribution."""
+    size = min(size, universe)
+    chosen: set = set()
+    while len(chosen) < size:
+        needed = size - len(chosen)
+        draws = np.searchsorted(
+            cumulative, rng.random(max(needed * 2, 8)), side="right"
+        )
+        chosen.update(draws.tolist())
+    return np.sort(np.asarray(list(chosen), dtype=np.int64))[:size]
+
+
+def zipf_sets(
+    cardinality: int,
+    average_size: int = 50,
+    universe: int = 116346,
+    skew: float = 1.0,
+    seed: int = 5,
+) -> List[str]:
+    """Zipf-distributed token sets (the paper's Zipf scalability dataset)."""
+    rng = np.random.default_rng(seed)
+    cumulative = np.cumsum(zipf_weights(universe, skew))
+    sizes = np.maximum(1, rng.poisson(average_size, size=cardinality))
+    return _sets_to_strings(
+        [_draw_set(rng, cumulative, int(size), universe) for size in sizes]
+    )
+
+
+def uniform_sets(
+    cardinality: int,
+    average_size: int = 25,
+    universe: int = 150,
+    seed: int = 6,
+) -> List[str]:
+    """Uniformly-distributed token sets (the paper's Uniform dataset)."""
+    rng = np.random.default_rng(seed)
+    sizes = np.clip(
+        rng.poisson(average_size, size=cardinality), 1, universe
+    )
+    records = []
+    for size in sizes:
+        tokens = rng.choice(universe, size=int(size), replace=False)
+        records.append(np.sort(tokens.astype(np.int64)))
+    return _sets_to_strings(records)

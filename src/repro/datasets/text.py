@@ -1,0 +1,132 @@
+"""Synthetic stand-ins for the paper's text corpora (Table 7.1).
+
+* :func:`dblp_like` — short bibliographic titles (avg ~12 tokens), indexed
+  as 3-grams in the paper's search experiments;
+* :func:`tweet_like` — mid-length posts (avg ~21 tokens), whitespace
+  tokenized;
+* :func:`aol_like` — short query-log strings (avg ~21 characters) with
+  typo-injected near-duplicates, used for the edit-distance experiments.
+
+Each generator is deterministic given its seed and plants near-duplicate
+records so similarity joins and searches have non-trivial answers — mirroring
+the redundancy (paper versions, retweets, query reformulations) that makes
+the real corpora interesting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ._words import make_word, zipf_weights
+
+__all__ = ["dblp_like", "tweet_like", "aol_like"]
+
+
+def _sample_sentence(
+    rng: np.random.Generator,
+    cumulative: np.ndarray,
+    vocabulary: List[str],
+    num_words: int,
+) -> str:
+    ranks = np.searchsorted(cumulative, rng.random(num_words), side="right")
+    return " ".join(vocabulary[rank] for rank in ranks)
+
+
+def _with_duplicates(
+    rng: np.random.Generator,
+    base: List[str],
+    cardinality: int,
+    mutate,
+) -> List[str]:
+    """Top up to ``cardinality`` with mutated copies, shuffled deterministically."""
+    strings = list(base)
+    num_duplicates = max(0, cardinality - len(base))
+    sources = rng.integers(0, len(base), size=num_duplicates)
+    for source in sources.tolist():
+        strings.append(mutate(base[source]))
+    permutation = rng.permutation(len(strings))
+    return [strings[i] for i in permutation][:cardinality]
+
+
+def dblp_like(cardinality: int, seed: int = 0) -> List[str]:
+    """Bibliographic titles: 6-18 words, skewed vocabulary, ~8% variants."""
+    rng = np.random.default_rng(seed)
+    vocab_size = max(2000, cardinality // 4)
+    vocabulary = [make_word(i) for i in range(vocab_size)]
+    cumulative = np.cumsum(zipf_weights(vocab_size, 1.05))
+    base = [
+        _sample_sentence(rng, cumulative, vocabulary, int(rng.integers(6, 19)))
+        for _ in range(int(cardinality * 0.92))
+    ]
+
+    def mutate(title: str) -> str:
+        words = title.split()
+        roll = rng.random()
+        if roll < 0.4 and len(words) > 2:
+            words = words[:-1]  # truncated variant
+        elif roll < 0.7:
+            words = words + [vocabulary[int(rng.integers(0, 200))]]
+        else:
+            position = int(rng.integers(0, len(words)))
+            words[position] = vocabulary[int(rng.integers(0, vocab_size))]
+        return " ".join(words)
+
+    return _with_duplicates(rng, base, cardinality, mutate)
+
+
+def tweet_like(cardinality: int, seed: int = 1) -> List[str]:
+    """Posts: 8-35 words, heavy-tailed vocabulary, ~5% retweet variants."""
+    rng = np.random.default_rng(seed)
+    # vocabulary scales sublinearly with the corpus (Heaps' law) so that
+    # posting lists lengthen as the corpus grows, as in the real Tweet data
+    vocab_size = max(1500, cardinality // 5)
+    vocabulary = [make_word(i) for i in range(vocab_size)]
+    cumulative = np.cumsum(zipf_weights(vocab_size, 1.2))
+    base = [
+        _sample_sentence(rng, cumulative, vocabulary, int(rng.integers(8, 36)))
+        for _ in range(int(cardinality * 0.95))
+    ]
+
+    def mutate(post: str) -> str:
+        words = post.split()
+        if rng.random() < 0.5:
+            return " ".join(["rt"] + words)
+        position = int(rng.integers(0, len(words)))
+        words[position] = vocabulary[int(rng.integers(0, vocab_size))]
+        return " ".join(words)
+
+    return _with_duplicates(rng, base, cardinality, mutate)
+
+
+_QUERY_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def aol_like(cardinality: int, seed: int = 2) -> List[str]:
+    """Query-log strings: ~21 characters, ~12% typo-injected reformulations."""
+    rng = np.random.default_rng(seed)
+    vocab_size = max(1500, cardinality // 8)
+    vocabulary = [make_word(i) for i in range(vocab_size)]
+    cumulative = np.cumsum(zipf_weights(vocab_size, 1.1))
+    base = [
+        _sample_sentence(rng, cumulative, vocabulary, int(rng.integers(1, 5)))
+        for _ in range(int(cardinality * 0.88))
+    ]
+
+    def mutate(query: str) -> str:
+        characters = list(query)
+        edits = int(rng.integers(1, 4))
+        for _ in range(edits):
+            operation = rng.random()
+            position = int(rng.integers(0, max(1, len(characters))))
+            letter = _QUERY_ALPHABET[int(rng.integers(0, 26))]
+            if operation < 0.34 and characters:
+                characters[min(position, len(characters) - 1)] = letter
+            elif operation < 0.67:
+                characters.insert(position, letter)
+            elif characters:
+                del characters[min(position, len(characters) - 1)]
+        return "".join(characters)
+
+    return _with_duplicates(rng, base, cardinality, mutate)

@@ -1,0 +1,39 @@
+"""Brute-force self-join oracles used by tests."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..similarity.edit_distance import within_edit_distance
+from ..similarity.measures import cosine, dice, jaccard
+from ..similarity.tokenize import TokenizedCollection
+
+__all__ = ["brute_similarity_join", "brute_edit_distance_join"]
+
+_METRIC_FUNCTIONS = {"jaccard": jaccard, "cosine": cosine, "dice": dice}
+
+
+def brute_similarity_join(
+    collection: TokenizedCollection, threshold: float, metric: str = "jaccard"
+) -> List[Tuple[int, int]]:
+    """Exhaustive Definition 2 evaluation over all O(n^2) pairs."""
+    measure = _METRIC_FUNCTIONS[metric]
+    records = collection.records
+    pairs = []
+    for i in range(len(records)):
+        for j in range(i + 1, len(records)):
+            if measure(records[i], records[j]) >= threshold - 1e-12:
+                pairs.append((i, j))
+    return pairs
+
+
+def brute_edit_distance_join(
+    strings: Sequence[str], delta: int
+) -> List[Tuple[int, int]]:
+    """Exhaustive edit-distance self-join."""
+    pairs = []
+    for i in range(len(strings)):
+        for j in range(i + 1, len(strings)):
+            if within_edit_distance(strings[i], strings[j], delta):
+                pairs.append((i, j))
+    return pairs

@@ -1,0 +1,22 @@
+"""String similarity search (SSS) engines over compressed inverted indexes."""
+
+from .brute import brute_edit_distance_search, brute_similarity_search
+from .dynamic import DynamicInvertedIndex
+from .edsearch import EditDistanceSearcher
+from .grouped import GroupedJaccardSearcher, LengthGroupedIndex
+from .searcher import InvertedIndex, JaccardSearcher
+from .toccurrence import divide_skip, merge_skip, scan_count
+
+__all__ = [
+    "InvertedIndex",
+    "DynamicInvertedIndex",
+    "JaccardSearcher",
+    "LengthGroupedIndex",
+    "GroupedJaccardSearcher",
+    "EditDistanceSearcher",
+    "scan_count",
+    "merge_skip",
+    "divide_skip",
+    "brute_similarity_search",
+    "brute_edit_distance_search",
+]

@@ -1,0 +1,64 @@
+"""Brute-force search oracles used by tests and candidate-quality checks."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..similarity.edit_distance import within_edit_distance
+from ..similarity.measures import cosine, dice, jaccard
+from ..similarity.tokenize import TokenizedCollection
+
+__all__ = ["brute_similarity_search", "brute_edit_distance_search"]
+
+_METRIC_FUNCTIONS = {"jaccard": jaccard, "cosine": cosine, "dice": dice}
+
+
+def brute_similarity_search(
+    collection: TokenizedCollection,
+    query: str,
+    threshold: float,
+    metric: str = "jaccard",
+) -> List[int]:
+    """Exhaustive Definition 1 evaluation (no filtering, no index)."""
+    measure = _METRIC_FUNCTIONS[metric]
+    query_tokens = collection.tokenize(query)
+    query_ids = collection.dictionary.encode(query_tokens)
+    unknown = len(query_tokens) - query_ids.size
+    results = []
+    for record_id, record in enumerate(collection.records):
+        shared = measure(query_ids, record)
+        if unknown:
+            # recompute with the true signature size including unseen tokens
+            from ..similarity.measures import overlap
+
+            common = overlap(query_ids, record)
+            total_query = len(query_tokens)
+            if metric == "jaccard":
+                union = total_query + record.size - common
+                shared = common / union if union else 1.0
+            elif metric == "cosine":
+                shared = (
+                    common / (total_query * record.size) ** 0.5
+                    if total_query and record.size
+                    else 0.0
+                )
+            else:
+                shared = (
+                    2 * common / (total_query + record.size)
+                    if total_query + record.size
+                    else 1.0
+                )
+        if shared >= threshold - 1e-12:
+            results.append(record_id)
+    return results
+
+
+def brute_edit_distance_search(
+    collection: TokenizedCollection, query: str, delta: int
+) -> List[int]:
+    """Exhaustive edit-distance search."""
+    return [
+        record_id
+        for record_id, text in enumerate(collection.strings)
+        if within_edit_distance(query, text, delta)
+    ]

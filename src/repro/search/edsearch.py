@@ -1,0 +1,118 @@
+"""Edit-distance similarity search (the AOL experiments of Chapter 7).
+
+Signatures are distinct character q-grams.  The count filter uses the
+destruction bound specialized to *set* semantics (the paper's inverted lists
+store unique record ids): one edit operation touches at most ``q`` distinct
+q-gram types of the query, so ``ed(r, s) <= delta`` implies the candidate
+shares at least ``|Sig(r)| - q * delta`` of the query's q-gram types.
+
+When the bound degenerates (short queries / loose thresholds) the searcher
+falls back to the length filter — candidates are scanned from a
+length-bucketed directory, mirroring how practical systems (e.g. Flamingo)
+handle T <= 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..similarity.edit_distance import within_edit_distance
+from .searcher import InvertedIndex, SearchStats
+from .toccurrence import divide_skip, merge_skip, scan_count
+
+__all__ = ["EditDistanceSearcher"]
+
+_ALGORITHMS = ("scancount", "mergeskip", "divideskip")
+
+
+class EditDistanceSearcher:
+    """q-gram count-filter search for ``ed(query, record) <= delta``."""
+
+    def __init__(self, index: InvertedIndex, algorithm: str = "mergeskip") -> None:
+        if index.collection.mode != "qgram":
+            raise ValueError(
+                "edit-distance search requires a q-gram tokenized collection"
+            )
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
+            )
+        if algorithm != "scancount" and not index.supports_random_access:
+            raise ValueError(
+                f"scheme {index.scheme!r} supports only sequential decoding; "
+                "use algorithm='scancount'"
+            )
+        self.index = index
+        self.algorithm = algorithm
+        self.q = index.collection.q
+        self.last_stats = SearchStats()
+        # length directory for the T <= 0 fallback; rebuilt lazily when the
+        # collection grows (dynamic indexes ingest between queries)
+        self._by_length: Dict[int, List[int]] = {}
+        self._directory_size = -1
+        self._refresh_length_directory()
+
+    def _refresh_length_directory(self) -> None:
+        strings = self.index.collection.strings
+        if len(strings) == self._directory_size:
+            return
+        self._by_length = {}
+        for record_id, text in enumerate(strings):
+            self._by_length.setdefault(len(text), []).append(record_id)
+        self._directory_size = len(strings)
+
+    def _candidates(self, lists, threshold: int) -> np.ndarray:
+        if self.algorithm == "scancount":
+            return scan_count(lists, threshold, len(self.index.collection))
+        if self.algorithm == "mergeskip":
+            return merge_skip(lists, threshold)
+        return divide_skip(lists, threshold)
+
+    def _length_scan(self, query: str, delta: int) -> List[int]:
+        self._refresh_length_directory()
+        candidates: List[int] = []
+        for length in range(len(query) - delta, len(query) + delta + 1):
+            candidates.extend(self._by_length.get(length, []))
+        return sorted(candidates)
+
+    def search(self, query: str, delta: int) -> List[int]:
+        """Record ids with ``ed(query, record) <= delta``, ascending."""
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        stats = SearchStats()
+        self.last_stats = stats
+        collection = self.index.collection
+        strings = collection.strings
+        query_ids = collection.encode_query(query)
+        signature_size = collection.signature_size(query)
+        count_threshold = signature_size - self.q * delta
+        stats.count_threshold = count_threshold
+
+        if count_threshold >= 1 and query_ids.size >= count_threshold:
+            lists = self.index.posting_lists(query_ids.tolist())
+            stats.lists_probed = len(lists)
+            stats.postings_available = sum(len(lst) for lst in lists)
+            candidates = self._candidates(lists, count_threshold).tolist()
+        elif count_threshold >= 1:
+            # more unseen query grams than the bound tolerates: no record can
+            # share count_threshold of the query's grams
+            return []
+        else:
+            candidates = self._length_scan(query, delta)
+        stats.candidates = len(candidates)
+
+        results: List[int] = []
+        for candidate in candidates:
+            text = strings[candidate]
+            if abs(len(text) - len(query)) > delta:
+                continue
+            stats.verifications += 1
+            if within_edit_distance(query, text, delta):
+                results.append(candidate)
+        stats.results = len(results)
+        return results
+
+    def search_many(self, queries: Sequence[str], delta: int) -> List[List[int]]:
+        return [self.search(query, delta) for query in queries]

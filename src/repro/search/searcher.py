@@ -1,0 +1,181 @@
+"""String similarity search (Definition 1) over compressed inverted indexes.
+
+The offline pipeline of the paper: tokenize the collection, build one
+posting list per signature under a chosen compression scheme (Uncomp /
+PForDelta / MILC / CSS), and answer ``SIM(r, s) >= tau`` queries with the
+count filter — a T-occurrence problem solved by ScanCount or MergeSkip —
+followed by exact verification.
+
+The index is threshold-free: ``tau`` arrives with the query, as Section 2.1
+requires for the search (as opposed to join) setting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..compression.base import SortedIDList
+from ..core.framework import offline_factory
+from ..similarity.measures import length_bounds, required_overlap
+from ..similarity.tokenize import TokenizedCollection
+from ..similarity.verify import verify_overlap_from
+from .toccurrence import divide_skip, merge_skip, scan_count
+
+__all__ = ["InvertedIndex", "JaccardSearcher", "SearchStats"]
+
+_ALGORITHMS = ("scancount", "mergeskip", "divideskip")
+
+
+@dataclass
+class SearchStats:
+    """Filter-and-verification counters for the most recent query.
+
+    The filtering-power lens of the paper's evaluation: how many posting
+    lists were probed, how many candidates survived the count filter, how
+    many reached exact verification, how many answered.
+    """
+
+    lists_probed: int = 0
+    postings_available: int = 0
+    candidates: int = 0
+    verifications: int = 0
+    results: int = 0
+    count_threshold: int = 0
+
+
+class InvertedIndex:
+    """Signature -> posting-list index under a pluggable offline scheme."""
+
+    def __init__(
+        self,
+        collection: TokenizedCollection,
+        scheme: str = "css",
+        **scheme_kwargs,
+    ) -> None:
+        self.collection = collection
+        self.scheme = scheme
+        factory = offline_factory(scheme)
+        grouped: Dict[int, List[int]] = {}
+        for record_id, tokens in enumerate(collection.records):
+            for token in tokens.tolist():
+                grouped.setdefault(token, []).append(record_id)
+        start = time.perf_counter()
+        self.lists: Dict[int, SortedIDList] = {
+            token: factory(np.asarray(ids, dtype=np.int64), **scheme_kwargs)
+            for token, ids in grouped.items()
+        }
+        self.build_seconds = time.perf_counter() - start
+        self.supports_random_access = all(
+            lst.supports_random_access for lst in self.lists.values()
+        )
+
+    def __len__(self) -> int:
+        return len(self.lists)
+
+    def posting_lists(self, tokens: Sequence[int]) -> List[SortedIDList]:
+        """Posting lists of the query tokens that exist in the index."""
+        return [self.lists[token] for token in tokens if token in self.lists]
+
+    def size_bits(self) -> int:
+        """Total index size under the paper's accounting (the tables' metric)."""
+        return sum(lst.size_bits() for lst in self.lists.values())
+
+    def size_mb(self) -> float:
+        return self.size_bits() / 8 / 1024 / 1024
+
+    def num_postings(self) -> int:
+        return sum(len(lst) for lst in self.lists.values())
+
+    def compression_ratio(self) -> float:
+        compressed = self.size_bits()
+        if compressed == 0:
+            return 1.0
+        from ..compression.base import ELEMENT_BITS
+
+        return ELEMENT_BITS * self.num_postings() / compressed
+
+
+class JaccardSearcher:
+    """Count-filter similarity search for Jaccard (and Cosine/Dice) metrics."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        algorithm: str = "mergeskip",
+        metric: str = "jaccard",
+    ) -> None:
+        if algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
+            )
+        if algorithm != "scancount" and not index.supports_random_access:
+            raise ValueError(
+                f"scheme {index.scheme!r} supports only sequential decoding; "
+                "use algorithm='scancount' (cf. Figure 7.2: PForDelta cannot "
+                "run MergeSkip)"
+            )
+        self.index = index
+        self.algorithm = algorithm
+        self.metric = metric
+        self.last_stats = SearchStats()
+
+    def _candidates(
+        self, lists: Sequence[SortedIDList], threshold: int
+    ) -> np.ndarray:
+        if self.algorithm == "scancount":
+            return scan_count(lists, threshold, len(self.index.collection))
+        if self.algorithm == "mergeskip":
+            return merge_skip(lists, threshold)
+        return divide_skip(lists, threshold)
+
+    def search(self, query: str, threshold: float) -> List[int]:
+        """Record ids with ``SIM(query, record) >= threshold``, ascending."""
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        stats = SearchStats()
+        self.last_stats = stats
+        collection = self.index.collection
+        query_ids = collection.encode_query(query)
+        signature_size = collection.signature_size(query)
+        if signature_size == 0:
+            return []
+        # minimum count over all admissible candidate lengths: for Jaccard
+        # |s| >= tau |r| implies overlap >= ceil(tau |r|)  (Section 3.1.1)
+        low, high = length_bounds(signature_size, threshold, self.metric)
+        count_threshold = required_overlap(
+            signature_size, low, threshold, self.metric
+        )
+        stats.count_threshold = count_threshold
+        if count_threshold > query_ids.size:
+            return []  # too many query tokens unseen in the collection
+        lists = self.index.posting_lists(query_ids.tolist())
+        stats.lists_probed = len(lists)
+        stats.postings_available = sum(len(lst) for lst in lists)
+        candidates = self._candidates(lists, max(1, count_threshold))
+        stats.candidates = int(candidates.size)
+
+        results: List[int] = []
+        for candidate in candidates.tolist():
+            record = collection.records[candidate]
+            if not low <= record.size <= high:
+                continue
+            needed = required_overlap(
+                signature_size, record.size, threshold, self.metric
+            )
+            stats.verifications += 1
+            if (
+                verify_overlap_from(query_ids, record, 0, 0, 0, needed)
+                >= needed
+            ):
+                results.append(candidate)
+        stats.results = len(results)
+        return results
+
+    def search_many(
+        self, queries: Sequence[str], threshold: float
+    ) -> List[List[int]]:
+        return [self.search(query, threshold) for query in queries]

@@ -1,0 +1,51 @@
+"""Similarity substrate: tokenization, measures, verification.
+
+Everything the filter-and-verification frameworks need that is not about
+posting lists: signature generation (q-grams / word tokens with the global
+frequency order), the Jaccard/Cosine/Dice measure algebra (required overlap,
+length bounds, prefix lengths), banded edit distance, and exact verification
+with early termination.
+"""
+
+from .edit_distance import edit_distance, qgram_lower_bound, within_edit_distance
+from .measures import (
+    cosine,
+    dice,
+    index_prefix_length,
+    jaccard,
+    length_bounds,
+    overlap,
+    prefix_length,
+    required_overlap,
+)
+from .tokenize import (
+    TokenDictionary,
+    TokenizedCollection,
+    qgrams,
+    tokenize_collection,
+    tokenize_pair,
+    word_tokens,
+)
+from .verify import verify_overlap_from, verify_pair
+
+__all__ = [
+    "qgrams",
+    "word_tokens",
+    "TokenDictionary",
+    "TokenizedCollection",
+    "tokenize_collection",
+    "tokenize_pair",
+    "overlap",
+    "jaccard",
+    "cosine",
+    "dice",
+    "required_overlap",
+    "length_bounds",
+    "prefix_length",
+    "index_prefix_length",
+    "edit_distance",
+    "within_edit_distance",
+    "qgram_lower_bound",
+    "verify_pair",
+    "verify_overlap_from",
+]

@@ -1,0 +1,87 @@
+"""Edit distance: banded verification and the q-gram count bound.
+
+The AOL experiments use edit distance: search/join answers are pairs with
+``ed(r, s) <= delta``.  Verification uses the classic banded (Ukkonen)
+dynamic program — O(delta * min(|r|, |s|)) — with an early exit as soon as
+every cell in a band row exceeds the threshold.
+
+The count filter for edit distance (Gravano et al.) comes from q-gram
+destruction: one edit operation destroys at most ``q`` q-grams, so
+``ed(r, s) <= delta`` implies the strings share at least
+``max(|r|, |s|) - q + 1 - q * delta`` positional-free q-grams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["edit_distance", "within_edit_distance", "qgram_lower_bound"]
+
+_INF = float("inf")
+
+
+def edit_distance(left: str, right: str, max_distance: Optional[int] = None) -> int:
+    """Levenshtein distance; with ``max_distance`` the band is pruned.
+
+    When the true distance exceeds ``max_distance`` the returned value is
+    ``max_distance + 1`` (a certified "too far"), which is all the filters
+    need and keeps verification O(delta * n).
+    """
+    if left == right:
+        return 0
+    if len(left) > len(right):
+        left, right = right, left
+    n, m = len(left), len(right)
+    if max_distance is not None:
+        if m - n > max_distance:
+            return max_distance + 1
+        band = max_distance
+    else:
+        band = m
+
+    previous = list(range(m + 1))
+    for i in range(1, n + 1):
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        current = [i] + [0] * m
+        if lo > 1:
+            current[lo - 1] = band + 1  # outside the band: unreachable
+        row_min = current[0] if lo == 1 else band + 1
+        char_left = left[i - 1]
+        for j in range(lo, hi + 1):
+            cost = 0 if char_left == right[j - 1] else 1
+            value = previous[j - 1] + cost
+            if previous[j] + 1 < value:
+                value = previous[j] + 1
+            if current[j - 1] + 1 < value:
+                value = current[j - 1] + 1
+            current[j] = value
+            if value < row_min:
+                row_min = value
+        if hi < m:
+            current[hi + 1 :] = [band + 1] * (m - hi)
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    distance = previous[m]
+    if max_distance is not None and distance > max_distance:
+        return max_distance + 1
+    return distance
+
+
+def within_edit_distance(left: str, right: str, threshold: int) -> bool:
+    """``ed(left, right) <= threshold`` with banded early termination."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    return edit_distance(left, right, max_distance=threshold) <= threshold
+
+
+def qgram_lower_bound(length_r: int, length_s: int, q: int, threshold: int) -> int:
+    """Count-filter bound: minimum shared q-grams if ``ed <= threshold``.
+
+    May be zero or negative for short strings / loose thresholds, in which
+    case the count filter cannot prune and callers must fall back to the
+    length filter alone.
+    """
+    longest = max(length_r, length_s)
+    return longest - q + 1 - q * threshold

@@ -1,0 +1,196 @@
+"""Signature generation: tokenizers and the global token order.
+
+Strings become *signature sets* before filtering (Section 2.1): q-grams for
+character-level data (DBLP 3-grams, DNA 6-grams) or whitespace tokens for
+word-level data (Tweet).  Prefix-filter-family algorithms additionally need
+a *global order* O over tokens — ascending document frequency, so prefixes
+hold the rarest tokens and generate the fewest candidates (Section 3.1.2).
+
+:class:`TokenizedCollection` holds the per-record sorted token-id arrays all
+search and join engines consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "qgrams",
+    "word_tokens",
+    "TokenDictionary",
+    "TokenizedCollection",
+    "tokenize_collection",
+]
+
+
+def qgrams(text: str, q: int) -> List[str]:
+    """Distinct character q-grams of ``text`` (set semantics, per the paper).
+
+    Strings shorter than ``q`` contribute themselves as a single signature so
+    every non-empty record has at least one token.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if len(text) < q:
+        return [text] if text else []
+    seen = dict.fromkeys(text[i : i + q] for i in range(len(text) - q + 1))
+    return list(seen)
+
+
+def word_tokens(text: str) -> List[str]:
+    """Distinct whitespace-delimited tokens (the paper's Tweet tokenizer)."""
+    return list(dict.fromkeys(text.split()))
+
+
+class TokenDictionary:
+    """Token string <-> integer id mapping with a frequency-based global order.
+
+    Ids are assigned by *ascending document frequency* (ties broken by the
+    token string), so sorting a record's token ids sorts them by the global
+    order O — the prefix of the sorted array is exactly the prefix-filter
+    prefix.
+    """
+
+    def __init__(self, token_sets: Sequence[Sequence[str]]) -> None:
+        frequency: Counter = Counter()
+        for tokens in token_sets:
+            frequency.update(tokens)
+        ranked = sorted(frequency.items(), key=lambda item: (item[1], item[0]))
+        self._token_to_id: Dict[str, int] = {
+            token: index for index, (token, _) in enumerate(ranked)
+        }
+        self._id_to_token: List[str] = [token for token, _ in ranked]
+        self._frequencies: List[int] = [count for _, count in ranked]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id[token]
+
+    def token_of(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def frequency_of(self, token_id: int) -> int:
+        return self._frequencies[token_id]
+
+    def encode(self, tokens: Sequence[str], add_missing: bool = False) -> np.ndarray:
+        """Sorted array of token ids; unknown tokens are dropped unless added.
+
+        Dropping unknown query tokens is correct for search: a token absent
+        from the collection has an empty posting list and cannot contribute
+        overlap — but it still counts toward the query's signature size, which
+        callers must take from the raw token list, not from this array.
+        """
+        if add_missing:
+            for token in tokens:
+                if token not in self._token_to_id:
+                    self._token_to_id[token] = len(self._id_to_token)
+                    self._id_to_token.append(token)
+                    self._frequencies.append(0)
+        ids = [
+            self._token_to_id[token]
+            for token in tokens
+            if token in self._token_to_id
+        ]
+        return np.asarray(sorted(ids), dtype=np.int64)
+
+
+@dataclass
+class TokenizedCollection:
+    """A string collection converted to sorted token-id arrays."""
+
+    strings: List[str]
+    records: List[np.ndarray]
+    dictionary: TokenDictionary
+    mode: str
+    q: int = 0
+    lengths: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lengths = np.asarray(
+            [record.size for record in self.records], dtype=np.int64
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.dictionary)
+
+    def tokenize(self, text: str) -> List[str]:
+        """Raw signature tokens of an ad-hoc string under this collection's mode."""
+        if self.mode == "qgram":
+            return qgrams(text, self.q)
+        return word_tokens(text)
+
+    def encode_query(self, text: str) -> np.ndarray:
+        """Sorted known-token ids of ``text`` (for probing the index)."""
+        return self.dictionary.encode(self.tokenize(text))
+
+    def signature_size(self, text: str) -> int:
+        """|Sig(text)| including tokens unseen in the collection."""
+        return len(self.tokenize(text))
+
+
+def tokenize_collection(
+    strings: Sequence[str], mode: str = "word", q: int = 3
+) -> TokenizedCollection:
+    """Tokenize ``strings`` and build the global-order dictionary.
+
+    ``mode`` is ``"word"`` (whitespace tokens) or ``"qgram"`` (character
+    q-grams of width ``q``).
+    """
+    if mode not in ("word", "qgram"):
+        raise ValueError(f"mode must be 'word' or 'qgram', got {mode!r}")
+    if mode == "qgram":
+        token_sets = [qgrams(text, q) for text in strings]
+    else:
+        token_sets = [word_tokens(text) for text in strings]
+    dictionary = TokenDictionary(token_sets)
+    records = [dictionary.encode(tokens) for tokens in token_sets]
+    return TokenizedCollection(
+        strings=list(strings),
+        records=records,
+        dictionary=dictionary,
+        mode=mode,
+        q=q if mode == "qgram" else 0,
+    )
+
+
+def tokenize_pair(
+    left: Sequence[str], right: Sequence[str], mode: str = "word", q: int = 3
+) -> "tuple[TokenizedCollection, TokenizedCollection]":
+    """Tokenize two collections under one shared global order.
+
+    An R-S join needs both sides encoded against the same token dictionary
+    (and the same frequency-based order O), so prefixes are comparable
+    across collections.  Frequencies are counted over the union.
+    """
+    if mode not in ("word", "qgram"):
+        raise ValueError(f"mode must be 'word' or 'qgram', got {mode!r}")
+    tokenizer = (lambda s: qgrams(s, q)) if mode == "qgram" else word_tokens
+    left_sets = [tokenizer(text) for text in left]
+    right_sets = [tokenizer(text) for text in right]
+    dictionary = TokenDictionary(left_sets + right_sets)
+    effective_q = q if mode == "qgram" else 0
+    collections = []
+    for strings, token_sets in ((left, left_sets), (right, right_sets)):
+        collections.append(
+            TokenizedCollection(
+                strings=list(strings),
+                records=[dictionary.encode(tokens) for tokens in token_sets],
+                dictionary=dictionary,
+                mode=mode,
+                q=effective_q,
+            )
+        )
+    return collections[0], collections[1]

@@ -1,0 +1,102 @@
+"""Tests for the Epanechnikov KDE gap model (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.online.benefit import EpanechnikovKDE
+
+
+class TestKDEBasics:
+    def test_empty_model(self):
+        kde = EpanechnikovKDE()
+        assert len(kde) == 0
+        assert kde.pdf([1.0, 2.0]).tolist() == [0.0, 0.0]
+
+    def test_rejects_non_positive_gaps(self):
+        kde = EpanechnikovKDE()
+        with pytest.raises(ValueError):
+            kde.add(0)
+        with pytest.raises(ValueError):
+            kde.add(-3)
+
+    def test_sliding_window_cap(self):
+        kde = EpanechnikovKDE(max_observations=5)
+        for gap in range(1, 20):
+            kde.add(gap)
+        assert len(kde) == 5
+
+    def test_reset(self):
+        kde = EpanechnikovKDE()
+        kde.add(3)
+        kde.reset()
+        assert len(kde) == 0
+
+
+class TestKDEDensity:
+    def test_pdf_integrates_to_one(self):
+        kde = EpanechnikovKDE()
+        for gap in (2, 3, 3, 4, 10):
+            kde.add(gap)
+        xs = np.linspace(-20, 40, 4000)
+        densities = kde.pdf(xs)
+        integral = np.trapezoid(densities, xs)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_pdf_non_negative(self):
+        kde = EpanechnikovKDE()
+        for gap in (1, 5, 50):
+            kde.add(gap)
+        assert (kde.pdf(np.linspace(-10, 100, 500)) >= 0).all()
+
+    def test_pdf_peaks_near_observations(self):
+        kde = EpanechnikovKDE()
+        for _ in range(10):
+            kde.add(5)
+        assert kde.pdf([5.0])[0] > kde.pdf([50.0])[0]
+
+    def test_kernel_has_compact_support(self):
+        kde = EpanechnikovKDE()
+        kde.add(10)
+        far = 10 + kde.bandwidth * 2
+        assert kde.pdf([far])[0] == 0.0
+
+    def test_bandwidth_floor(self):
+        kde = EpanechnikovKDE()
+        for _ in range(20):
+            kde.add(7)  # zero variance
+        assert kde.bandwidth >= 0.5
+
+
+class TestKDESampling:
+    def test_samples_positive_integers(self):
+        kde = EpanechnikovKDE()
+        for gap in (1, 1, 2, 3):
+            kde.add(gap)
+        rng = np.random.default_rng(0)
+        samples = kde.sample_gaps(500, rng)
+        assert samples.dtype == np.int64
+        assert (samples >= 1).all()
+
+    def test_samples_track_distribution(self):
+        kde = EpanechnikovKDE()
+        observations = [2] * 50 + [100] * 50
+        for gap in observations:
+            kde.add(gap)
+        rng = np.random.default_rng(1)
+        samples = kde.sample_gaps(4000, rng)
+        small = (samples < 50).mean()
+        assert 0.35 < small < 0.65  # mixture weights roughly respected
+
+    def test_sampling_from_empty_model_defaults_to_one(self):
+        kde = EpanechnikovKDE()
+        rng = np.random.default_rng(2)
+        assert (kde.sample_gaps(10, rng) == 1).all()
+
+    def test_sample_mean_near_observation_mean(self):
+        kde = EpanechnikovKDE()
+        rng_obs = np.random.default_rng(3)
+        observations = rng_obs.integers(5, 50, size=100)
+        for gap in observations.tolist():
+            kde.add(gap)
+        samples = kde.sample_gaps(5000, np.random.default_rng(4))
+        assert abs(samples.mean() - observations.mean()) < 5

@@ -1,0 +1,124 @@
+"""Unit tests for the bit-packing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.compression.bitpack import BitBuffer, width_for
+
+
+class TestWidthFor:
+    def test_zero_needs_one_bit(self):
+        assert width_for(0) == 1
+
+    def test_one_needs_one_bit(self):
+        assert width_for(1) == 1
+
+    def test_powers_of_two_boundaries(self):
+        for k in range(1, 32):
+            assert width_for(2**k - 1) == k
+            assert width_for(2**k) == k + 1
+
+    def test_paper_example_widths(self):
+        # Example 1: ceil(log2(987 + 1)) = 10, ceil(log2(7248 + 1)) = 13
+        assert width_for(987) == 10
+        assert width_for(7248) == 13
+        assert width_for(305) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            width_for(-1)
+
+
+class TestBitBufferAppend:
+    def test_empty_buffer(self):
+        buf = BitBuffer()
+        assert buf.num_bits == 0
+        assert len(buf) == 0
+
+    def test_append_returns_start_offset(self):
+        buf = BitBuffer()
+        assert buf.append(np.array([1, 2, 3]), 4) == 0
+        assert buf.append(np.array([5]), 7) == 12
+
+    def test_append_empty_is_noop(self):
+        buf = BitBuffer()
+        buf.append(np.array([3]), 5)
+        assert buf.append(np.empty(0, dtype=np.uint64), 9) == 5
+        assert buf.num_bits == 5
+
+    def test_value_too_wide_rejected(self):
+        buf = BitBuffer()
+        with pytest.raises(ValueError):
+            buf.append(np.array([16]), 4)
+
+    def test_width_bounds(self):
+        buf = BitBuffer()
+        with pytest.raises(ValueError):
+            buf.append(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            buf.append(np.array([0]), 33)
+
+    def test_max_32bit_value(self):
+        buf = BitBuffer()
+        buf.append(np.array([2**32 - 1]), 32)
+        assert buf.read_one(0, 32, 0) == 2**32 - 1
+
+    def test_growth_across_many_words(self):
+        buf = BitBuffer(initial_words=2)
+        values = np.arange(1000) % 128
+        buf.append(values, 7)
+        assert buf.num_bits == 7000
+        assert np.array_equal(buf.read(0, 7, 1000), values.astype(np.uint64))
+
+
+class TestBitBufferRead:
+    def test_roundtrip_all_widths(self):
+        rng = np.random.default_rng(0)
+        for width in range(1, 33):
+            buf = BitBuffer()
+            values = rng.integers(0, 2**width, size=200, dtype=np.uint64)
+            buf.append(values, width)
+            assert np.array_equal(buf.read(0, width, 200), values), width
+
+    def test_read_one_matches_bulk(self):
+        rng = np.random.default_rng(1)
+        buf = BitBuffer()
+        values = rng.integers(0, 2**13, size=500, dtype=np.uint64)
+        offset = buf.append(np.array([7]), 3)  # misalign the stream
+        offset = buf.append(values, 13)
+        for i in (0, 1, 63, 64, 255, 499):
+            assert buf.read_one(offset, 13, i) == values[i]
+
+    def test_word_boundary_straddling(self):
+        buf = BitBuffer()
+        # 11-bit fields: field 5 spans bits 55..66, crossing the word edge
+        values = np.arange(12, dtype=np.uint64) + 1000
+        buf.append(values, 11)
+        for i in range(12):
+            assert buf.read_one(0, 11, i) == values[i]
+
+    def test_read_past_end_raises(self):
+        buf = BitBuffer()
+        buf.append(np.array([1, 2]), 8)
+        with pytest.raises(IndexError):
+            buf.read(0, 8, 3)
+        with pytest.raises(IndexError):
+            buf.read_one(0, 8, 2)
+
+    def test_read_zero_count(self):
+        buf = BitBuffer()
+        assert buf.read(0, 8, 0).size == 0
+
+    def test_interleaved_widths(self):
+        buf = BitBuffer()
+        first = buf.append(np.array([5, 9, 2]), 5)
+        second = buf.append(np.array([100, 200]), 9)
+        third = buf.append(np.array([1]), 1)
+        assert buf.read(first, 5, 3).tolist() == [5, 9, 2]
+        assert buf.read(second, 9, 2).tolist() == [100, 200]
+        assert buf.read_one(third, 1, 0) == 1
+
+    def test_nbytes_reports_capacity(self):
+        buf = BitBuffer()
+        buf.append(np.arange(100, dtype=np.uint64), 32)
+        assert buf.nbytes() >= 100 * 32 // 8

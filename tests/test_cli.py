@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def corpus(tmp_path, word_strings):
+    path = tmp_path / "corpus.txt"
+    path.write_text("\n".join(word_strings) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "tweets.txt"
+        assert main(["generate", "tweet", str(out), "--cardinality", "50"]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 50
+        assert "wrote 50 records" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "wikipedia", str(tmp_path / "x.txt")])
+
+
+class TestStats:
+    def test_prints_all_schemes(self, corpus, capsys):
+        assert main(["stats", corpus]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("uncomp", "pfordelta", "milc", "css"):
+            assert scheme in out
+
+    def test_scheme_subset(self, corpus, capsys):
+        assert main(["stats", corpus, "--schemes", "css"]) == 0
+        out = capsys.readouterr().out
+        assert "css" in out and "milc" not in out
+
+    def test_qgram_mode(self, corpus, capsys):
+        assert main(["stats", corpus, "--mode", "qgram", "--q", "2"]) == 0
+        assert "distinct signatures" in capsys.readouterr().out
+
+
+class TestIndexAndSearch:
+    def test_index_then_search_with_persisted_index(
+        self, corpus, tmp_path, word_strings, capsys
+    ):
+        index_path = str(tmp_path / "idx.npz")
+        assert main(["index", corpus, index_path, "--scheme", "css"]) == 0
+        assert "saved to" in capsys.readouterr().out
+
+        query = word_strings[0]
+        assert (
+            main(
+                [
+                    "search", corpus, query,
+                    "--threshold", "1.0",
+                    "--load-index", index_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[0]" in out
+
+    def test_search_without_index(self, corpus, word_strings, capsys):
+        assert (
+            main(["search", corpus, word_strings[3], "--threshold", "0.9"])
+            == 0
+        )
+        assert "hits in" in capsys.readouterr().out
+
+    def test_edit_distance_search(self, tmp_path, capsys):
+        path = tmp_path / "words.txt"
+        path.write_text("hello\nhallo\nworld\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "search", str(path), "hellp",
+                    "--metric", "ed", "--threshold", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[0] hello" in out
+        assert "world" not in out
+
+
+class TestCheck:
+    def test_healthy_index_passes(self, corpus, tmp_path, capsys):
+        index_path = str(tmp_path / "i.npz")
+        main(["index", corpus, index_path, "--scheme", "css"])
+        capsys.readouterr()
+        assert main(["check", index_path, corpus]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_corrupted_index_fails(self, corpus, tmp_path, capsys):
+        import numpy as np
+
+        index_path = tmp_path / "i.npz"
+        main(["index", corpus, str(index_path), "--scheme", "milc"])
+        capsys.readouterr()
+        with np.load(index_path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files}
+        arrays["widths"] = arrays["widths"] + 40  # corrupt every delta width
+        np.savez_compressed(index_path, **arrays)
+        assert main(["check", str(index_path), corpus]) == 1
+        assert "violations" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "-o", str(out),
+                    "--scale", "0.03", "--queries", "3",
+                ]
+            )
+            == 0
+        )
+        text = out.read_text()
+        assert "# CSS reproduction report" in text
+        assert "Table 7.2" in text
+        assert "Table 7.3" in text
+        assert "paper css" in text
+
+
+class TestJoin:
+    @pytest.mark.parametrize("filter_name", ["count", "prefix", "position"])
+    def test_token_joins(self, corpus, filter_name, capsys):
+        assert (
+            main(
+                [
+                    "join", corpus,
+                    "--filter", filter_name,
+                    "--threshold", "0.9",
+                    "--show", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pairs in" in out
+
+    def test_segment_join(self, tmp_path, capsys):
+        path = tmp_path / "words.txt"
+        path.write_text("cat\ncut\ndog\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "join", str(path),
+                    "--filter", "segment",
+                    "--threshold", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 pairs" in out
+        assert "cat" in out and "cut" in out

@@ -1,0 +1,111 @@
+"""Tests for the related-work ablation codecs: VByte, Elias-Fano, Roaring."""
+
+import numpy as np
+import pytest
+
+from repro.compression import EliasFanoList, RoaringList, VByteList
+from repro.compression.roaring import ARRAY_LIMIT, CHUNK_SIZE
+
+ALL_EXTRA = [VByteList, EliasFanoList, RoaringList]
+
+
+@pytest.mark.parametrize("cls", ALL_EXTRA)
+class TestExtraCodecsCommon:
+    def test_roundtrip(self, cls, random_ids):
+        assert np.array_equal(cls(random_ids).to_array(), random_ids)
+
+    def test_roundtrip_clustered(self, cls, clustered_ids):
+        assert np.array_equal(cls(clustered_ids).to_array(), clustered_ids)
+
+    def test_empty(self, cls):
+        lst = cls([])
+        assert len(lst) == 0
+        assert lst.to_array().size == 0
+        assert lst.lower_bound(10) == 0
+
+    def test_single(self, cls):
+        lst = cls([99])
+        assert lst.to_array().tolist() == [99]
+        assert lst[0] == 99
+
+    def test_lower_bound(self, cls, random_ids):
+        lst = cls(random_ids)
+        for key in (0, int(random_ids[55]), int(random_ids[55]) + 1, 10**9):
+            assert lst.lower_bound(key) == int(
+                np.searchsorted(random_ids, key, side="left")
+            )
+
+    def test_compresses_dense(self, cls):
+        dense = np.arange(100_000, 130_000)
+        assert cls(dense).compression_ratio() > 1.5
+
+    def test_rejects_unsorted(self, cls):
+        with pytest.raises(ValueError):
+            cls([9, 3])
+
+
+class TestVByte:
+    def test_small_gaps_one_byte_each(self):
+        values = np.arange(1, 201)  # gaps of 1: one byte per gap
+        lst = VByteList(values)
+        assert lst.size_bits() == 8 * 200
+
+    def test_large_value_multi_byte(self):
+        lst = VByteList([2**28])
+        assert lst.size_bits() == 8 * 5  # 29 bits -> 5 x 7-bit groups
+
+    def test_no_random_access(self):
+        assert VByteList([1]).supports_random_access is False
+
+
+class TestEliasFano:
+    def test_random_access_all(self, random_ids):
+        lst = EliasFanoList(random_ids)
+        for i in range(0, random_ids.size, 97):
+            assert lst[i] == random_ids[i]
+
+    def test_near_theoretical_size(self):
+        rng = np.random.default_rng(8)
+        values = np.unique(rng.integers(0, 2**20, size=5000))
+        lst = EliasFanoList(values)
+        n, universe = values.size, int(values[-1]) + 1
+        # EF bound: n * (2 + log2(U / n)) bits plus small metadata
+        bound = n * (2 + np.log2(universe / n)) + 256
+        assert lst.size_bits() <= bound * 1.2
+
+    def test_zero_low_bits_path(self):
+        # universe smaller than n -> l = 0 -> everything in the high bits
+        values = np.arange(50)
+        lst = EliasFanoList(values)
+        assert np.array_equal(lst.to_array(), values)
+        assert lst[13] == 13
+
+
+class TestRoaring:
+    def test_array_container_small_chunks(self):
+        values = np.array([1, 5, 100, CHUNK_SIZE + 3, CHUNK_SIZE + 9])
+        lst = RoaringList(values)
+        assert np.array_equal(lst.to_array(), values)
+        assert all(c.array is not None for c in lst._containers)
+
+    def test_bitmap_container_dense_chunk(self):
+        values = np.arange(ARRAY_LIMIT + 100)  # one chunk, over the limit
+        lst = RoaringList(values)
+        assert lst._containers[0].bitmap is not None
+        assert np.array_equal(lst.to_array(), values)
+        assert lst[ARRAY_LIMIT + 50] == ARRAY_LIMIT + 50
+
+    def test_bitmap_cheaper_than_array_when_dense(self):
+        dense = np.arange(CHUNK_SIZE)  # a full chunk
+        lst = RoaringList(dense)
+        # bitmap: 65536 bits + header, vs array: 16 * 65536
+        assert lst.size_bits() < 16 * CHUNK_SIZE
+
+    def test_lower_bound_on_chunk_edges(self):
+        values = np.array([10, CHUNK_SIZE - 1, CHUNK_SIZE, 3 * CHUNK_SIZE + 7])
+        lst = RoaringList(values)
+        assert lst.lower_bound(CHUNK_SIZE - 1) == 1
+        assert lst.lower_bound(CHUNK_SIZE) == 2
+        assert lst.lower_bound(CHUNK_SIZE + 1) == 3
+        assert lst.lower_bound(2 * CHUNK_SIZE) == 3
+        assert lst.lower_bound(4 * CHUNK_SIZE) == 4

@@ -1,0 +1,113 @@
+"""Tests for the dynamic (appendable) search index over online lists."""
+
+import numpy as np
+import pytest
+
+from repro.search import JaccardSearcher, InvertedIndex, brute_similarity_search
+from repro.search.dynamic import DynamicInvertedIndex
+from repro.search.edsearch import EditDistanceSearcher
+
+
+class TestIngestion:
+    def test_ids_ascend(self):
+        index = DynamicInvertedIndex()
+        assert index.add("a b") == 0
+        assert index.add("b c") == 1
+        assert index.num_records == 2
+
+    def test_lists_grow(self):
+        index = DynamicInvertedIndex()
+        index.add_many(["x y", "y z", "y"])
+        token = index.collection.dictionary.id_of("y")
+        assert index.lists[token].to_array().tolist() == [0, 1, 2]
+
+    def test_new_tokens_registered(self):
+        index = DynamicInvertedIndex()
+        index.add("alpha")
+        index.add("beta alpha")
+        assert "beta" in index.collection.dictionary
+
+    def test_qgram_mode(self):
+        index = DynamicInvertedIndex(mode="qgram", q=2)
+        index.add("abc")
+        assert index.collection.records[0].size == 2
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DynamicInvertedIndex(mode="sentencepiece")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            DynamicInvertedIndex(scheme="gzip")
+
+
+class TestSearchOverDynamicIndex:
+    @pytest.mark.parametrize("scheme", ["uncomp", "fix", "vari", "adapt"])
+    def test_matches_offline_answers(self, word_strings, scheme):
+        dynamic = DynamicInvertedIndex(scheme=scheme)
+        dynamic.add_many(word_strings)
+        searcher = JaccardSearcher(dynamic, algorithm="mergeskip")
+        for qid in (0, 40, 100):
+            query = word_strings[qid]
+            for tau in (0.6, 0.9):
+                assert searcher.search(query, tau) == brute_similarity_search(
+                    dynamic.collection, query, tau
+                )
+
+    def test_queries_interleave_with_ingestion(self, word_strings):
+        dynamic = DynamicInvertedIndex(scheme="adapt")
+        dynamic.add_many(word_strings[:50])
+        searcher = JaccardSearcher(dynamic)
+        before = searcher.search(word_strings[0], 1.0)
+        dynamic.add(word_strings[0])  # ingest an exact duplicate
+        after = searcher.search(word_strings[0], 1.0)
+        assert set(after) == set(before) | {50}
+
+    def test_edit_distance_searcher_tracks_growth(self):
+        from repro.search import brute_edit_distance_search
+
+        dynamic = DynamicInvertedIndex(mode="qgram", q=2, scheme="adapt")
+        dynamic.add_many(["hello", "world"])
+        searcher = EditDistanceSearcher(dynamic)
+        assert searcher.search("hallo", 1) == [0]
+        dynamic.add("hallo")
+        # both paths (count filter and the length-directory fallback) must
+        # see the new record
+        assert searcher.search("hallo", 1) == [0, 2]
+        assert searcher.search("ha", 3) == brute_edit_distance_search(
+            dynamic.collection, "ha", 3
+        )
+
+    def test_scancount_algorithm(self, word_strings):
+        dynamic = DynamicInvertedIndex(scheme="adapt")
+        dynamic.add_many(word_strings)
+        searcher = JaccardSearcher(dynamic, algorithm="scancount")
+        query = word_strings[7]
+        assert searcher.search(query, 0.8) == brute_similarity_search(
+            dynamic.collection, query, 0.8
+        )
+
+
+class TestSizeAccounting:
+    def test_compresses_vs_uncomp_scheme(self, word_strings):
+        compressed = DynamicInvertedIndex(scheme="adapt")
+        compressed.add_many(word_strings * 4)  # densify the lists
+        compressed.compact()
+        plain = DynamicInvertedIndex(scheme="uncomp")
+        plain.add_many(word_strings * 4)
+        assert compressed.size_bits() < plain.size_bits()
+        assert compressed.compression_ratio() > 1
+
+    def test_size_close_to_offline_index(self, word_collection, word_strings):
+        """The online index pays only the offline-vs-online gap."""
+        dynamic = DynamicInvertedIndex(scheme="vari")
+        dynamic.add_many(word_strings)
+        dynamic.compact()
+        offline = InvertedIndex(word_collection, scheme="css")
+        assert dynamic.size_bits() <= 1.5 * offline.size_bits()
+
+    def test_empty_index(self):
+        index = DynamicInvertedIndex()
+        assert index.size_bits() == 0
+        assert index.compression_ratio() == 1.0
+        assert index.num_postings() == 0

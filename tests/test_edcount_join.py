@@ -1,0 +1,53 @@
+"""Tests for the q-gram count-filter edit-distance join (Gravano et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.join import SegmentFilterJoin, brute_edit_distance_join
+from repro.join.edcount import EDCountFilterJoin
+
+
+@pytest.mark.parametrize("scheme", ["uncomp", "fix", "vari", "adapt"])
+@pytest.mark.parametrize("delta", [0, 1, 2])
+class TestCorrectness:
+    def test_matches_brute_force(self, char_strings, scheme, delta):
+        got = EDCountFilterJoin(char_strings, q=2, scheme=scheme).join(delta)
+        assert got == brute_edit_distance_join(char_strings, delta)
+
+    def test_agrees_with_segment_filter(self, char_strings, scheme, delta):
+        count = EDCountFilterJoin(char_strings, q=2, scheme=scheme).join(delta)
+        segment = SegmentFilterJoin(char_strings, scheme=scheme).join(delta)
+        assert count == segment
+
+
+class TestBehaviour:
+    def test_short_string_fallback(self):
+        # pairs that share zero grams but are within distance: 'cbd'/'cdd'
+        strings = ["cbd", "cdd", "zzzz"]
+        assert EDCountFilterJoin(strings, q=2).join(1) == [(0, 1)]
+
+    def test_empty_strings(self):
+        strings = ["", "", "a", "ab"]
+        assert EDCountFilterJoin(strings, q=2).join(1) == (
+            brute_edit_distance_join(strings, 1)
+        )
+
+    def test_q_three(self, char_strings):
+        got = EDCountFilterJoin(char_strings, q=3).join(1)
+        assert got == brute_edit_distance_join(char_strings, 1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EDCountFilterJoin(["a"], q=0)
+        with pytest.raises(ValueError):
+            EDCountFilterJoin(["a"]).join(-1)
+
+    def test_stats_and_compression(self, char_strings):
+        join = EDCountFilterJoin(char_strings, q=2, scheme="adapt")
+        pairs = join.join(1)
+        assert join.last_stats.pairs == len(pairs)
+        assert join.last_stats.index_bits > 0
+        uncomp = EDCountFilterJoin(char_strings, q=2, scheme="uncomp")
+        uncomp.join(1)
+        # count-filter lists are dense: compression pays off
+        assert join.last_stats.index_bits < uncomp.last_stats.index_bits

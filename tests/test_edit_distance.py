@@ -1,0 +1,116 @@
+"""Tests for banded edit distance and the q-gram count bound."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.similarity.edit_distance import (
+    edit_distance,
+    qgram_lower_bound,
+    within_edit_distance,
+)
+from repro.similarity.tokenize import qgrams
+
+
+def naive_levenshtein(a: str, b: str) -> int:
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        current = [i]
+        for j, cb in enumerate(b, 1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (ca != cb),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("hello", "hello") == 0
+
+    def test_empty_strings(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_single_operations(self):
+        assert edit_distance("cat", "cut") == 1  # substitution
+        assert edit_distance("cat", "cats") == 1  # insertion
+        assert edit_distance("cat", "at") == 1  # deletion
+
+    def test_classic_pairs(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("flaw", "lawn") == 2
+
+    def test_symmetry(self, rng):
+        alphabet = list("abc")
+        for _ in range(30):
+            a = "".join(rng.choice(alphabet, size=int(rng.integers(0, 9))))
+            b = "".join(rng.choice(alphabet, size=int(rng.integers(0, 9))))
+            assert edit_distance(a, b) == edit_distance(b, a)
+
+    def test_matches_naive_randomized(self, rng):
+        alphabet = list("abcd")
+        for _ in range(100):
+            a = "".join(rng.choice(alphabet, size=int(rng.integers(0, 12))))
+            b = "".join(rng.choice(alphabet, size=int(rng.integers(0, 12))))
+            assert edit_distance(a, b) == naive_levenshtein(a, b)
+
+    def test_banded_certifies_too_far(self):
+        assert edit_distance("aaaa", "bbbb", max_distance=2) == 3
+
+    def test_banded_exact_within_band(self, rng):
+        alphabet = list("ab")
+        for _ in range(100):
+            a = "".join(rng.choice(alphabet, size=int(rng.integers(0, 10))))
+            b = "".join(rng.choice(alphabet, size=int(rng.integers(0, 10))))
+            true = naive_levenshtein(a, b)
+            for band in (0, 1, 2, 3):
+                got = edit_distance(a, b, max_distance=band)
+                if true <= band:
+                    assert got == true
+                else:
+                    assert got == band + 1
+
+    def test_length_difference_shortcut(self):
+        assert edit_distance("a", "aaaaaa", max_distance=2) == 3
+
+
+class TestWithinEditDistance:
+    def test_true_cases(self):
+        assert within_edit_distance("abc", "abd", 1)
+        assert within_edit_distance("abc", "abc", 0)
+
+    def test_false_cases(self):
+        assert not within_edit_distance("abc", "xyz", 2)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            within_edit_distance("a", "b", -1)
+
+
+class TestQGramBound:
+    def test_formula(self):
+        assert qgram_lower_bound(10, 8, 3, 1) == 10 - 3 + 1 - 3
+
+    def test_set_semantics_soundness_exhaustive(self):
+        """One edit destroys at most q *distinct* q-gram types, so similar
+        strings share >= |Sig(r)| - q*d gram types (the searcher's bound)."""
+        q, d = 2, 1
+        alphabet = "ab"
+        strings = [
+            "".join(chars)
+            for length in range(2, 6)
+            for chars in itertools.product(alphabet, repeat=length)
+        ]
+        for r in strings:
+            grams_r = set(qgrams(r, q))
+            for s in strings:
+                if naive_levenshtein(r, s) <= d:
+                    shared = len(grams_r & set(qgrams(s, q)))
+                    assert shared >= len(grams_r) - q * d

@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Examples are run in-process (imported as scripts with patched argv) at tiny
+cardinalities so the suite stays fast; each assertion checks the example
+produced its headline output, not just a zero exit.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, *args):
+    monkeypatch.setattr(sys, "argv", [name, *args])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "similar pairs" in out
+    assert "index size" in out
+    assert "ratio" in out
+
+
+def test_near_duplicate_detection(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "near_duplicate_detection.py", "400")
+    assert "all schemes found the same" in out
+    assert "adapt" in out
+
+
+def test_fuzzy_query_log(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "fuzzy_query_log.py", "400")
+    assert "original recovered within 2 edits: True" in out
+
+
+def test_dna_similarity(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "dna_similarity.py", "250")
+    assert "6-gram Jaccard" in out
+    assert "css" in out
+
+
+def test_memory_budget_case_study(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "memory_budget_case_study.py", "300")
+    assert "NO -> disk-based" in out  # uncomp overflows the scaled budget
+    assert out.count("yes") >= 1  # css fits
+
+
+def test_index_anatomy(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "index_anatomy.py", "200")
+    assert "CSS layout" in out
+    assert "metadata" in out
+    assert "hdd" in out.lower()
+
+
+def test_streaming_dedup(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "streaming_dedup.py", "300")
+    assert "admitted" in out
+    assert "compression ratio" in out
+
+
+def test_time_series_matching(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "time_series_matching.py", "200")
+    assert "SAX" in out
+    assert "corr = +0.9" in out  # SAX matches track true curve similarity

@@ -1,0 +1,60 @@
+"""Tests for the CSS framework scheme registry."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CSSList, MILCList, PForDeltaList, UncompressedList
+from repro.compression.online import AdaptList, FixList, ModelList, VariList
+from repro.core.framework import (
+    OFFLINE_SCHEMES,
+    ONLINE_SCHEMES,
+    UncompressedOnlineList,
+    offline_factory,
+    online_factory,
+)
+
+
+class TestOfflineRegistry:
+    def test_paper_schemes_present(self):
+        for name in ("uncomp", "pfordelta", "milc", "css"):
+            assert name in OFFLINE_SCHEMES
+
+    def test_factories_build_correct_types(self):
+        assert offline_factory("uncomp") is UncompressedList
+        assert offline_factory("milc") is MILCList
+        assert offline_factory("css") is CSSList
+        assert offline_factory("pfordelta") is PForDeltaList
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown offline scheme"):
+            offline_factory("zstd")
+
+    def test_all_factories_roundtrip(self, random_ids):
+        for name in OFFLINE_SCHEMES:
+            lst = offline_factory(name)(random_ids)
+            assert np.array_equal(lst.to_array(), random_ids), name
+            assert lst.scheme_name == name or lst.scheme_name in name
+
+
+class TestOnlineRegistry:
+    def test_paper_schemes_present(self):
+        for name in ("uncomp", "fix", "vari", "adapt"):
+            assert name in ONLINE_SCHEMES
+
+    def test_factories_build_correct_types(self):
+        assert online_factory("fix") is FixList
+        assert online_factory("vari") is VariList
+        assert online_factory("adapt") is AdaptList
+        assert online_factory("model") is ModelList
+        assert online_factory("uncomp") is UncompressedOnlineList
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown online scheme"):
+            online_factory("lz4")
+
+    def test_all_factories_roundtrip(self, clustered_ids):
+        for name in ONLINE_SCHEMES:
+            lst = online_factory(name)()
+            lst.extend(clustered_ids.tolist())
+            lst.finalize()
+            assert np.array_equal(lst.to_array(), clustered_ids), name

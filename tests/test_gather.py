@@ -1,0 +1,69 @@
+"""Tests for the heterogeneous-width vectorized gather (whole-list decode)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.bitpack import BitBuffer
+from repro.compression.twolayer import TwoLayerStore
+
+
+class TestGather:
+    def test_matches_read_one(self, rng):
+        buf = BitBuffer()
+        fields = []  # (offset, width, value)
+        for _ in range(50):
+            width = int(rng.integers(1, 33))
+            values = rng.integers(0, 2**width, size=int(rng.integers(1, 20)))
+            offset = buf.append(values.astype(np.uint64), width)
+            for i, value in enumerate(values.tolist()):
+                fields.append((offset + width * i, width, value))
+        positions = np.asarray([f[0] for f in fields], dtype=np.int64)
+        widths = np.asarray([f[1] for f in fields], dtype=np.int64)
+        out = buf.gather(positions, widths)
+        assert out.tolist() == [f[2] for f in fields]
+
+    def test_empty(self):
+        buf = BitBuffer()
+        out = buf.gather(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert out.size == 0
+
+    def test_unordered_positions(self):
+        buf = BitBuffer()
+        buf.append(np.asarray([5, 9, 2], dtype=np.uint64), 4)
+        out = buf.gather(
+            np.asarray([8, 0, 4], dtype=np.int64),
+            np.asarray([4, 4, 4], dtype=np.int64),
+        )
+        assert out.tolist() == [2, 5, 9]
+
+    def test_word_straddling_widths(self):
+        buf = BitBuffer()
+        values = np.arange(20, dtype=np.uint64) + 2**25
+        buf.append(values, 27)  # fields straddle 64-bit word boundaries
+        positions = 27 * np.arange(20, dtype=np.int64)
+        widths = np.full(20, 27, dtype=np.int64)
+        assert np.array_equal(buf.gather(positions, widths), values)
+
+
+class TestVectorizedStoreDecode:
+    def test_matches_per_block_decode(self, rng):
+        """to_array (one gather) equals concatenated per-block decodes."""
+        store = TwoLayerStore()
+        base = 0
+        for _ in range(40):
+            base += int(rng.integers(1, 10**6))
+            run = base + np.cumsum(
+                rng.integers(1, 1000, size=int(rng.integers(1, 30)))
+            )
+            store.append_block(run)
+            base = int(run[-1])
+        per_block = np.concatenate(
+            [store.decode_block(b) for b in range(store.num_blocks)]
+        )
+        assert np.array_equal(store.to_array(), per_block)
+
+    def test_single_element_blocks(self):
+        store = TwoLayerStore()
+        for value in (5, 100, 10**6):
+            store.append_block(np.asarray([value]))
+        assert store.to_array().tolist() == [5, 100, 10**6]

@@ -1,0 +1,130 @@
+"""Tests for the length-grouped index and its per-group thresholds."""
+
+import pytest
+
+from repro.search import InvertedIndex, JaccardSearcher, brute_similarity_search
+from repro.search.grouped import GroupedJaccardSearcher, LengthGroupedIndex
+
+
+@pytest.fixture(scope="module")
+def grouped_index(word_collection):
+    return LengthGroupedIndex(word_collection, scheme="css")
+
+
+class TestLengthGroupedIndex:
+    def test_groups_partition_records(self, grouped_index, word_collection):
+        ids = set()
+        for lists in grouped_index.groups.values():
+            for lst in lists.values():
+                ids.update(lst.to_array().tolist())
+        non_empty = {
+            i for i, r in enumerate(word_collection.records) if r.size
+        }
+        assert ids == non_empty
+
+    def test_group_of_monotone(self, grouped_index):
+        groups = [grouped_index.group_of(size) for size in range(1, 50)]
+        assert groups == sorted(groups)
+
+    def test_geometric_group_boundaries(self, word_collection):
+        index = LengthGroupedIndex(word_collection, group_width=1.0)  # base 2
+        assert index.group_of(1) == 0
+        assert index.group_of(2) == 1
+        assert index.group_of(4) == 2
+        assert index.group_of(7) == 2
+
+    def test_groups_for_range(self, grouped_index):
+        groups = grouped_index.groups_for_range(2, 8)
+        assert groups == sorted(groups)
+        for group in groups:
+            assert group in grouped_index.groups
+
+    def test_invalid_group_width(self, word_collection):
+        with pytest.raises(ValueError):
+            LengthGroupedIndex(word_collection, group_width=0)
+
+    def test_size_overhead_vs_flat_index(self, word_collection):
+        flat = InvertedIndex(word_collection, scheme="css")
+        grouped = LengthGroupedIndex(word_collection, scheme="css")
+        # splitting lists adds metadata but stays in the same ballpark
+        assert grouped.size_bits() < 2.5 * flat.size_bits()
+
+
+@pytest.mark.parametrize("algorithm", ["scancount", "mergeskip"])
+class TestGroupedSearchCorrectness:
+    def test_same_answers_as_flat_searcher(
+        self, grouped_index, word_collection, algorithm
+    ):
+        searcher = GroupedJaccardSearcher(grouped_index, algorithm=algorithm)
+        for threshold in (0.4, 0.6, 0.8, 1.0):
+            for qid in (0, 25, 80):
+                query = word_collection.strings[qid]
+                assert searcher.search(query, threshold) == (
+                    brute_similarity_search(word_collection, query, threshold)
+                ), (threshold, qid)
+
+    def test_unknown_token_query(self, grouped_index, word_collection, algorithm):
+        searcher = GroupedJaccardSearcher(grouped_index, algorithm=algorithm)
+        query = "tok0 zz_unseen_token"
+        assert searcher.search(query, 0.4) == brute_similarity_search(
+            word_collection, query, 0.4
+        )
+
+
+class TestGroupedSearchPruning:
+    def test_fewer_or_equal_candidates_than_flat(self, word_collection):
+        flat = JaccardSearcher(
+            InvertedIndex(word_collection, scheme="css"), algorithm="mergeskip"
+        )
+        grouped = GroupedJaccardSearcher(
+            LengthGroupedIndex(word_collection, scheme="css"),
+            algorithm="mergeskip",
+        )
+        total_flat = total_grouped = 0
+        for qid in range(0, 60, 5):
+            query = word_collection.strings[qid]
+            flat.search(query, 0.6)
+            grouped.search(query, 0.6)
+            total_flat += flat.last_stats.candidates
+            total_grouped += grouped.last_stats.candidates
+        assert total_grouped <= total_flat
+
+    def test_group_threshold_at_least_flat_threshold(self, word_collection):
+        flat = JaccardSearcher(InvertedIndex(word_collection, scheme="css"))
+        grouped = GroupedJaccardSearcher(
+            LengthGroupedIndex(word_collection, scheme="css")
+        )
+        query = word_collection.strings[9]
+        flat.search(query, 0.7)
+        grouped.search(query, 0.7)
+        assert grouped.last_stats.count_threshold >= (
+            flat.last_stats.count_threshold
+        )
+
+    def test_qgram_collection(self, qgram_collection):
+        grouped = GroupedJaccardSearcher(
+            LengthGroupedIndex(qgram_collection, scheme="milc")
+        )
+        for qid in (3, 60):
+            query = qgram_collection.strings[qid]
+            assert grouped.search(query, 0.6) == brute_similarity_search(
+                qgram_collection, query, 0.6
+            )
+
+    def test_pfordelta_requires_scancount(self, word_collection):
+        index = LengthGroupedIndex(word_collection, scheme="pfordelta")
+        with pytest.raises(ValueError, match="sequential"):
+            GroupedJaccardSearcher(index, algorithm="mergeskip")
+        searcher = GroupedJaccardSearcher(index, algorithm="scancount")
+        query = word_collection.strings[4]
+        assert searcher.search(query, 0.7) == brute_similarity_search(
+            word_collection, query, 0.7
+        )
+
+    def test_invalid_threshold(self, grouped_index):
+        searcher = GroupedJaccardSearcher(grouped_index)
+        with pytest.raises(ValueError):
+            searcher.search("tok0", 0)
+
+    def test_empty_query(self, grouped_index):
+        assert GroupedJaccardSearcher(grouped_index).search("", 0.5) == []

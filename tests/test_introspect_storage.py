@@ -1,0 +1,123 @@
+"""Tests for the layout introspection and the §6.1 storage cost model."""
+
+import pytest
+
+from repro.compression import CSSList, MILCList, PForDeltaList, UncompressedList
+from repro.compression.base import METADATA_BITS
+from repro.compression.introspect import (
+    LayoutStats,
+    format_histogram,
+    index_layout,
+    list_layout,
+)
+from repro.compression.storage import DRAM, HDD, SSD, estimate_lookup_us
+from repro.search import InvertedIndex
+
+from conftest import FIGURE_2_2_LIST
+
+
+class TestListLayout:
+    def test_figure_2_2_css_layout(self):
+        stats = list_layout(CSSList(FIGURE_2_2_LIST))
+        assert stats.num_blocks == 3
+        assert stats.metadata_bits == 3 * METADATA_BITS
+        assert stats.total_bits == 337
+        assert stats.block_size_histogram == {6: 2, 9: 1}
+        assert stats.width_histogram == {4: 1, 6: 1, 10: 1}
+
+    def test_compression_ratio_matches_list(self, clustered_ids):
+        lst = CSSList(clustered_ids)
+        stats = list_layout(lst)
+        assert stats.compression_ratio == pytest.approx(
+            lst.compression_ratio()
+        )
+
+    def test_non_twolayer_summarized(self, random_ids):
+        stats = list_layout(UncompressedList(random_ids))
+        assert stats.num_blocks == 1
+        assert stats.metadata_bits == 0
+        assert stats.data_bits == 32 * random_ids.size
+
+    def test_empty_list(self):
+        stats = list_layout(UncompressedList([]))
+        assert stats.num_blocks == 0
+        assert stats.compression_ratio == 1.0
+
+    def test_metadata_fraction(self):
+        lst = MILCList([1, 2], block_size=2)  # 69 metadata + 1 delta bit
+        stats = list_layout(lst)
+        assert stats.metadata_fraction == pytest.approx(69 / 70)
+
+
+class TestIndexLayout:
+    def test_aggregation(self, word_collection):
+        index = InvertedIndex(word_collection, scheme="css")
+        stats = index_layout(index)
+        assert stats.num_lists == len(index)
+        assert stats.num_elements == index.num_postings()
+        assert stats.total_bits == index.size_bits()
+        assert stats.compression_ratio == pytest.approx(
+            index.compression_ratio()
+        )
+
+    def test_merge_is_additive(self, random_ids):
+        a = list_layout(CSSList(random_ids[:100]))
+        b = list_layout(CSSList(random_ids[100:300] + 10**7))
+        merged = LayoutStats()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.num_elements == 300
+        assert merged.total_bits == a.total_bits + b.total_bits
+
+
+class TestFormatHistogram:
+    def test_bucketing(self):
+        out = format_histogram({1: 5, 10: 2, 100: 1}, buckets=[8, 64])
+        assert out == "<=8: 5, <=64: 2, >64: 1"
+
+
+class TestStorageModel:
+    def test_devices_ordered_by_seek_cost(self):
+        assert HDD.seek_us > SSD.seek_us > DRAM.seek_us
+
+    def test_two_layer_lookup_cheap_on_ssd(self, clustered_ids):
+        lst = CSSList(clustered_ids)
+        assert estimate_lookup_us(lst, SSD) < estimate_lookup_us(lst, HDD)
+
+    @pytest.fixture(scope="class")
+    def long_list(self):
+        """A posting list long enough for §6.1's SSD regime (the crossover
+        where streaming a sequential codec loses to a few random probes sits
+        around 10^6 elements on NVMe numbers).  MILC shares CSS's two-layer
+        layout but builds without the DP, so multi-million-element test
+        lists stay fast."""
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        return np.unique(rng.integers(0, 2**31, size=3_000_000))
+
+    def test_sequential_codec_pays_transfer(self, long_list):
+        pfor = PForDeltaList(long_list)
+        two_layer = MILCList(long_list, block_size=64)
+        # on SSD, streaming a whole long list loses to a few random probes
+        assert estimate_lookup_us(two_layer, SSD) < estimate_lookup_us(pfor, SSD)
+
+    def test_hdd_prefers_fewer_seeks(self, long_list):
+        # on a spinning disk the sequential codec's single seek wins against
+        # the log(pages) seeks of a binary search (§6.1: the two-layer
+        # benefit is specific to SSD/DRAM)
+        two_layer = MILCList(long_list, block_size=64)
+        pfor = PForDeltaList(long_list)
+        assert estimate_lookup_us(pfor, HDD) < estimate_lookup_us(two_layer, HDD)
+
+    def test_two_layer_beats_uncompressed_probe_count(self, long_list):
+        """§6.1's point: the compressed metadata layer spans far fewer pages
+        than the raw array, so the page-binary-search touches fewer pages."""
+        two_layer = MILCList(long_list, block_size=64)
+        uncomp = UncompressedList(long_list)
+        assert estimate_lookup_us(two_layer, SSD) <= estimate_lookup_us(
+            uncomp, SSD
+        )
+
+    def test_empty_list_costs_nothing(self):
+        assert estimate_lookup_us(UncompressedList([]), SSD) == 0.0

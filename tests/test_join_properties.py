@@ -1,0 +1,96 @@
+"""Property-based tests: every join filter equals brute force on random
+collections, for every online scheme (hypothesis-generated workloads)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.join import (
+    CountFilterJoin,
+    PositionFilterJoin,
+    PrefixFilterJoin,
+    SegmentFilterJoin,
+    brute_edit_distance_join,
+    brute_similarity_join,
+)
+from repro.similarity import tokenize_collection
+
+# small vocab + short records force plenty of near-duplicates
+token_strategy = st.integers(min_value=0, max_value=14).map(lambda i: f"t{i}")
+record_strategy = st.lists(
+    token_strategy, min_size=1, max_size=6, unique=True
+).map(" ".join)
+collection_strategy = st.lists(record_strategy, min_size=2, max_size=25)
+
+word_strategy = st.text(alphabet="abc", min_size=0, max_size=7)
+strings_strategy = st.lists(word_strategy, min_size=2, max_size=20)
+
+thresholds = st.sampled_from([0.4, 0.6, 0.8, 1.0])
+deltas = st.sampled_from([0, 1, 2])
+schemes = st.sampled_from(["uncomp", "fix", "vari", "adapt"])
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize(
+    "join_cls", [CountFilterJoin, PrefixFilterJoin, PositionFilterJoin]
+)
+class TestTokenJoinProperties:
+    @given(strings=collection_strategy, threshold=thresholds, scheme=schemes)
+    @_SETTINGS
+    def test_equals_brute_force(self, join_cls, strings, threshold, scheme):
+        collection = tokenize_collection(strings, mode="word")
+        got = join_cls(collection, scheme=scheme).join(threshold)
+        assert got == brute_similarity_join(collection, threshold)
+
+    @given(strings=collection_strategy, threshold=thresholds)
+    @_SETTINGS
+    def test_scheme_independence(self, join_cls, strings, threshold):
+        """Compression must never change the answer (losslessness)."""
+        collection = tokenize_collection(strings, mode="word")
+        reference = join_cls(collection, scheme="uncomp").join(threshold)
+        for scheme in ("fix", "vari", "adapt"):
+            assert join_cls(collection, scheme=scheme).join(threshold) == (
+                reference
+            )
+
+
+class TestSegmentJoinProperties:
+    @given(strings=strings_strategy, delta=deltas, scheme=schemes)
+    @_SETTINGS
+    def test_equals_brute_force(self, strings, delta, scheme):
+        got = SegmentFilterJoin(strings, scheme=scheme).join(delta)
+        assert got == brute_edit_distance_join(strings, delta)
+
+    @given(strings=strings_strategy, delta=deltas)
+    @_SETTINGS
+    def test_monotone_in_delta(self, strings, delta):
+        """Loosening the threshold can only add pairs."""
+        tight = set(SegmentFilterJoin(strings).join(delta))
+        loose = set(SegmentFilterJoin(strings).join(delta + 1))
+        assert tight <= loose
+
+
+class TestJoinAlgebra:
+    @given(strings=collection_strategy, threshold=thresholds)
+    @_SETTINGS
+    def test_filters_agree_with_each_other(self, strings, threshold):
+        collection = tokenize_collection(strings, mode="word")
+        count = CountFilterJoin(collection).join(threshold)
+        prefix = PrefixFilterJoin(collection).join(threshold)
+        position = PositionFilterJoin(collection).join(threshold)
+        assert count == prefix == position
+
+    @given(strings=collection_strategy)
+    @_SETTINGS
+    def test_monotone_in_threshold(self, strings):
+        collection = tokenize_collection(strings, mode="word")
+        join = PrefixFilterJoin(collection)
+        loose = set(join.join(0.4))
+        tight = set(join.join(0.8))
+        assert tight <= loose

@@ -1,0 +1,67 @@
+"""Tests for the cache-aware Eytzinger metadata layout (§6.2.1)."""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.compression.karytree import EytzingerIndex
+
+
+class TestEytzingerIndex:
+    def test_empty(self):
+        index = EytzingerIndex([])
+        assert len(index) == 0
+        assert index.lower_bound(5) == 0
+
+    def test_single(self):
+        index = EytzingerIndex([10])
+        assert index.lower_bound(9) == 0
+        assert index.lower_bound(10) == 0
+        assert index.lower_bound(11) == 1
+
+    def test_layout_is_permutation(self, random_ids):
+        index = EytzingerIndex(random_ids)
+        assert np.array_equal(index.to_sorted(), random_ids)
+        # BFS layout differs from sorted order for non-trivial sizes
+        assert not np.array_equal(index._tree, random_ids)
+
+    def test_root_is_middle_element(self):
+        values = list(range(0, 70, 10))  # 7 elements -> perfect tree
+        index = EytzingerIndex(values)
+        assert index._tree[0] == values[3]
+
+    def test_lower_bound_matches_bisect(self, rng, random_ids):
+        index = EytzingerIndex(random_ids)
+        sorted_list = random_ids.tolist()
+        probes = np.concatenate(
+            [random_ids[::13], random_ids[::17] + 1, [0, 10**9]]
+        )
+        for key in probes.tolist():
+            assert index.lower_bound(key) == bisect.bisect_left(
+                sorted_list, key
+            ), key
+
+    def test_duplicates_allowed(self):
+        index = EytzingerIndex([1, 3, 3, 3, 7])
+        assert index.lower_bound(3) == 1
+        assert index.lower_bound(4) == 4
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            EytzingerIndex([5, 2, 9])
+
+    def test_touch_instrumentation_logarithmic(self, random_ids):
+        index = EytzingerIndex(random_ids)
+        index.touches = 0
+        index.lower_bound(int(random_ids[len(random_ids) // 2]))
+        assert index.touches <= int(np.ceil(np.log2(random_ids.size))) + 1
+
+    def test_exhaustive_small_arrays(self):
+        for size in range(0, 20):
+            values = list(range(0, 3 * size, 3))
+            index = EytzingerIndex(values)
+            for key in range(-1, 3 * size + 2):
+                assert index.lower_bound(key) == bisect.bisect_left(
+                    values, key
+                ), (size, key)

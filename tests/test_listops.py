@@ -1,0 +1,81 @@
+"""Tests for the generic list operations (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CSSList, MILCList, UncompressedList
+from repro.core.listops import intersect, intersect_many, merge_counts, union_many
+
+SCHEMES = [UncompressedList, MILCList, CSSList]
+
+
+def _sets(rng, count=6, universe=3000):
+    return [
+        np.unique(rng.integers(0, universe, size=int(rng.integers(5, 400))))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("cls", SCHEMES)
+class TestIntersect:
+    def test_matches_set_intersection(self, cls, rng):
+        for _ in range(10):
+            a, b = _sets(rng, count=2)
+            expected = sorted(set(a.tolist()) & set(b.tolist()))
+            got = intersect(cls(a), cls(b)).tolist()
+            assert got == expected
+
+    def test_disjoint(self, cls):
+        assert intersect(cls([1, 2, 3]), cls([4, 5, 6])).size == 0
+
+    def test_identical(self, cls):
+        values = [3, 9, 27]
+        assert intersect(cls(values), cls(values)).tolist() == values
+
+    def test_empty_operand(self, cls):
+        assert intersect(cls([]), cls([1, 2])).size == 0
+
+    def test_mixed_schemes(self, cls):
+        other = UncompressedList([2, 4, 6, 8])
+        assert intersect(cls([4, 8, 12]), other).tolist() == [4, 8]
+
+
+@pytest.mark.parametrize("cls", SCHEMES)
+class TestIntersectMany:
+    def test_matches_set_intersection(self, cls, rng):
+        arrays = _sets(rng, count=4, universe=500)
+        expected = sorted(set.intersection(*(set(a.tolist()) for a in arrays)))
+        got = intersect_many([cls(a) for a in arrays]).tolist()
+        assert got == expected
+
+    def test_single_list(self, cls):
+        assert intersect_many([cls([1, 5])]).tolist() == [1, 5]
+
+    def test_no_lists(self, cls):
+        assert intersect_many([]).size == 0
+
+
+@pytest.mark.parametrize("cls", SCHEMES)
+class TestUnionMany:
+    def test_matches_set_union(self, cls, rng):
+        arrays = _sets(rng, count=5)
+        expected = sorted(set.union(*(set(a.tolist()) for a in arrays)))
+        got = union_many([cls(a) for a in arrays]).tolist()
+        assert got == expected
+
+    def test_deduplicates(self, cls):
+        got = union_many([cls([1, 2]), cls([2, 3]), cls([1, 3])]).tolist()
+        assert got == [1, 2, 3]
+
+    def test_empty_lists_skipped(self, cls):
+        assert union_many([cls([]), cls([7])]).tolist() == [7]
+
+
+class TestMergeCounts:
+    def test_counts(self):
+        lists = [
+            UncompressedList([1, 2, 3]),
+            UncompressedList([2, 3]),
+            UncompressedList([3]),
+        ]
+        assert merge_counts(lists) == {1: 1, 2: 2, 3: 3}

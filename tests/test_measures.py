@@ -1,0 +1,165 @@
+"""Tests for the similarity measures and their filter algebra."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.similarity.measures import (
+    cosine,
+    dice,
+    index_prefix_length,
+    jaccard,
+    length_bounds,
+    overlap,
+    prefix_length,
+    required_overlap,
+)
+
+
+def arr(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestOverlap:
+    def test_basic(self):
+        assert overlap(arr(1, 2, 3), arr(2, 3, 4)) == 2
+
+    def test_disjoint(self):
+        assert overlap(arr(1, 2), arr(3, 4)) == 0
+
+    def test_identical(self):
+        assert overlap(arr(1, 2, 3), arr(1, 2, 3)) == 3
+
+    def test_empty(self):
+        assert overlap(arr(), arr(1)) == 0
+
+    def test_matches_set_semantics(self, rng):
+        for _ in range(20):
+            a = np.unique(rng.integers(0, 50, size=rng.integers(0, 30)))
+            b = np.unique(rng.integers(0, 50, size=rng.integers(0, 30)))
+            assert overlap(a, b) == len(set(a.tolist()) & set(b.tolist()))
+
+
+class TestMetrics:
+    def test_jaccard_known_value(self):
+        assert jaccard(arr(1, 2, 3, 4), arr(3, 4, 5, 6)) == pytest.approx(2 / 6)
+
+    def test_jaccard_identical(self):
+        assert jaccard(arr(1, 2), arr(1, 2)) == 1.0
+
+    def test_jaccard_empty_vs_empty(self):
+        assert jaccard(arr(), arr()) == 1.0
+
+    def test_cosine_known_value(self):
+        assert cosine(arr(1, 2), arr(2, 3)) == pytest.approx(1 / 2)
+
+    def test_cosine_empty(self):
+        assert cosine(arr(), arr(1)) == 0.0
+
+    def test_dice_known_value(self):
+        assert dice(arr(1, 2, 3), arr(3, 4)) == pytest.approx(2 / 5)
+
+    def test_metric_ordering(self, rng):
+        # dice >= jaccard always; all in [0, 1]
+        for _ in range(20):
+            a = np.unique(rng.integers(0, 40, size=rng.integers(1, 25)))
+            b = np.unique(rng.integers(0, 40, size=rng.integers(1, 25)))
+            j, d, c = jaccard(a, b), dice(a, b), cosine(a, b)
+            assert 0 <= j <= d <= 1
+            assert 0 <= c <= 1
+
+
+class TestRequiredOverlap:
+    def test_equation_3_1(self):
+        # Jaccard: ceil(t / (1 + t) * (|r| + |s|))
+        assert required_overlap(10, 10, 0.6) == math.ceil(0.6 / 1.6 * 20)
+
+    def test_tightness(self, rng):
+        """The bound is exactly the smallest overlap achieving the threshold."""
+        for _ in range(200):
+            size_r = int(rng.integers(1, 30))
+            size_s = int(rng.integers(1, 30))
+            tau = float(rng.uniform(0.3, 0.95))
+            t = required_overlap(size_r, size_s, tau)
+            if t <= min(size_r, size_s):
+                sim = t / (size_r + size_s - t)
+                assert sim >= tau - 1e-9
+            if t - 1 >= 1:
+                sim = (t - 1) / (size_r + size_s - (t - 1))
+                assert sim < tau + 1e-9
+
+    def test_at_least_one(self):
+        assert required_overlap(1, 1, 0.01) == 1
+
+    def test_cosine_and_dice_variants(self):
+        assert required_overlap(4, 9, 0.5, "cosine") == 3
+        assert required_overlap(6, 4, 0.8, "dice") == 4
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            required_overlap(3, 3, 0.5, "hamming")
+
+
+class TestLengthBounds:
+    def test_jaccard_bounds(self):
+        low, high = length_bounds(10, 0.5)
+        assert low == 5 and high == 20
+
+    def test_bounds_are_tight(self, rng):
+        """Sizes outside the bounds can never reach the threshold."""
+        for _ in range(100):
+            size = int(rng.integers(1, 40))
+            tau = float(rng.uniform(0.2, 0.95))
+            low, high = length_bounds(size, tau)
+            if low - 1 >= 1:
+                best = (low - 1) / size  # full containment, smaller set
+                assert best < tau
+            best_high = size / (high + 1)
+            assert best_high < tau
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            length_bounds(10, 0.0)
+
+
+class TestPrefixLength:
+    def test_lemma_1(self):
+        # floor((1 - t)|s|) + 1
+        assert prefix_length(10, 0.8) == 3
+        assert prefix_length(10, 0.6) == 5
+
+    def test_never_exceeds_size(self):
+        assert prefix_length(3, 0.1) == 3
+
+    def test_zero_size(self):
+        assert prefix_length(0, 0.5) == 0
+
+    def test_prefix_shorter_for_higher_threshold(self):
+        assert prefix_length(20, 0.9) < prefix_length(20, 0.5)
+
+    def test_soundness_exhaustive(self):
+        """Brute force Lemma 1: if prefixes are disjoint, Jaccard < tau."""
+        universe = list(range(8))
+        tau = 0.6
+        import itertools
+
+        sets = [frozenset(c) for size in (3, 4, 5) for c in itertools.combinations(universe, size)]
+        for r in sets:
+            for s in sets:
+                rs, ss = sorted(r), sorted(s)
+                pr = set(rs[: prefix_length(len(rs), tau)])
+                ps = set(ss[: prefix_length(len(ss), tau)])
+                if not pr & ps:
+                    j = len(r & s) / len(r | s)
+                    assert j < tau
+
+
+class TestIndexPrefixLength:
+    def test_shorter_than_probe_prefix(self):
+        for size in (5, 10, 30):
+            for tau in (0.5, 0.7, 0.9):
+                assert index_prefix_length(size, tau) <= prefix_length(size, tau)
+
+    def test_zero_size(self):
+        assert index_prefix_length(0, 0.8) == 0

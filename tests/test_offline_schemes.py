@@ -1,0 +1,148 @@
+"""Tests for the offline schemes: Uncomp, MILC, CSS (paper examples included)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CSSList,
+    MILCList,
+    UncompressedList,
+)
+
+from conftest import FIGURE_2_2_LIST
+
+ALL_OFFLINE = [UncompressedList, MILCList, CSSList]
+
+
+@pytest.mark.parametrize("cls", ALL_OFFLINE)
+class TestOfflineCommonBehaviour:
+    def test_roundtrip(self, cls, random_ids):
+        assert np.array_equal(cls(random_ids).to_array(), random_ids)
+
+    def test_random_access(self, cls, random_ids):
+        lst = cls(random_ids)
+        for i in (0, 1, 100, random_ids.size - 1):
+            assert lst[i] == random_ids[i]
+
+    def test_getitem_out_of_range(self, cls):
+        lst = cls([1, 2, 3])
+        with pytest.raises(IndexError):
+            lst[3]
+
+    def test_lower_bound_matches_searchsorted(self, cls, clustered_ids):
+        lst = cls(clustered_ids)
+        probes = np.concatenate(
+            [clustered_ids[::5], clustered_ids[::7] + 1, [0, 10**9]]
+        )
+        for key in probes.tolist():
+            assert lst.lower_bound(key) == int(
+                np.searchsorted(clustered_ids, key, side="left")
+            )
+
+    def test_contains(self, cls, random_ids):
+        lst = cls(random_ids)
+        assert lst.contains(int(random_ids[7]))
+        missing = int(random_ids[7]) + 1
+        if missing not in set(random_ids.tolist()):
+            assert not lst.contains(missing)
+
+    def test_empty(self, cls):
+        lst = cls([])
+        assert len(lst) == 0
+        assert not lst
+        assert lst.lower_bound(3) == 0
+
+    def test_single_element(self, cls):
+        lst = cls([12345])
+        assert len(lst) == 1
+        assert lst[0] == 12345
+        assert lst.contains(12345)
+        assert lst.lower_bound(12345) == 0
+        assert lst.lower_bound(12346) == 1
+
+    def test_rejects_unsorted(self, cls):
+        with pytest.raises(ValueError):
+            cls([3, 1, 2])
+
+    def test_rejects_duplicates(self, cls):
+        with pytest.raises(ValueError):
+            cls([1, 1])
+
+    def test_rejects_negative(self, cls):
+        with pytest.raises(ValueError):
+            cls([-1, 5])
+
+    def test_iteration(self, cls):
+        values = [2, 4, 8, 1000]
+        assert list(cls(values)) == values
+
+    def test_cursor_iterates(self, cls, random_ids):
+        cursor = cls(random_ids).cursor()
+        count = 0
+        while not cursor.exhausted:
+            cursor.advance()
+            count += 1
+        assert count == random_ids.size
+
+
+class TestUncompressed:
+    def test_size_is_32_bits_per_element(self, random_ids):
+        assert UncompressedList(random_ids).size_bits() == 32 * random_ids.size
+
+    def test_ratio_is_one(self, random_ids):
+        assert UncompressedList(random_ids).compression_ratio() == 1.0
+
+
+class TestMILC:
+    def test_example_1_size(self):
+        assert MILCList(FIGURE_2_2_LIST, block_size=8).size_bits() == 404
+
+    def test_example_1_ratio(self):
+        ratio = MILCList(FIGURE_2_2_LIST, block_size=8).compression_ratio()
+        assert ratio == pytest.approx(672 / 404, abs=1e-6)
+
+    def test_block_structure(self):
+        lst = MILCList(FIGURE_2_2_LIST, block_size=8)
+        assert lst.block_sizes() == [8, 8, 5]
+
+    def test_block_size_one(self, random_ids):
+        lst = MILCList(random_ids[:50], block_size=1)
+        assert lst.block_sizes() == [1] * 50
+        assert np.array_equal(lst.to_array(), random_ids[:50])
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            MILCList([1, 2], block_size=0)
+
+    def test_compresses_dense_data(self):
+        dense = np.arange(10_000, 20_000)
+        assert MILCList(dense).compression_ratio() > 3
+
+
+class TestCSS:
+    def test_example_2_size(self):
+        assert CSSList(FIGURE_2_2_LIST).size_bits() == 337
+
+    def test_example_2_blocks(self):
+        assert CSSList(FIGURE_2_2_LIST).block_sizes() == [6, 6, 9]
+
+    def test_example_2_ratio(self):
+        assert CSSList(FIGURE_2_2_LIST).compression_ratio() == pytest.approx(
+            672 / 337, abs=1e-6
+        )
+
+    def test_never_larger_than_milc(self, clustered_ids, random_ids):
+        for ids in (clustered_ids, random_ids):
+            css_bits = CSSList(ids, max_block=None).size_bits()
+            assert css_bits <= MILCList(ids, block_size=16).size_bits()
+            assert css_bits <= MILCList(ids, block_size=8).size_bits()
+
+    def test_skew_advantage(self, clustered_ids):
+        # on clustered lists the variable-length DP should beat fixed blocks
+        css = CSSList(clustered_ids)
+        milc = MILCList(clustered_ids, block_size=16)
+        assert css.size_bits() < milc.size_bits()
+
+    def test_max_block_constraint(self, random_ids):
+        lst = CSSList(random_ids, max_block=8)
+        assert max(lst.block_sizes()) <= 8

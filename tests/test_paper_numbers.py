@@ -1,0 +1,62 @@
+"""Sanity checks on the transcribed paper numbers (reference data)."""
+
+from repro.bench.paper_numbers import (
+    FIGURE_7_2_TWEET_MS,
+    FIGURE_7_3_DNA_S,
+    FIGURE_7_4_CSS_MB,
+    TABLE_7_1,
+    TABLE_7_2_MB,
+    TABLE_7_3_MB,
+    TABLE_7_3_SETUP,
+    TABLE_7_4_GB,
+)
+
+
+class TestTranscriptionConsistency:
+    def test_table_7_2_orderings(self):
+        """The paper's own tables obey the orderings our benches assert."""
+        for sizes in TABLE_7_2_MB.values():
+            assert sizes["css"] < sizes["milc"] < sizes["pfordelta"] < (
+                sizes["uncomp"]
+            )
+
+    def test_table_7_3_orderings(self):
+        for name, sizes in TABLE_7_3_MB.items():
+            assert sizes["vari"] < sizes["fix"] < sizes["uncomp"]
+            if name != "aol":  # the paper's one exception: Adapt > Fix on AOL
+                assert sizes["adapt"] < sizes["fix"]
+
+    def test_table_7_3_setup_covers_all_filters(self):
+        filters = {setup[0] for setup in TABLE_7_3_SETUP.values()}
+        assert filters == {"count", "prefix", "position", "segment"}
+
+    def test_dna_compression_ratios_quoted_in_text(self):
+        """Section 7.2 quotes MILC 4.44x and CSS 4.82x on DNA."""
+        dna = TABLE_7_2_MB["dna"]
+        assert round(dna["uncomp"] / dna["milc"], 2) == 4.44
+        assert round(dna["uncomp"] / dna["css"], 2) == 4.81  # 4.82 in text
+
+    def test_dblp_online_ratios_quoted_in_text(self):
+        """Section 7.2 quotes Fix 2.75x, Vari 4.93x, Adapt 4.40x on DBLP."""
+        dblp = TABLE_7_3_MB["dblp"]
+        assert round(dblp["uncomp"] / dblp["fix"], 2) == 2.75
+        assert round(dblp["uncomp"] / dblp["vari"], 2) == 4.93
+        assert round(dblp["uncomp"] / dblp["adapt"], 2) == 4.40
+
+    def test_case_study_exceeds_16gb_only_for_uncompressed_family(self):
+        search = TABLE_7_4_GB["search"]
+        assert search["uncomp"] > 16 and search["pfordelta"] > 16
+        assert search["milc"] < 16 and search["css"] < 16
+
+    def test_figure_series_shapes(self):
+        assert FIGURE_7_2_TWEET_MS["uncomp_ms"] < FIGURE_7_2_TWEET_MS["milc_ms"]
+        assert FIGURE_7_3_DNA_S["vari"] == max(FIGURE_7_3_DNA_S.values())
+        # linear growth: consecutive increments within 25% of each other
+        increments = [
+            b - a for a, b in zip(FIGURE_7_4_CSS_MB, FIGURE_7_4_CSS_MB[1:])
+        ]
+        assert all(m > 0 for m in increments)
+
+    def test_table_7_1_matches_paper(self):
+        assert TABLE_7_1["dblp"]["cardinality"] == 10_000_000
+        assert TABLE_7_1["dna"]["average_length"] == 103.0

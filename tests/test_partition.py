@@ -1,0 +1,95 @@
+"""Unit tests for the variable-length partition DP (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.partition import optimal_partition, partition_savings
+
+from conftest import FIGURE_2_2_LIST
+
+
+def reference_partition_savings(values, limit):
+    """O(n^2) reference implementation of Algorithm 2 (pure Python)."""
+    n = len(values)
+    opt = [0] * (n + 1)
+    for i in range(1, n + 1):
+        best = -(10**18)
+        for j in range(max(0, i - limit), i):
+            width = max(1, (values[i - 1] - values[j]).bit_length())
+            gain = (i - j - 1) * (32 - width) + 32 - 69
+            best = max(best, opt[j] + gain)
+        opt[i] = best
+    return opt[n]
+
+
+class TestOptimalPartition:
+    def test_empty(self):
+        assert optimal_partition([]) == []
+
+    def test_single_element(self):
+        assert optimal_partition([42]) == [0]
+
+    def test_boundaries_start_at_zero(self, random_ids):
+        boundaries = optimal_partition(random_ids)
+        assert boundaries[0] == 0
+        assert boundaries == sorted(set(boundaries))
+
+    def test_matches_example_2(self):
+        # the paper's optimal partition costs 337 bits total
+        boundaries = optimal_partition(FIGURE_2_2_LIST, max_block=None)
+        saved = partition_savings(FIGURE_2_2_LIST, boundaries)
+        assert 32 * 21 - saved == 337
+
+    def test_optimal_vs_reference(self, rng):
+        for _ in range(15):
+            values = np.unique(rng.integers(0, 10**6, size=int(rng.integers(2, 150))))
+            boundaries = optimal_partition(values, max_block=64)
+            assert partition_savings(values, boundaries) == (
+                reference_partition_savings(values.tolist(), 64)
+            )
+
+    def test_unbounded_at_least_as_good_as_bounded(self, clustered_ids):
+        free = partition_savings(
+            clustered_ids, optimal_partition(clustered_ids, max_block=None)
+        )
+        capped = partition_savings(
+            clustered_ids, optimal_partition(clustered_ids, max_block=16)
+        )
+        assert free >= capped
+
+    def test_max_block_respected(self, clustered_ids):
+        boundaries = optimal_partition(clustered_ids, max_block=10)
+        ends = boundaries[1:] + [clustered_ids.size]
+        assert max(e - s for s, e in zip(boundaries, ends)) <= 10
+
+    def test_short_dense_run_kept_in_one_block(self):
+        # 40 consecutive ids: 39*(32-6)-37 = 977 saved as one block beats any
+        # split (e.g. 20+20 saves only 2 * (19*27-37) = 952)
+        values = list(range(1000, 1040))
+        assert optimal_partition(values, max_block=None) == [0]
+
+    def test_long_dense_run_may_split_at_width_boundaries(self):
+        # counter-intuitive but optimal: splitting a 100-element run lets both
+        # halves use a narrower delta width, out-saving the extra metadata
+        values = list(range(1000, 1100))
+        boundaries = optimal_partition(values, max_block=None)
+        assert partition_savings(values, boundaries) >= (
+            partition_savings(values, [0])
+        )
+
+    def test_huge_gaps_split(self):
+        values = [1, 2, 3, 10**6, 10**6 + 1, 10**6 + 2]
+        boundaries = optimal_partition(values, max_block=None)
+        assert boundaries == [0, 3]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            optimal_partition([5, 1])
+
+    def test_beats_or_matches_fixed_partition(self, clustered_ids):
+        from repro.compression import CSSList, MILCList
+
+        css = CSSList(clustered_ids)
+        for block_size in (4, 8, 16, 32):
+            milc = MILCList(clustered_ids, block_size=block_size)
+            assert css.size_bits() <= milc.size_bits()

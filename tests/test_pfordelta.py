@@ -1,0 +1,104 @@
+"""Tests for the PForDelta baseline (classic and cost-optimal width rules)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.pfordelta import (
+    CLASSIC_EXCEPTION_BITS,
+    PForDeltaList,
+    _with_compulsive_exceptions,
+)
+
+
+@pytest.mark.parametrize("rule", ["p90", "opt"])
+class TestPForDeltaRoundtrip:
+    def test_roundtrip(self, rule, random_ids):
+        lst = PForDeltaList(random_ids, width_rule=rule)
+        assert np.array_equal(lst.to_array(), random_ids)
+
+    def test_roundtrip_clustered(self, rule, clustered_ids):
+        lst = PForDeltaList(clustered_ids, width_rule=rule)
+        assert np.array_equal(lst.to_array(), clustered_ids)
+
+    def test_empty(self, rule):
+        lst = PForDeltaList([], width_rule=rule)
+        assert len(lst) == 0
+        assert lst.to_array().size == 0
+
+    def test_single(self, rule):
+        lst = PForDeltaList([77], width_rule=rule)
+        assert lst.to_array().tolist() == [77]
+
+    def test_block_boundary_sizes(self, rule, rng):
+        for n in (127, 128, 129, 256, 257):
+            values = np.unique(rng.integers(0, 10**7, size=n * 2))[:n]
+            lst = PForDeltaList(values, width_rule=rule)
+            assert np.array_equal(lst.to_array(), values), n
+
+    def test_size_positive_and_below_uncompressed(self, rule, random_ids):
+        lst = PForDeltaList(random_ids, width_rule=rule)
+        assert 0 < lst.size_bits() < 32 * random_ids.size + 56 * 40
+
+
+class TestPForDeltaSemantics:
+    def test_no_random_access_flag(self):
+        assert PForDeltaList([1, 2]).supports_random_access is False
+
+    def test_getitem_still_correct(self, random_ids):
+        lst = PForDeltaList(random_ids)
+        assert lst[17] == random_ids[17]
+
+    def test_lower_bound_still_correct(self, random_ids):
+        lst = PForDeltaList(random_ids)
+        key = int(random_ids[100]) + 1
+        assert lst.lower_bound(key) == int(
+            np.searchsorted(random_ids, key, side="left")
+        )
+
+    def test_opt_never_larger_than_classic(self, rng):
+        for _ in range(10):
+            values = np.unique(rng.integers(0, 10**6, size=2000))
+            classic = PForDeltaList(values, width_rule="p90").size_bits()
+            opt = PForDeltaList(values, width_rule="opt").size_bits()
+            assert opt <= classic
+
+    def test_exceptions_patched(self):
+        # mostly-small gaps with a few huge outliers -> exceptions exercised
+        values = np.cumsum([1] * 100 + [10**6] + [1] * 100 + [10**6] + [2] * 50)
+        lst = PForDeltaList(values, width_rule="p90")
+        assert np.array_equal(lst.to_array(), values)
+        assert any(block.exc_positions.size for block in lst._blocks)
+
+    def test_invalid_width_rule(self):
+        with pytest.raises(ValueError):
+            PForDeltaList([1], width_rule="bogus")
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            PForDeltaList([1], block_size=0)
+
+
+class TestCompulsiveExceptions:
+    def test_no_exceptions_unchanged(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert _with_compulsive_exceptions(empty, 128, 4).size == 0
+
+    def test_close_exceptions_unchanged(self):
+        positions = np.array([3, 10, 15])
+        out = _with_compulsive_exceptions(positions, 128, 4)
+        assert out.tolist() == [3, 10, 15]
+
+    def test_far_exceptions_force_links(self):
+        # width 2 -> max link distance 4 slots
+        positions = np.array([0, 20])
+        out = _with_compulsive_exceptions(positions, 128, 2)
+        assert out[0] == 0 and out[-1] == 20
+        assert max(np.diff(out)) <= 4
+        assert len(out) > 2
+
+    def test_accounting_includes_compulsives(self):
+        values = np.cumsum([1] * 64 + [10**6] + [1] * 200 + [10**6])
+        lst = PForDeltaList(values, width_rule="p90")
+        total_exceptions = sum(b.exc_positions.size for b in lst._blocks)
+        accounted = sum(b.exc_bits for b in lst._blocks)
+        assert accounted == CLASSIC_EXCEPTION_BITS * total_exceptions

@@ -1,0 +1,81 @@
+"""Tests for the search-side filter-and-verification counters."""
+
+import pytest
+
+from repro.search import (
+    EditDistanceSearcher,
+    InvertedIndex,
+    JaccardSearcher,
+)
+from repro.search.searcher import SearchStats
+
+
+class TestJaccardSearchStats:
+    @pytest.fixture(scope="class")
+    def searcher(self, word_collection):
+        return JaccardSearcher(InvertedIndex(word_collection, scheme="css"))
+
+    def test_stats_populated(self, searcher, word_collection):
+        query = word_collection.strings[0]
+        results = searcher.search(query, 0.6)
+        stats = searcher.last_stats
+        assert stats.results == len(results)
+        assert stats.candidates >= stats.results
+        assert stats.verifications <= stats.candidates
+        assert stats.verifications >= stats.results
+        assert stats.lists_probed > 0
+        assert stats.postings_available >= stats.candidates
+        assert stats.count_threshold >= 1
+
+    def test_stats_reset_per_query(self, searcher, word_collection):
+        searcher.search(word_collection.strings[0], 0.5)
+        first = searcher.last_stats
+        searcher.search("zzz_unknown_token", 0.5)
+        assert searcher.last_stats is not first
+        assert searcher.last_stats.results == 0
+
+    def test_filtering_power_grows_with_threshold(
+        self, searcher, word_collection
+    ):
+        query = word_collection.strings[10]
+        searcher.search(query, 0.4)
+        loose = searcher.last_stats.candidates
+        searcher.search(query, 0.9)
+        tight = searcher.last_stats.candidates
+        assert tight <= loose
+
+    def test_candidates_far_below_collection(self, searcher, word_collection):
+        """The point of the filter phase: candidates << collection size."""
+        searcher.search(word_collection.strings[3], 0.8)
+        assert searcher.last_stats.candidates < len(word_collection) / 2
+
+
+class TestEditDistanceSearchStats:
+    @pytest.fixture(scope="class")
+    def searcher(self, qgram_collection):
+        return EditDistanceSearcher(
+            InvertedIndex(qgram_collection, scheme="css")
+        )
+
+    def test_stats_populated(self, searcher, qgram_collection):
+        query = qgram_collection.strings[10]
+        results = searcher.search(query, 1)
+        stats = searcher.last_stats
+        assert stats.results == len(results)
+        assert stats.verifications >= stats.results
+        assert stats.count_threshold == (
+            qgram_collection.signature_size(query) - searcher.q
+        )
+
+    def test_length_fallback_counts_candidates(self, searcher):
+        searcher.search("ab", 2)  # degenerate bound -> length scan
+        assert searcher.last_stats.count_threshold <= 0
+        assert searcher.last_stats.lists_probed == 0
+        assert searcher.last_stats.candidates > 0
+
+    def test_default_stats_object(self, qgram_collection):
+        fresh = EditDistanceSearcher(
+            InvertedIndex(qgram_collection, scheme="uncomp")
+        )
+        assert isinstance(fresh.last_stats, SearchStats)
+        assert fresh.last_stats.results == 0

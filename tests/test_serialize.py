@@ -1,0 +1,96 @@
+"""Tests for index serialization (dump/load without re-encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CSSList, MILCList, TwoLayerStore
+from repro.compression.serialize import (
+    dump_index,
+    load_index,
+    store_from_arrays,
+    store_to_arrays,
+)
+from repro.search import InvertedIndex, JaccardSearcher
+
+
+class TestStoreRoundtrip:
+    def test_arrays_roundtrip(self, clustered_ids):
+        lst = CSSList(clustered_ids)
+        rebuilt = store_from_arrays(store_to_arrays(lst.store))
+        assert np.array_equal(rebuilt.to_array(), clustered_ids)
+        assert rebuilt.size_bits() == lst.size_bits()
+        assert rebuilt.block_sizes() == lst.block_sizes()
+
+    def test_lower_bound_after_roundtrip(self, random_ids):
+        lst = MILCList(random_ids)
+        rebuilt = store_from_arrays(store_to_arrays(lst.store))
+        for key in (0, int(random_ids[50]) + 1, 10**9):
+            assert rebuilt.lower_bound(key) == lst.lower_bound(key)
+
+    def test_empty_store(self):
+        store = TwoLayerStore()
+        rebuilt = store_from_arrays(store_to_arrays(store))
+        assert len(rebuilt) == 0
+
+    def test_appendable_after_load(self, random_ids):
+        lst = MILCList(random_ids[:100])
+        rebuilt = store_from_arrays(store_to_arrays(lst.store))
+        rebuilt.append_block(np.asarray([10**7, 10**7 + 5]))
+        assert rebuilt.last_value() == 10**7 + 5
+
+
+class TestIndexDumpLoad:
+    @pytest.mark.parametrize("scheme", ["uncomp", "milc", "css"])
+    def test_roundtrip_preserves_everything(
+        self, tmp_path, word_collection, scheme
+    ):
+        index = InvertedIndex(word_collection, scheme=scheme)
+        path = tmp_path / "index.npz"
+        dump_index(index, path)
+        loaded = load_index(path, word_collection)
+        assert loaded.scheme == scheme
+        assert set(loaded.lists) == set(index.lists)
+        assert loaded.size_bits() == index.size_bits()
+        for token in list(index.lists)[:20]:
+            assert np.array_equal(
+                loaded.lists[token].to_array(), index.lists[token].to_array()
+            )
+
+    def test_loaded_index_answers_queries(self, tmp_path, word_collection):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = tmp_path / "index.npz"
+        dump_index(index, path)
+        loaded = load_index(path, word_collection)
+        query = word_collection.strings[5]
+        expected = JaccardSearcher(index).search(query, 0.7)
+        assert JaccardSearcher(loaded).search(query, 0.7) == expected
+
+    def test_unsupported_scheme_rejected(self, tmp_path, word_collection):
+        index = InvertedIndex(word_collection, scheme="pfordelta")
+        with pytest.raises(TypeError, match="serialize"):
+            dump_index(index, tmp_path / "bad.npz")
+
+    def test_version_check(self, tmp_path, word_collection):
+        import json
+
+        index = InvertedIndex(word_collection, scheme="milc")
+        path = tmp_path / "index.npz"
+        dump_index(index, path)
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["version"] = 999
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_index(path, word_collection)
+
+    def test_file_is_compact(self, tmp_path, word_collection):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = tmp_path / "index.npz"
+        dump_index(index, path)
+        # the on-disk file should be in the ballpark of the logical size
+        # (npz adds zlib on top, so it is usually smaller)
+        assert path.stat().st_size < 4 * index.size_bits() / 8 + 65536

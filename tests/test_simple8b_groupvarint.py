@@ -1,0 +1,86 @@
+"""Tests for the Simple8b and GroupVarint related-work codecs."""
+
+import numpy as np
+import pytest
+
+from repro.compression.groupvarint import GroupVarintList, _byte_length
+from repro.compression.simple8b import SELECTORS, Simple8bList
+
+CODECS = [Simple8bList, GroupVarintList]
+
+
+@pytest.mark.parametrize("cls", CODECS)
+class TestCommonBehaviour:
+    def test_roundtrip(self, cls, random_ids):
+        assert np.array_equal(cls(random_ids).to_array(), random_ids)
+
+    def test_roundtrip_clustered(self, cls, clustered_ids):
+        assert np.array_equal(cls(clustered_ids).to_array(), clustered_ids)
+
+    def test_empty(self, cls):
+        lst = cls([])
+        assert len(lst) == 0
+        assert lst.to_array().size == 0
+
+    def test_single(self, cls):
+        assert cls([0]).to_array().tolist() == [0]
+        assert cls([2**31]).to_array().tolist() == [2**31]
+
+    def test_group_boundaries(self, cls):
+        for n in (1, 2, 3, 4, 5, 59, 60, 61, 127):
+            values = np.arange(0, 7 * n, 7)
+            assert np.array_equal(cls(values).to_array(), values), n
+
+    def test_no_random_access(self, cls):
+        assert cls([1, 2]).supports_random_access is False
+
+    def test_getitem_and_lower_bound_via_decode(self, cls, random_ids):
+        lst = cls(random_ids)
+        assert lst[42] == random_ids[42]
+        key = int(random_ids[100]) + 1
+        assert lst.lower_bound(key) == int(
+            np.searchsorted(random_ids, key, side="left")
+        )
+
+    def test_rejects_unsorted(self, cls):
+        with pytest.raises(ValueError):
+            cls([5, 1])
+
+    def test_large_gaps(self, cls):
+        values = np.asarray([0, 1, 2**32 - 2, 2**32 - 1])
+        assert np.array_equal(cls(values).to_array(), values)
+
+
+class TestSimple8b:
+    def test_selector_table_covers_60_payload_bits(self):
+        for count, bits in SELECTORS:
+            assert count * bits <= 60
+
+    def test_dense_stream_near_one_bit_per_gap(self):
+        values = np.arange(100_000, 106_000)  # gaps of 1
+        lst = Simple8bList(values)
+        # 60 gaps per 64-bit word -> ~1.07 bits/elem
+        assert lst.size_bits() / len(lst) < 1.5
+
+    def test_word_count_matches_size(self, random_ids):
+        lst = Simple8bList(random_ids)
+        assert lst.size_bits() == 64 * lst._words.size
+
+
+class TestGroupVarint:
+    def test_byte_length_boundaries(self):
+        assert _byte_length(0) == 1
+        assert _byte_length(255) == 1
+        assert _byte_length(256) == 2
+        assert _byte_length(2**16) == 3
+        assert _byte_length(2**24) == 4
+
+    def test_small_gaps_cost(self):
+        values = np.arange(500)  # 500 one-byte gaps + 125 descriptors
+        lst = GroupVarintList(values)
+        assert lst.size_bits() == 8 * (500 + 125)
+
+    def test_partial_final_group(self):
+        values = np.asarray([10, 400, 70000])
+        lst = GroupVarintList(values)
+        assert np.array_equal(lst.to_array(), values)

@@ -1,0 +1,73 @@
+"""Moderate-scale randomized differential tests (the heavy safety net).
+
+Larger than the unit-test fixtures, still seconds not minutes: a thousand
+records, realistic skew, every scheme cross-checked against brute force on
+a sample of queries and a full join.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import tweet_like
+from repro.join import PositionFilterJoin, brute_similarity_join
+from repro.search import (
+    InvertedIndex,
+    JaccardSearcher,
+    brute_similarity_search,
+)
+from repro.similarity import tokenize_collection
+
+
+@pytest.fixture(scope="module")
+def stress_collection():
+    return tokenize_collection(tweet_like(1000, seed=31), mode="word")
+
+
+class TestSearchStress:
+    def test_all_scheme_algorithm_combos_agree(self, stress_collection):
+        rng = np.random.default_rng(0)
+        query_ids = rng.integers(0, len(stress_collection), size=8).tolist()
+        reference = None
+        for scheme, algorithm in (
+            ("uncomp", "mergeskip"),
+            ("milc", "mergeskip"),
+            ("css", "mergeskip"),
+            ("css", "divideskip"),
+            ("eliasfano", "mergeskip"),
+            ("pfordelta", "scancount"),
+            ("simple8b", "scancount"),
+            ("groupvarint", "scancount"),
+            ("vbyte", "scancount"),
+            ("roaring", "mergeskip"),
+        ):
+            index = InvertedIndex(stress_collection, scheme=scheme)
+            searcher = JaccardSearcher(index, algorithm=algorithm)
+            answers = [
+                searcher.search(stress_collection.strings[q], 0.7)
+                for q in query_ids
+            ]
+            if reference is None:
+                reference = answers
+                brute = [
+                    brute_similarity_search(
+                        stress_collection, stress_collection.strings[q], 0.7
+                    )
+                    for q in query_ids
+                ]
+                assert answers == brute
+            else:
+                assert answers == reference, (scheme, algorithm)
+
+    def test_compression_pays_at_this_scale(self, stress_collection):
+        uncomp = InvertedIndex(stress_collection, scheme="uncomp")
+        css = InvertedIndex(stress_collection, scheme="css")
+        assert css.size_bits() < 0.8 * uncomp.size_bits()
+
+
+class TestJoinStress:
+    def test_join_at_scale(self, stress_collection):
+        expected = brute_similarity_join(stress_collection, 0.8)
+        for scheme in ("uncomp", "adapt"):
+            got = PositionFilterJoin(stress_collection, scheme=scheme).join(0.8)
+            assert got == expected, scheme
+        assert expected  # the generator plants retweet variants

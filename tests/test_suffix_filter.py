@@ -1,0 +1,74 @@
+"""Tests for the PPJoin+ suffix filter."""
+
+import numpy as np
+import pytest
+
+from repro.join import PositionFilterJoin, brute_similarity_join
+from repro.similarity.measures import overlap
+from repro.similarity.suffix_filter import suffix_overlap_bound
+
+
+def arr(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestSuffixOverlapBound:
+    def test_empty_sides(self):
+        assert suffix_overlap_bound(arr(), arr(1, 2)) == 0
+        assert suffix_overlap_bound(arr(1), arr()) == 0
+
+    def test_identical_arrays_bounded_by_size(self):
+        values = arr(1, 2, 3, 4, 5)
+        assert suffix_overlap_bound(values, values) >= 5
+
+    def test_disjoint_small(self):
+        # one level of partitioning already separates fully disjoint ranges
+        assert suffix_overlap_bound(arr(1, 2, 3), arr(10, 11, 12)) <= 3
+
+    def test_sound_upper_bound_randomized(self, rng):
+        """Never below the true overlap, at any recursion depth."""
+        for _ in range(300):
+            a = np.unique(rng.integers(0, 60, size=rng.integers(0, 30)))
+            b = np.unique(rng.integers(0, 60, size=rng.integers(0, 30)))
+            true = overlap(a, b)
+            for depth in (0, 1, 2, 5):
+                assert suffix_overlap_bound(a, b, max_depth=depth) >= true
+
+    def test_deeper_recursion_tightens(self, rng):
+        loose_total = tight_total = 0
+        for _ in range(50):
+            a = np.unique(rng.integers(0, 200, size=25))
+            b = np.unique(rng.integers(0, 200, size=25))
+            loose_total += suffix_overlap_bound(a, b, max_depth=1)
+            tight_total += suffix_overlap_bound(a, b, max_depth=4)
+        assert tight_total <= loose_total
+
+    def test_interleaved_but_disjoint_prunes(self):
+        evens = arr(*range(0, 40, 2))
+        odds = arr(*range(1, 41, 2))
+        assert suffix_overlap_bound(evens, odds, max_depth=4) < 20
+
+
+class TestPositionJoinWithSuffixFilter:
+    @pytest.mark.parametrize("threshold", [0.5, 0.7, 0.9])
+    def test_results_unchanged(self, word_collection, threshold):
+        plain = PositionFilterJoin(word_collection, scheme="adapt")
+        plus = PositionFilterJoin(
+            word_collection, scheme="adapt", use_suffix_filter=True
+        )
+        expected = brute_similarity_join(word_collection, threshold)
+        assert plain.join(threshold) == expected
+        assert plus.join(threshold) == expected
+
+    def test_fewer_verifications(self, word_collection):
+        plain = PositionFilterJoin(word_collection, scheme="adapt")
+        plain.join(0.7)
+        plus = PositionFilterJoin(
+            word_collection, scheme="adapt", use_suffix_filter=True
+        )
+        plus.join(0.7)
+        pruned = plus.last_stats.extras.get("suffix_pruned", 0)
+        assert plus.last_stats.verifications + pruned == (
+            plain.last_stats.verifications
+        )
+        assert plus.last_stats.verifications <= plain.last_stats.verifications

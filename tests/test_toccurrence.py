@@ -1,0 +1,105 @@
+"""Tests for the T-occurrence algorithms: ScanCount, MergeSkip, DivideSkip."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.compression import CSSList, MILCList, UncompressedList
+from repro.search.toccurrence import divide_skip, merge_skip, scan_count
+
+SCHEMES = [UncompressedList, MILCList, CSSList]
+ALGORITHMS = [
+    pytest.param(lambda ls, t, u: scan_count(ls, t, u), id="scancount"),
+    pytest.param(lambda ls, t, u: merge_skip(ls, t), id="mergeskip"),
+    pytest.param(lambda ls, t, u: divide_skip(ls, t), id="divideskip"),
+]
+
+
+def _make_lists(rng, count=10, universe=2000):
+    return [
+        np.unique(rng.integers(0, universe, size=int(rng.integers(5, 600))))
+        for _ in range(count)
+    ]
+
+
+def _expected(arrays, threshold):
+    counts = Counter()
+    for array in arrays:
+        counts.update(array.tolist())
+    return sorted(x for x, c in counts.items() if c >= threshold)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("cls", SCHEMES)
+class TestTOccurrenceCorrectness:
+    def test_matches_counter(self, algorithm, cls, rng):
+        arrays = _make_lists(rng)
+        lists = [cls(a) for a in arrays]
+        for threshold in (1, 2, 4, 7, 10):
+            got = algorithm(lists, threshold, 2000).tolist()
+            assert got == _expected(arrays, threshold), threshold
+
+    def test_threshold_one_is_union(self, algorithm, cls, rng):
+        arrays = _make_lists(rng, count=4)
+        lists = [cls(a) for a in arrays]
+        union = sorted(set.union(*(set(a.tolist()) for a in arrays)))
+        assert algorithm(lists, 1, 2000).tolist() == union
+
+    def test_threshold_above_list_count(self, algorithm, cls):
+        lists = [cls([1, 2]), cls([2, 3])]
+        assert algorithm(lists, 3, 10).size == 0
+
+    def test_empty_lists_handled(self, algorithm, cls):
+        lists = [cls([]), cls([5, 6]), cls([6])]
+        assert algorithm(lists, 2, 10).tolist() == [6]
+
+    def test_single_list(self, algorithm, cls):
+        assert algorithm([cls([3, 4])], 1, 10).tolist() == [3, 4]
+
+
+class TestAlgorithmSpecifics:
+    def test_scan_count_requires_positive_threshold(self):
+        with pytest.raises(ValueError):
+            scan_count([UncompressedList([1])], 0, 10)
+
+    def test_merge_skip_requires_positive_threshold(self):
+        with pytest.raises(ValueError):
+            merge_skip([UncompressedList([1])], 0)
+
+    def test_divide_skip_requires_positive_threshold(self):
+        with pytest.raises(ValueError):
+            divide_skip([UncompressedList([1])], 0)
+
+    def test_merge_skip_skewed_lengths(self, rng):
+        """One huge list + several tiny ones: the skip path is exercised."""
+        huge = np.arange(0, 100_000, 3)
+        tiny = [
+            np.unique(rng.integers(0, 100_000, size=20)) for _ in range(4)
+        ]
+        arrays = [huge] + tiny
+        lists = [CSSList(a) for a in arrays]
+        for threshold in (2, 3, 5):
+            assert merge_skip(lists, threshold).tolist() == _expected(
+                arrays, threshold
+            )
+
+    def test_divide_skip_mu_variants(self, rng):
+        arrays = _make_lists(rng, count=8)
+        lists = [UncompressedList(a) for a in arrays]
+        expected = _expected(arrays, 5)
+        for mu in (0.001, 0.01, 0.5):
+            assert divide_skip(lists, 5, mu=mu).tolist() == expected
+
+    def test_no_lists(self):
+        assert scan_count([], 1, 10).size == 0
+        assert merge_skip([], 1).size == 0
+        assert divide_skip([], 1).size == 0
+
+    def test_mixed_scheme_lists(self, rng):
+        arrays = _make_lists(rng, count=6)
+        lists = [
+            [UncompressedList, MILCList, CSSList][i % 3](a)
+            for i, a in enumerate(arrays)
+        ]
+        assert merge_skip(lists, 3).tolist() == _expected(arrays, 3)

@@ -1,0 +1,131 @@
+"""Tests for signature generation and the global token order."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.tokenize import (
+    TokenDictionary,
+    qgrams,
+    tokenize_collection,
+    word_tokens,
+)
+
+
+class TestQGrams:
+    def test_basic(self):
+        assert qgrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_set_semantics(self):
+        assert qgrams("aaaa", 2) == ["aa"]
+
+    def test_preserves_first_occurrence_order(self):
+        assert qgrams("abab", 2) == ["ab", "ba"]
+
+    def test_short_string_is_its_own_gram(self):
+        assert qgrams("ab", 3) == ["ab"]
+
+    def test_exact_length(self):
+        assert qgrams("abc", 3) == ["abc"]
+
+    def test_empty_string(self):
+        assert qgrams("", 3) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+
+class TestWordTokens:
+    def test_basic(self):
+        assert word_tokens("the quick fox") == ["the", "quick", "fox"]
+
+    def test_deduplicates(self):
+        assert word_tokens("a b a") == ["a", "b"]
+
+    def test_collapses_whitespace(self):
+        assert word_tokens("a   b\t c") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+
+
+class TestTokenDictionary:
+    def test_ids_ordered_by_ascending_frequency(self):
+        sets = [["common", "rare"], ["common"], ["common", "mid"], ["mid"]]
+        dictionary = TokenDictionary(sets)
+        assert dictionary.id_of("rare") < dictionary.id_of("mid")
+        assert dictionary.id_of("mid") < dictionary.id_of("common")
+
+    def test_frequency_lookup(self):
+        dictionary = TokenDictionary([["a", "b"], ["a"]])
+        assert dictionary.frequency_of(dictionary.id_of("a")) == 2
+        assert dictionary.frequency_of(dictionary.id_of("b")) == 1
+
+    def test_roundtrip_token_of(self):
+        dictionary = TokenDictionary([["x", "y", "z"]])
+        for token in ("x", "y", "z"):
+            assert dictionary.token_of(dictionary.id_of(token)) == token
+
+    def test_encode_sorts_by_global_order(self):
+        dictionary = TokenDictionary([["a", "b"], ["a"], ["a", "c"]])
+        encoded = dictionary.encode(["a", "b", "c"])
+        assert encoded.tolist() == sorted(encoded.tolist())
+        # the rarest tokens come first in the sorted encoding
+        assert dictionary.token_of(int(encoded[0])) in ("b", "c")
+
+    def test_encode_drops_unknown(self):
+        dictionary = TokenDictionary([["a"]])
+        assert dictionary.encode(["a", "nope"]).size == 1
+
+    def test_encode_add_missing(self):
+        dictionary = TokenDictionary([["a"]])
+        encoded = dictionary.encode(["a", "new"], add_missing=True)
+        assert encoded.size == 2
+        assert "new" in dictionary
+
+    def test_contains(self):
+        dictionary = TokenDictionary([["tok"]])
+        assert "tok" in dictionary
+        assert "other" not in dictionary
+
+
+class TestTokenizeCollection:
+    def test_word_mode(self):
+        coll = tokenize_collection(["a b", "b c", "c"], mode="word")
+        assert len(coll) == 3
+        assert coll.num_tokens == 3
+        assert coll.lengths.tolist() == [2, 2, 1]
+
+    def test_qgram_mode(self):
+        coll = tokenize_collection(["abcd", "bcde"], mode="qgram", q=2)
+        assert coll.q == 2
+        assert coll.records[0].size == 3
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            tokenize_collection(["a"], mode="bert")
+
+    def test_records_sorted(self, word_collection):
+        for record in word_collection.records:
+            assert np.array_equal(record, np.sort(record))
+            assert np.unique(record).size == record.size
+
+    def test_encode_query_known_tokens(self, word_collection):
+        text = word_collection.strings[0]
+        assert word_collection.encode_query(text).size == (
+            word_collection.records[0].size
+        )
+
+    def test_signature_size_counts_unknown(self, word_collection):
+        assert word_collection.signature_size("tok0 zzz_unknown") == 2
+        assert word_collection.encode_query("tok0 zzz_unknown").size == 1
+
+    def test_tokenize_dispatch(self):
+        coll_w = tokenize_collection(["a b"], mode="word")
+        assert coll_w.tokenize("x y") == ["x", "y"]
+        coll_q = tokenize_collection(["abc"], mode="qgram", q=2)
+        assert coll_q.tokenize("abc") == ["ab", "bc"]
+
+    def test_empty_string_record(self):
+        coll = tokenize_collection(["", "a"], mode="word")
+        assert coll.records[0].size == 0

@@ -1,0 +1,76 @@
+"""Tests for exact verification with early termination."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.measures import jaccard, required_overlap
+from repro.similarity.verify import verify_overlap_from, verify_pair
+
+
+def arr(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestVerifyPair:
+    def test_agrees_with_direct_jaccard(self, rng):
+        for _ in range(200):
+            a = np.unique(rng.integers(0, 60, size=rng.integers(1, 30)))
+            b = np.unique(rng.integers(0, 60, size=rng.integers(1, 30)))
+            tau = float(rng.uniform(0.2, 0.95))
+            assert verify_pair(a, b, tau) == (jaccard(a, b) >= tau - 1e-12)
+
+    def test_identical_sets(self):
+        assert verify_pair(arr(1, 2, 3), arr(1, 2, 3), 1.0)
+
+    def test_disjoint_sets(self):
+        assert not verify_pair(arr(1, 2), arr(3, 4), 0.1)
+
+    def test_cosine_metric(self, rng):
+        from repro.similarity.measures import cosine
+
+        for _ in range(100):
+            a = np.unique(rng.integers(0, 40, size=rng.integers(1, 20)))
+            b = np.unique(rng.integers(0, 40, size=rng.integers(1, 20)))
+            tau = float(rng.uniform(0.3, 0.9))
+            assert verify_pair(a, b, tau, metric="cosine") == (
+                cosine(a, b) >= tau - 1e-12
+            )
+
+
+class TestVerifyOverlapFrom:
+    def test_full_merge_counts_overlap(self):
+        a, b = arr(1, 3, 5, 7), arr(3, 4, 5, 6, 7)
+        assert verify_overlap_from(a, b, 0, 0, 0, 1) == 3
+
+    def test_seed_overlap_added(self):
+        a, b = arr(5, 7), arr(5, 7)
+        assert verify_overlap_from(a, b, 0, 0, 2, 1) == 4
+
+    def test_start_positions_skip_prefix(self):
+        a, b = arr(1, 2, 9), arr(1, 2, 9)
+        assert verify_overlap_from(a, b, 2, 2, 0, 1) == 1
+
+    def test_early_termination_returns_below_needed(self):
+        a = arr(*range(0, 100, 2))  # evens
+        b = arr(*range(1, 101, 2))  # odds: overlap 0
+        result = verify_overlap_from(a, b, 0, 0, 0, 10)
+        assert result < 10
+
+    def test_early_termination_never_false_negative(self, rng):
+        """When the true overlap >= needed the merge must find it."""
+        for _ in range(200):
+            a = np.unique(rng.integers(0, 50, size=rng.integers(1, 30)))
+            b = np.unique(rng.integers(0, 50, size=rng.integers(1, 30)))
+            true = len(set(a.tolist()) & set(b.tolist()))
+            for needed in (1, max(1, true), true + 1):
+                got = verify_overlap_from(a, b, 0, 0, 0, needed)
+                if true >= needed:
+                    assert got == true
+                else:
+                    assert got < needed
+
+    def test_required_overlap_integration(self):
+        a = arr(1, 2, 3, 4, 5)
+        b = arr(1, 2, 3, 4, 6)
+        needed = required_overlap(5, 5, 0.6)
+        assert verify_overlap_from(a, b, 0, 0, 0, needed) >= needed
