@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from .compression.serialize import dump_index, load_index
 from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
 from .datasets import dataset_names, load_dataset
+from .obs import METRICS, dump_profile, profile_report
 from .join import (
     CountFilterJoin,
     EDCountFilterJoin,
@@ -49,6 +50,38 @@ _JOIN_FILTERS = {
 def _read_lines(path: str) -> List[str]:
     with open(path, encoding="utf-8") as handle:
         return [line.rstrip("\n") for line in handle if line.rstrip("\n")]
+
+
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="enable instrumentation and dump a JSON profile report to PATH "
+        "(or stdout when no path is given)",
+    )
+
+
+def _start_profile(args) -> bool:
+    """Reset + enable the global registry when ``--profile`` was requested."""
+    if getattr(args, "profile", None) is None:
+        return False
+    METRICS.reset()
+    METRICS.enabled = True
+    return True
+
+
+def _emit_profile(args, **meta) -> None:
+    """Disable the registry and write the profile document."""
+    METRICS.enabled = False
+    report = profile_report(meta={"command": args.command, **meta})
+    text = dump_profile(report, args.profile)
+    if args.profile in ("-", ""):  # empty PATH falls back to stdout
+        print(text)
+    else:
+        print(f"profile written to {args.profile}")
 
 
 def _add_tokenize_args(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="uncomp,pfordelta,milc,css",
         help="comma-separated offline schemes",
     )
+    _add_profile_arg(stats)
 
     index = commands.add_parser(
         "index", help="build and persist a compressed inverted index"
@@ -122,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--load-index", default=None, help="persisted .npz index to reuse"
     )
+    _add_profile_arg(search)
 
     join = commands.add_parser("join", help="similarity self-join a corpus")
     join.add_argument("corpus")
@@ -139,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--show", type=int, default=10, help="print at most this many pairs"
     )
+    _add_profile_arg(join)
 
     check = commands.add_parser(
         "check", help="validate the integrity of a persisted index"
@@ -153,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="report.md")
     report.add_argument("--scale", type=float, default=0.25)
     report.add_argument("--queries", type=int, default=20)
+    report.add_argument(
+        "--profile",
+        action="store_true",
+        help="append an instrumentation section to the report",
+    )
     return parser
 
 
@@ -171,6 +212,7 @@ def _cmd_generate(args) -> int:
 def _cmd_stats(args) -> int:
     strings = _read_lines(args.corpus)
     collection = tokenize_collection(strings, mode=args.mode, q=args.q)
+    profiling = _start_profile(args)
     print(
         f"{len(strings)} records, {collection.num_tokens} distinct signatures"
     )
@@ -183,6 +225,8 @@ def _cmd_stats(args) -> int:
             f"{scheme:>10} | {index.size_bits() / 8 / 1024:>9.1f} | "
             f"{index.compression_ratio():>6.2f} | {index.build_seconds:>8.3f}"
         )
+    if profiling:
+        _emit_profile(args, corpus=args.corpus, schemes=args.schemes)
     return 0
 
 
@@ -204,8 +248,13 @@ def _cmd_search(args) -> int:
     mode = "qgram" if args.metric == "ed" else args.mode
     q = 2 if args.metric == "ed" and args.mode == "word" else args.q
     collection = tokenize_collection(strings, mode=mode, q=q)
+    profiling = _start_profile(args)
     if args.load_index:
-        index = load_index(args.load_index, collection)
+        try:
+            index = load_index(args.load_index, collection)
+        except ValueError as error:
+            print(f"error: {error}")
+            return 1
     else:
         index = InvertedIndex(collection, scheme=args.scheme)
     start = time.perf_counter()
@@ -221,6 +270,15 @@ def _cmd_search(args) -> int:
     print(f"{len(hits)} hits in {elapsed:.2f} ms:")
     for hit in hits:
         print(f"  [{hit}] {strings[hit]}")
+    if profiling:
+        _emit_profile(
+            args,
+            corpus=args.corpus,
+            scheme=args.scheme,
+            algorithm=args.algorithm,
+            metric=args.metric,
+            threshold=args.threshold,
+        )
     return 0
 
 
@@ -229,7 +287,13 @@ def _cmd_check(args) -> int:
 
     strings = _read_lines(args.corpus)
     collection = tokenize_collection(strings, mode=args.mode, q=args.q)
-    index = load_index(args.index, collection)
+    try:
+        index = load_index(args.index, collection)
+    except ValueError as error:
+        # load-time validation rejected the file outright
+        print("1 integrity violations:")
+        print(f"  - {error}")
+        return 1
     issues = check_index(index)
     if issues:
         print(f"{len(issues)} integrity violations:")
@@ -246,7 +310,9 @@ def _cmd_check(args) -> int:
 def _cmd_report(args) -> int:
     from .bench.report import generate_report
 
-    markdown = generate_report(scale=args.scale, query_count=args.queries)
+    markdown = generate_report(
+        scale=args.scale, query_count=args.queries, profile=args.profile
+    )
     Path(args.output).write_text(markdown, encoding="utf-8")
     print(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
     return 0
@@ -261,6 +327,7 @@ def _cmd_join(args) -> int:
         collection = tokenize_collection(strings, mode=args.mode, q=args.q)
         join = _JOIN_FILTERS[args.filter](collection, scheme=args.scheme)
         threshold = args.threshold
+    profiling = _start_profile(args)
     start = time.perf_counter()
     pairs = join.join(threshold)
     elapsed = time.perf_counter() - start
@@ -276,6 +343,14 @@ def _cmd_join(args) -> int:
         print()
     if len(pairs) > args.show:
         print(f"  ... and {len(pairs) - args.show} more")
+    if profiling:
+        _emit_profile(
+            args,
+            corpus=args.corpus,
+            filter=args.filter,
+            scheme=args.scheme,
+            threshold=threshold,
+        )
     return 0
 
 

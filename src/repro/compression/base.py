@@ -27,6 +27,8 @@ from typing import Iterator, Sequence, Union
 
 import numpy as np
 
+from ..obs import METRICS as _METRICS
+
 __all__ = [
     "ELEMENT_BITS",
     "METADATA_BITS",
@@ -169,6 +171,8 @@ class ListCursor:
             return
         if self._list[self._index] >= key:
             return
+        if _METRICS.enabled:
+            _METRICS.inc("cursor.seeks")
         position = self._list.lower_bound(key)
         self._index = max(position, self._index + 1)
 

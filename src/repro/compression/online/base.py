@@ -18,6 +18,7 @@ from typing import Iterable, List
 
 import numpy as np
 
+from ...obs import METRICS as _METRICS
 from ..base import ELEMENT_BITS, MAX_ELEMENT, SortedIDList
 from ..twolayer import TwoLayerCursor, TwoLayerStore, block_cost_bits
 
@@ -78,8 +79,15 @@ class OnlineSortedIDList(SortedIDList):
     def _should_seal(self, incoming: int) -> bool:
         """Should the current buffer be (partially) sealed before ``incoming``?"""
 
+    def _record_seal(self, occupancy: int) -> None:
+        """Account one seal event (buffer occupancy at the moment of sealing)."""
+        if _METRICS.enabled:
+            _METRICS.inc("online.seals")
+            _METRICS.observe("online.seal_occupancy", occupancy)
+
     def _seal(self) -> None:
         """Move buffered elements into the compressed region (default: all)."""
+        self._record_seal(len(self._buffer))
         self._store.append_block(np.asarray(self._buffer, dtype=np.int64))
         self._buffer.clear()
 
@@ -110,6 +118,9 @@ class OnlineSortedIDList(SortedIDList):
         return self._buffer[index - compressed]
 
     def to_array(self) -> np.ndarray:
+        if _METRICS.enabled:
+            _METRICS.inc("online.list_decodes")
+            _METRICS.inc("online.elements_decoded", len(self))
         tail = np.asarray(self._buffer, dtype=np.int64)
         if len(self._store) == 0:
             return tail
@@ -179,9 +190,12 @@ class OnlineCursor:
 
     def seek(self, key: int) -> None:
         if not self._compressed.exhausted:
+            # seeks inside the compressed region are counted by TwoLayerCursor
             self._compressed.seek(key)
             if not self._compressed.exhausted:
                 return
+        elif _METRICS.enabled and self._buffer_index < len(self._buffer):
+            _METRICS.inc("cursor.seeks")
         self._buffer_index = bisect.bisect_left(
             self._buffer, key, self._buffer_index
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...obs import METRICS as _METRICS
 from ..base import METADATA_BITS
 from ..partition import optimal_partition
 from .base import OnlineSortedIDList
@@ -38,13 +39,25 @@ class VariList(OnlineSortedIDList):
         super().__init__()
         self.buffer_capacity = buffer_capacity
 
+    def append(self, value: int) -> None:
+        # Example 4: the arrival that *fills* the buffer triggers the DP, so
+        # the DP always sees the full Theorem-1 horizon (138 elements with
+        # the default capacity) including that arrival.  Sealing before the
+        # append — as the other policies do — would cap the DP's input at
+        # ``capacity - 1`` and make the Theorem-1 block size unreachable.
+        super().append(value)
+        if len(self._buffer) >= self.buffer_capacity:
+            self._seal()
+
     def _should_seal(self, incoming: int) -> bool:
-        # Example 4: the arrival that fills the buffer triggers the DP
-        return len(self._buffer) + 1 >= self.buffer_capacity
+        return False  # Vari seals after the filling arrival, never before
 
     def _seal(self) -> None:
         values = np.asarray(self._buffer, dtype=np.int64)
+        if _METRICS.enabled:
+            _METRICS.inc("online.dp_invocations")
         boundaries = optimal_partition(values, max_block=None)
         first_block_end = boundaries[1] if len(boundaries) > 1 else len(self._buffer)
+        self._record_seal(len(self._buffer))
         self._store.append_block(values[:first_block_end])
         del self._buffer[:first_block_end]

@@ -66,6 +66,61 @@ def store_from_arrays(arrays: Dict[str, np.ndarray]) -> TwoLayerStore:
     return store
 
 
+def _check(condition: bool, token: int, what: str) -> None:
+    if not condition:
+        raise ValueError(
+            f"corrupted index file: list for token {token}: {what}"
+        )
+
+
+def _validate_store_arrays(arrays: Dict[str, np.ndarray], token: int) -> None:
+    """Cheap consistency checks before trusting on-disk extents.
+
+    A truncated or bit-flipped ``.npz`` must fail loudly at load time, not
+    return garbage ids from a later ``gather``: block starts must be a
+    monotone prefix-count ramp, every block's packed deltas must lie inside
+    the data words, and widths must be in the encoder's [1, 32] range.
+    """
+    bases = arrays["bases"]
+    offsets = arrays["offsets"]
+    widths = arrays["widths"]
+    starts = arrays["starts"]
+    num_bits = int(arrays["num_bits"][0])
+    _check(
+        bases.size == offsets.size == widths.size,
+        token,
+        "metadata arrays disagree on block count",
+    )
+    _check(starts.size == bases.size + 1, token, "starts/blocks mismatch")
+    _check(starts.size >= 1 and int(starts[0]) == 0, token, "starts[0] != 0")
+    counts = np.diff(starts)
+    _check(
+        counts.size == 0 or int(counts.min()) >= 1,
+        token,
+        "non-positive block size",
+    )
+    _check(
+        0 <= num_bits <= 64 * int(arrays["words"].size),
+        token,
+        "num_bits exceeds stored data words",
+    )
+    if bases.size:
+        _check(
+            int(widths.min()) >= 1 and int(widths.max()) <= 32,
+            token,
+            "delta width outside [1, 32]",
+        )
+        _check(int(bases.min()) >= 0, token, "negative base value")
+        _check(int(offsets.min()) >= 0, token, "negative data offset")
+        # every block's packed deltas must end within the data region
+        ends = offsets + widths * (counts - 1)
+        _check(
+            int(ends.max()) <= num_bits,
+            token,
+            "block data extends past num_bits",
+        )
+
+
 class _LoadedTwoLayerList(TwoLayerList):
     """A two-layer list reconstituted from disk (partitioning preserved)."""
 
@@ -166,6 +221,36 @@ def load_index(path: Union[str, Path], collection):
         widths, starts = bundle["widths"], bundle["starts"]
         words, uncomp_values = bundle["words"], bundle["uncomp_values"]
 
+        # container-level extent consistency: the per-kind count arrays must
+        # line up with the token/kind listing and the consolidated arrays
+        num_twolayer = int((kinds == _KIND_TWOLAYER).sum())
+        num_uncomp = int(kinds.size - num_twolayer)
+        if tokens.size != kinds.size:
+            raise ValueError("corrupted index file: tokens/kinds mismatch")
+        if (
+            block_counts.size != num_twolayer
+            or start_counts.size != num_twolayer
+            or word_counts.size != num_twolayer
+            or bit_counts.size != num_twolayer
+            or uncomp_counts.size != num_uncomp
+        ):
+            raise ValueError(
+                "corrupted index file: per-list count arrays disagree with "
+                "the token listing"
+            )
+        if (
+            int(block_counts.sum()) != bases.size
+            or bases.size != offsets.size
+            or bases.size != widths.size
+            or int(start_counts.sum()) != starts.size
+            or int(word_counts.sum()) != words.size
+            or int(uncomp_counts.sum()) != uncomp_values.size
+        ):
+            raise ValueError(
+                "corrupted index file: consolidated array extents disagree "
+                "with the per-list counts"
+            )
+
         b = s = w = u = 0  # running extents into the consolidated arrays
         twolayer_seen = 0
         for position, token in enumerate(tokens.tolist()):
@@ -183,6 +268,7 @@ def load_index(path: Union[str, Path], collection):
                         [bit_counts[twolayer_seen]], dtype=np.int64
                     ),
                 }
+                _validate_store_arrays(arrays, token)
                 index.lists[token] = _LoadedTwoLayerList(
                     store_from_arrays(arrays), manifest["scheme"]
                 )
@@ -192,9 +278,17 @@ def load_index(path: Union[str, Path], collection):
                 twolayer_seen += 1
             else:
                 count = int(uncomp_counts[position - twolayer_seen])
+                if count < 0 or u + count > uncomp_values.size:
+                    raise ValueError(
+                        f"corrupted index file: list for token {token}: "
+                        "uncompressed extent out of range"
+                    )
                 index.lists[token] = UncompressedList(
                     uncomp_values[u : u + count]
                 )
                 u += count
-        index.supports_random_access = True
+        # random access depends on what was actually loaded, not on trust
+        index.supports_random_access = all(
+            lst.supports_random_access for lst in index.lists.values()
+        )
         return index

@@ -21,6 +21,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import METRICS as _METRICS
 from .base import (
     ELEMENT_BITS,
     METADATA_BITS,
@@ -152,6 +153,8 @@ class TwoLayerStore:
         """Random access to the ``index``-th id."""
         if not 0 <= index < len(self):
             raise IndexError(f"index {index} out of range for length {len(self)}")
+        if _METRICS.enabled:
+            _METRICS.inc("twolayer.random_accesses")
         block = self._block_of(index)
         within = index - self._starts[block]
         if within == 0:
@@ -163,6 +166,9 @@ class TwoLayerStore:
     def decode_block(self, block: int) -> np.ndarray:
         """Decode one block to an ``int64`` array (vectorized)."""
         count = self._starts[block + 1] - self._starts[block]
+        if _METRICS.enabled:
+            _METRICS.inc("twolayer.blocks_decoded")
+            _METRICS.inc("twolayer.elements_decoded", count)
         out = np.empty(count, dtype=np.int64)
         out[0] = self._bases[block]
         if count > 1:
@@ -182,6 +188,9 @@ class TwoLayerStore:
         """
         if not self._bases:
             return np.empty(0, dtype=np.int64)
+        if _METRICS.enabled:
+            _METRICS.inc("twolayer.blocks_decoded", self.num_blocks)
+            _METRICS.inc("twolayer.elements_decoded", len(self))
         self._sync()
         counts = np.diff(self._starts_np)
         delta_counts = counts - 1
@@ -214,6 +223,8 @@ class TwoLayerStore:
         """
         if not self._bases:
             return 0
+        if _METRICS.enabled:
+            _METRICS.inc("twolayer.lookups")
         self._sync()
         block = int(np.searchsorted(self._bases_np, key, side="right")) - 1
         if block < 0:
@@ -225,13 +236,18 @@ class TwoLayerStore:
             return start
         target = key - base
         offset, width = self._offsets[block], self._widths[block]
+        probes = 0
         lo, hi = 0, count - 1  # searching within deltas[0 .. count-2]
         while lo < hi:
             mid = (lo + hi) // 2
+            probes += 1
             if self._data.read_one(offset, width, mid) < target:
                 lo = mid + 1
             else:
                 hi = mid
+        if probes and _METRICS.enabled:
+            _METRICS.inc("bitpack.field_reads", probes)
+            _METRICS.inc("bitpack.bits_read", probes * width)
         # lo in [0, count-1]; delta index lo corresponds to global start+1+lo
         if lo == count - 1:
             return start + count  # key greater than everything in this block
@@ -298,6 +314,8 @@ class TwoLayerCursor:
     def seek(self, key: int) -> None:
         if self.exhausted or self.value() >= key:
             return
+        if _METRICS.enabled:
+            _METRICS.inc("cursor.seeks")
         store = self._store
         store._sync()
         block = (

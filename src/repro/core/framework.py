@@ -36,6 +36,7 @@ from ..compression.online import (
     OnlineSortedIDList,
     VariList,
 )
+from ..obs import METRICS as _METRICS
 
 __all__ = [
     "OFFLINE_SCHEMES",
@@ -66,6 +67,9 @@ class UncompressedOnlineList(OnlineSortedIDList):
         return
 
     def to_array(self) -> np.ndarray:
+        if _METRICS.enabled:
+            _METRICS.inc("online.list_decodes")
+            _METRICS.inc("online.elements_decoded", len(self._buffer))
         return np.asarray(self._buffer, dtype=np.int64)
 
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..compression.online import OnlineSortedIDList
 from ..core.framework import online_factory
+from ..obs import METRICS as _METRICS
 
 __all__ = ["JoinStats", "OnlineIndexMixin", "processing_order", "normalize_pairs"]
 
@@ -81,9 +82,16 @@ class OnlineIndexMixin:
         return lst
 
     def _finalize_index(self, stats: JoinStats) -> None:
-        total = 0
-        for lst in self._lists.values():
-            lst.finalize()
-            total += lst.size_bits()
+        with _METRICS.span("join.finalize"):
+            total = 0
+            for lst in self._lists.values():
+                lst.finalize()
+                total += lst.size_bits()
         stats.index_bits = total
         stats.num_lists = len(self._lists)
+        if _METRICS.enabled:
+            _METRICS.inc("join.runs")
+            _METRICS.inc("join.lists", stats.num_lists)
+            _METRICS.inc("join.candidates", stats.candidates)
+            _METRICS.inc("join.verifications", stats.verifications)
+            _METRICS.inc("join.index_bits", stats.index_bits)

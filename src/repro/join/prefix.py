@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..obs import METRICS as _METRICS
 from ..similarity.measures import length_bounds, prefix_length, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
@@ -47,38 +48,41 @@ class PrefixFilterJoin(OnlineIndexMixin):
         records = [self.collection.records[i] for i in order]
         results: List[Tuple[int, int]] = []
 
-        for sid, record in enumerate(records):
-            size_s = record.size
-            if size_s == 0:
-                continue
-            low, _ = length_bounds(size_s, threshold, self.metric)
-            prefix = prefix_length(size_s, threshold, self.metric)
-            seen: Dict[int, bool] = {}
-            for token in record[:prefix].tolist():
-                posting = self._lists.get(token)
-                if posting is None:
+        # Algorithm 1 interleaves probe and append, so one span covers the
+        # whole online pass (index time is charged to the join, per §2.1).
+        with _METRICS.span("join.probe"):
+            for sid, record in enumerate(records):
+                size_s = record.size
+                if size_s == 0:
                     continue
-                for rid in posting.to_array().tolist():
-                    if rid in seen:
+                low, _ = length_bounds(size_s, threshold, self.metric)
+                prefix = prefix_length(size_s, threshold, self.metric)
+                seen: Dict[int, bool] = {}
+                for token in record[:prefix].tolist():
+                    posting = self._lists.get(token)
+                    if posting is None:
                         continue
-                    seen[rid] = True
-                    size_r = records[rid].size
-                    if size_r < low:  # records arrive size-ascending
-                        continue
-                    stats.verifications += 1
-                    needed = required_overlap(
-                        size_r, size_s, threshold, self.metric
-                    )
-                    if (
-                        verify_overlap_from(
-                            records[rid], record, 0, 0, 0, needed
+                    for rid in posting.to_array().tolist():
+                        if rid in seen:
+                            continue
+                        seen[rid] = True
+                        size_r = records[rid].size
+                        if size_r < low:  # records arrive size-ascending
+                            continue
+                        stats.verifications += 1
+                        needed = required_overlap(
+                            size_r, size_s, threshold, self.metric
                         )
-                        >= needed
-                    ):
-                        results.append((rid, sid))
-            stats.candidates += len(seen)
-            for token in record[:prefix].tolist():
-                self._list_for(token).append(sid)
+                        if (
+                            verify_overlap_from(
+                                records[rid], record, 0, 0, 0, needed
+                            )
+                            >= needed
+                        ):
+                            results.append((rid, sid))
+                stats.candidates += len(seen)
+                for token in record[:prefix].tolist():
+                    self._list_for(token).append(sid)
 
         self._finalize_index(stats)
         stats.pairs = len(results)

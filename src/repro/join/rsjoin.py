@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..obs import METRICS as _METRICS
 from ..similarity.measures import length_bounds, prefix_length, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
@@ -55,43 +56,55 @@ class PrefixFilterRSJoin(OnlineIndexMixin):
         stats = JoinStats()
 
         # index the left collection's prefixes (ids ascend naturally)
-        for rid, record in enumerate(self.left.records):
-            prefix = prefix_length(record.size, threshold, self.metric)
-            for token in record[:prefix].tolist():
-                self._list_for(token).append(rid)
+        with _METRICS.span("join.index"):
+            for rid, record in enumerate(self.left.records):
+                prefix = prefix_length(record.size, threshold, self.metric)
+                for token in record[:prefix].tolist():
+                    self._list_for(token).append(rid)
 
         results: List[Tuple[int, int]] = []
         left_records = self.left.records
-        for sid, record in enumerate(self.right.records):
-            size_s = record.size
-            if size_s == 0:
-                continue
-            low, high = length_bounds(size_s, threshold, self.metric)
-            prefix = prefix_length(size_s, threshold, self.metric)
-            seen: Dict[int, bool] = {}
-            for token in record[:prefix].tolist():
-                posting = self._lists.get(token)
-                if posting is None:
+        # The left index is static for the whole probe phase, so each posting
+        # list is decoded at most once and the decoded ids are reused by every
+        # probing record — instead of re-decompressing the same list per probe.
+        decoded: Dict[int, List[int]] = {}
+        with _METRICS.span("join.probe"):
+            for sid, record in enumerate(self.right.records):
+                size_s = record.size
+                if size_s == 0:
                     continue
-                for rid in posting.to_array().tolist():
-                    if rid in seen:
-                        continue
-                    seen[rid] = True
-                    size_r = left_records[rid].size
-                    if not low <= size_r <= high:
-                        continue
-                    stats.verifications += 1
-                    needed = required_overlap(
-                        size_r, size_s, threshold, self.metric
-                    )
-                    if (
-                        verify_overlap_from(
-                            left_records[rid], record, 0, 0, 0, needed
+                low, high = length_bounds(size_s, threshold, self.metric)
+                prefix = prefix_length(size_s, threshold, self.metric)
+                seen: Dict[int, bool] = {}
+                for token in record[:prefix].tolist():
+                    rids = decoded.get(token)
+                    if rids is None:
+                        posting = self._lists.get(token)
+                        rids = (
+                            posting.to_array().tolist()
+                            if posting is not None
+                            else []
                         )
-                        >= needed
-                    ):
-                        results.append((rid, sid))
-            stats.candidates += len(seen)
+                        decoded[token] = rids
+                    for rid in rids:
+                        if rid in seen:
+                            continue
+                        seen[rid] = True
+                        size_r = left_records[rid].size
+                        if not low <= size_r <= high:
+                            continue
+                        stats.verifications += 1
+                        needed = required_overlap(
+                            size_r, size_s, threshold, self.metric
+                        )
+                        if (
+                            verify_overlap_from(
+                                left_records[rid], record, 0, 0, 0, needed
+                            )
+                            >= needed
+                        ):
+                            results.append((rid, sid))
+                stats.candidates += len(seen)
 
         self._finalize_index(stats)
         stats.pairs = len(results)

@@ -1,0 +1,39 @@
+"""``repro.obs`` — observability for the compressed-index pipeline.
+
+A lightweight metrics registry (counters, timers, histograms) plus
+stage-scoped spans, with a process-global default (:data:`METRICS`) that
+every layer of the pipeline records into: block decodes and bit reads in
+the two-layer store, heap pops and skip jumps in the T-occurrence
+algorithms, seal events and buffer occupancy in the online lists, and
+candidates / verifications / per-phase wall time in search and join.
+
+Disabled by default at near-zero cost; the CLI's ``--profile`` flag (and
+:class:`enabled_metrics` in library code) turns it on and dumps the
+:func:`profile_report` JSON document.
+"""
+
+from .registry import (
+    METRICS,
+    Histogram,
+    MetricsRegistry,
+    enabled_metrics,
+    get_metrics,
+)
+from .report import (
+    PROFILE_SCHEMA,
+    dump_profile,
+    profile_report,
+    profile_to_markdown,
+)
+
+__all__ = [
+    "METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "enabled_metrics",
+    "get_metrics",
+    "PROFILE_SCHEMA",
+    "profile_report",
+    "dump_profile",
+    "profile_to_markdown",
+]

@@ -1,0 +1,113 @@
+"""Profile report rendering: obs snapshots as JSON documents and markdown.
+
+``profile_report`` freezes a registry snapshot into the versioned document
+the CLI's ``--profile`` flag emits; the same shape is what the bench
+trajectory (``BENCH_*.json``) records per run, so regressions in
+decoded-elements or per-stage wall time diff cleanly across PRs.
+``profile_to_markdown`` renders one document as a report section for
+:mod:`repro.bench.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .registry import METRICS, MetricsRegistry
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "profile_report",
+    "dump_profile",
+    "profile_to_markdown",
+]
+
+PROFILE_SCHEMA = "repro.obs/v1"
+
+#: counters every profile document reports even when zero, so trajectory
+#: diffs (BENCH_*.json across PRs) never confuse "absent" with "none".
+CORE_COUNTERS = (
+    "twolayer.blocks_decoded",
+    "twolayer.elements_decoded",
+    "online.list_decodes",
+    "online.elements_decoded",
+    "cursor.seeks",
+    "online.seals",
+)
+
+
+def profile_report(
+    meta: Optional[Dict] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict:
+    """Snapshot ``registry`` (default: the global one) as a profile document.
+
+    ``meta`` carries run identity — command, dataset, scheme, threshold —
+    and lands verbatim under the ``"meta"`` key.
+    """
+    registry = registry if registry is not None else METRICS
+    document = {"schema": PROFILE_SCHEMA, "meta": dict(meta or {})}
+    document.update(registry.snapshot())
+    counters = document["counters"]
+    for name in CORE_COUNTERS:
+        counters.setdefault(name, 0)
+    document["counters"] = dict(sorted(counters.items()))
+    return document
+
+
+def dump_profile(
+    report: Dict, path: Union[str, Path, None] = None
+) -> str:
+    """Serialize ``report`` to JSON; write to ``path`` unless it is ``-``/``""``/None."""
+    text = json.dumps(report, indent=2, sort_keys=False, default=float)
+    if path is not None and str(path) not in ("-", ""):
+        Path(path).write_text(text + "\n", encoding="utf-8")
+    return text
+
+
+def profile_to_markdown(report: Dict, title: str = "Instrumentation") -> str:
+    """Render one profile document as a markdown section.
+
+    Counters, timers and histogram summaries become three small tables —
+    the shape :func:`repro.bench.report.generate_report` appends when a
+    profiled run is requested.
+    """
+    lines = [f"## {title}", ""]
+    meta = report.get("meta") or {}
+    if meta:
+        rendered = ", ".join(f"{key}={value}" for key, value in meta.items())
+        lines += [f"_{rendered}_", ""]
+
+    counters = report.get("counters") or {}
+    if counters:
+        lines += ["| counter | value |", "|---|---|"]
+        lines += [f"| {name} | {value:,} |" for name, value in counters.items()]
+        lines.append("")
+
+    timers = report.get("timers") or {}
+    if timers:
+        lines += ["| stage | seconds | count |", "|---|---|---|"]
+        lines += [
+            f"| {name} | {cell['seconds']:.4f} | {cell['count']} |"
+            for name, cell in timers.items()
+        ]
+        lines.append("")
+
+    histograms = report.get("histograms") or {}
+    if histograms:
+        lines += [
+            "| histogram | count | mean | min | max | p50 |",
+            "|---|---|---|---|---|---|",
+        ]
+        for name, summary in histograms.items():
+            if summary.get("count"):
+                lines.append(
+                    f"| {name} | {summary['count']} | {summary['mean']:.1f} "
+                    f"| {summary['min']:.0f} | {summary['max']:.0f} "
+                    f"| {summary['p50']:.0f} |"
+                )
+            else:
+                lines.append(f"| {name} | 0 | - | - | - | - |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..obs import METRICS as _METRICS
 from ..similarity.edit_distance import within_edit_distance
 from .searcher import InvertedIndex, SearchStats
 from .toccurrence import divide_skip, merge_skip, scan_count
@@ -94,24 +95,32 @@ class EditDistanceSearcher:
             lists = self.index.posting_lists(query_ids.tolist())
             stats.lists_probed = len(lists)
             stats.postings_available = sum(len(lst) for lst in lists)
-            candidates = self._candidates(lists, count_threshold).tolist()
+            with _METRICS.span("search.filter"):
+                candidates = self._candidates(lists, count_threshold).tolist()
         elif count_threshold >= 1:
             # more unseen query grams than the bound tolerates: no record can
             # share count_threshold of the query's grams
             return []
         else:
-            candidates = self._length_scan(query, delta)
+            with _METRICS.span("search.filter"):
+                candidates = self._length_scan(query, delta)
         stats.candidates = len(candidates)
 
         results: List[int] = []
-        for candidate in candidates:
-            text = strings[candidate]
-            if abs(len(text) - len(query)) > delta:
-                continue
-            stats.verifications += 1
-            if within_edit_distance(query, text, delta):
-                results.append(candidate)
+        with _METRICS.span("search.verify"):
+            for candidate in candidates:
+                text = strings[candidate]
+                if abs(len(text) - len(query)) > delta:
+                    continue
+                stats.verifications += 1
+                if within_edit_distance(query, text, delta):
+                    results.append(candidate)
         stats.results = len(results)
+        if _METRICS.enabled:
+            _METRICS.inc("search.queries")
+            _METRICS.inc("search.candidates", stats.candidates)
+            _METRICS.inc("search.verifications", stats.verifications)
+            _METRICS.inc("search.results", stats.results)
         return results
 
     def search_many(self, queries: Sequence[str], delta: int) -> List[List[int]]:

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..compression.base import SortedIDList
 from ..core.framework import offline_factory
+from ..obs import METRICS as _METRICS
 from ..similarity.measures import length_bounds, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
@@ -64,11 +65,18 @@ class InvertedIndex:
             for token in tokens.tolist():
                 grouped.setdefault(token, []).append(record_id)
         start = time.perf_counter()
-        self.lists: Dict[int, SortedIDList] = {
-            token: factory(np.asarray(ids, dtype=np.int64), **scheme_kwargs)
-            for token, ids in grouped.items()
-        }
+        with _METRICS.span("index.build"):
+            self.lists: Dict[int, SortedIDList] = {
+                token: factory(np.asarray(ids, dtype=np.int64), **scheme_kwargs)
+                for token, ids in grouped.items()
+            }
         self.build_seconds = time.perf_counter() - start
+        if _METRICS.enabled:
+            _METRICS.inc("index.lists_built", len(self.lists))
+            _METRICS.inc(
+                "index.postings_indexed",
+                sum(len(ids) for ids in grouped.values()),
+            )
         self.supports_random_access = all(
             lst.supports_random_access for lst in self.lists.values()
         )
@@ -155,24 +163,31 @@ class JaccardSearcher:
         lists = self.index.posting_lists(query_ids.tolist())
         stats.lists_probed = len(lists)
         stats.postings_available = sum(len(lst) for lst in lists)
-        candidates = self._candidates(lists, max(1, count_threshold))
+        with _METRICS.span("search.filter"):
+            candidates = self._candidates(lists, max(1, count_threshold))
         stats.candidates = int(candidates.size)
 
         results: List[int] = []
-        for candidate in candidates.tolist():
-            record = collection.records[candidate]
-            if not low <= record.size <= high:
-                continue
-            needed = required_overlap(
-                signature_size, record.size, threshold, self.metric
-            )
-            stats.verifications += 1
-            if (
-                verify_overlap_from(query_ids, record, 0, 0, 0, needed)
-                >= needed
-            ):
-                results.append(candidate)
+        with _METRICS.span("search.verify"):
+            for candidate in candidates.tolist():
+                record = collection.records[candidate]
+                if not low <= record.size <= high:
+                    continue
+                needed = required_overlap(
+                    signature_size, record.size, threshold, self.metric
+                )
+                stats.verifications += 1
+                if (
+                    verify_overlap_from(query_ids, record, 0, 0, 0, needed)
+                    >= needed
+                ):
+                    results.append(candidate)
         stats.results = len(results)
+        if _METRICS.enabled:
+            _METRICS.inc("search.queries")
+            _METRICS.inc("search.candidates", stats.candidates)
+            _METRICS.inc("search.verifications", stats.verifications)
+            _METRICS.inc("search.results", stats.results)
         return results
 
     def search_many(

@@ -129,6 +129,108 @@ class TestReport:
         assert "paper css" in text
 
 
+class TestProfile:
+    def test_search_profile_written_to_file(
+        self, corpus, tmp_path, word_strings, capsys
+    ):
+        import json
+
+        profile_path = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "search", corpus, word_strings[0],
+                    "--threshold", "0.8",
+                    "--profile", str(profile_path),
+                ]
+            )
+            == 0
+        )
+        assert "profile written to" in capsys.readouterr().out
+        report = json.loads(profile_path.read_text())
+        assert report["schema"] == "repro.obs/v1"
+        assert report["meta"]["command"] == "search"
+        assert report["meta"]["corpus"] == corpus
+        # acceptance-criteria metrics are always present
+        for counter in (
+            "twolayer.blocks_decoded",
+            "twolayer.elements_decoded",
+            "cursor.seeks",
+            "online.seals",
+        ):
+            assert counter in report["counters"]
+        assert report["counters"]["search.queries"] == 1
+        assert "index.build" in report["timers"]
+        assert "search.filter" in report["timers"]
+        assert "search.verify" in report["timers"]
+
+    def test_join_profile_to_stdout(self, corpus, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "join", corpus,
+                    "--filter", "prefix",
+                    "--threshold", "0.9",
+                    "--show", "0",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        start = out.index('{')
+        report = json.loads(out[start:])
+        assert report["meta"]["command"] == "join"
+        assert report["counters"]["join.runs"] == 1
+        assert report["counters"]["online.seals"] > 0
+        assert "join.probe" in report["timers"]
+        assert "join.finalize" in report["timers"]
+
+    def test_stats_profile(self, corpus, tmp_path, capsys):
+        import json
+
+        profile_path = tmp_path / "stats.json"
+        assert (
+            main(
+                [
+                    "stats", corpus, "--schemes", "css",
+                    "--profile", str(profile_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(profile_path.read_text())
+        assert report["meta"]["command"] == "stats"
+        assert report["counters"]["index.lists_built"] > 0
+
+    def test_profile_off_by_default(self, corpus, word_strings):
+        from repro.obs import METRICS
+
+        assert (
+            main(["search", corpus, word_strings[0], "--threshold", "0.9"])
+            == 0
+        )
+        assert not METRICS.enabled
+
+    def test_report_with_profile_section(self, tmp_path):
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report", "-o", str(out),
+                    "--scale", "0.03", "--queries", "2",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        text = out.read_text()
+        assert "## Instrumentation" in text
+        assert "counter" in text
+
+
 class TestJoin:
     @pytest.mark.parametrize("filter_name", ["count", "prefix", "position"])
     def test_token_joins(self, corpus, filter_name, capsys):

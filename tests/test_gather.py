@@ -45,6 +45,63 @@ class TestGather:
         assert np.array_equal(buf.gather(positions, widths), values)
 
 
+class TestGatherBounds:
+    """Corrupted extents must raise, not read garbage bits (bugfix)."""
+
+    def _buffer_with_bits(self, num_fields=10, width=8):
+        buf = BitBuffer()
+        buf.append(np.arange(num_fields, dtype=np.uint64), width)
+        return buf
+
+    def test_position_past_end_rejected(self):
+        buf = self._buffer_with_bits()
+        with pytest.raises(IndexError, match="past end"):
+            buf.gather(
+                np.asarray([buf.num_bits], dtype=np.int64),
+                np.asarray([8], dtype=np.int64),
+            )
+
+    def test_field_straddling_end_rejected(self):
+        buf = self._buffer_with_bits()  # num_bits = 80
+        with pytest.raises(IndexError, match="past end"):
+            buf.gather(
+                np.asarray([buf.num_bits - 4], dtype=np.int64),
+                np.asarray([8], dtype=np.int64),
+            )
+
+    def test_last_valid_field_still_readable(self):
+        buf = self._buffer_with_bits()
+        out = buf.gather(
+            np.asarray([buf.num_bits - 8], dtype=np.int64),
+            np.asarray([8], dtype=np.int64),
+        )
+        assert out.tolist() == [9]
+
+    def test_width_zero_rejected(self):
+        buf = self._buffer_with_bits()
+        with pytest.raises(IndexError, match="width"):
+            buf.gather(
+                np.asarray([0], dtype=np.int64),
+                np.asarray([0], dtype=np.int64),
+            )
+
+    def test_width_above_64_rejected(self):
+        buf = self._buffer_with_bits()
+        with pytest.raises(IndexError, match="width"):
+            buf.gather(
+                np.asarray([0], dtype=np.int64),
+                np.asarray([65], dtype=np.int64),
+            )
+
+    def test_huge_position_rejected(self):
+        buf = self._buffer_with_bits()
+        with pytest.raises(IndexError):
+            buf.gather(
+                np.asarray([2**62], dtype=np.int64),
+                np.asarray([8], dtype=np.int64),
+            )
+
+
 class TestVectorizedStoreDecode:
     def test_matches_per_block_decode(self, rng):
         """to_array (one gather) equals concatenated per-block decodes."""

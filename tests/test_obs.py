@@ -1,0 +1,225 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    Histogram,
+    MetricsRegistry,
+    dump_profile,
+    enabled_metrics,
+    get_metrics,
+    profile_report,
+    profile_to_markdown,
+    PROFILE_SCHEMA,
+)
+from repro.obs.report import CORE_COUNTERS
+
+
+class TestMetricsRegistry:
+    def test_disabled_by_default_and_noops(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.record_time("b", 1.0)
+        registry.observe("c", 5)
+        assert registry.counters == {}
+        assert registry.timers == {}
+        assert registry.histograms == {}
+
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("x")
+        registry.inc("x", 9)
+        assert registry.counter("x") == 10
+        assert registry.counter("never") == 0
+
+    def test_timers_accumulate_seconds_and_counts(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.record_time("stage", 0.25)
+        registry.record_time("stage", 0.75)
+        assert registry.timer_seconds("stage") == pytest.approx(1.0)
+        assert registry.timers["stage"][1] == 2
+
+    def test_span_measures_wall_time(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.span("work"):
+            sum(range(1000))
+        assert registry.timer_seconds("work") > 0
+        assert registry.timers["work"][1] == 1
+
+    def test_disabled_span_is_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        first = registry.span("a")
+        second = registry.span("b")
+        assert first is second  # one reusable null object, no allocation
+        with first:
+            pass
+        assert registry.timers == {}
+
+    def test_reset_keeps_enable_switch(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("x")
+        registry.reset()
+        assert registry.enabled
+        assert registry.counters == {}
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("c", 3)
+        registry.record_time("t", 0.5)
+        registry.observe("h", 7)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["timers"]["t"]["count"] == 1
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+class TestHistogram:
+    def test_moments(self):
+        histogram = Histogram()
+        for value in (1, 2, 3, 10):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.min == 1
+        assert histogram.max == 10
+
+    def test_quantile_bounds(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(value)
+        # log2 buckets give an upper bound within a factor of two
+        assert 50 <= histogram.quantile(0.5) <= 127
+        assert histogram.quantile(1.0) <= 2 * histogram.max
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_summary_caps_quantiles_at_max(self):
+        histogram = Histogram()
+        histogram.observe(5)
+        summary = histogram.summary()
+        assert summary["p50"] <= summary["max"]
+        assert summary["p99"] <= summary["max"]
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestEnabledMetrics:
+    def test_enables_resets_and_restores(self):
+        assert not METRICS.enabled
+        METRICS.enabled = True
+        METRICS.inc("leftover")
+        try:
+            with enabled_metrics() as registry:
+                assert registry is METRICS
+                assert registry.enabled
+                assert registry.counter("leftover") == 0  # reset on enter
+                registry.inc("inside")
+            assert METRICS.enabled  # prior state restored
+        finally:
+            METRICS.enabled = False
+            METRICS.reset()
+
+    def test_restores_disabled_state(self):
+        with enabled_metrics():
+            pass
+        assert not METRICS.enabled
+
+    def test_global_singleton_accessor(self):
+        assert get_metrics() is METRICS
+
+
+class TestProfileReport:
+    def test_schema_meta_and_core_counters(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("twolayer.blocks_decoded", 4)
+        report = profile_report(meta={"command": "test"}, registry=registry)
+        assert report["schema"] == PROFILE_SCHEMA
+        assert report["meta"] == {"command": "test"}
+        assert report["counters"]["twolayer.blocks_decoded"] == 4
+        # every core counter is present even when nothing recorded it
+        for name in CORE_COUNTERS:
+            assert name in report["counters"]
+
+    def test_dump_profile_writes_json(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("x")
+        report = profile_report(registry=registry)
+        path = tmp_path / "profile.json"
+        text = dump_profile(report, path)
+        assert json.loads(path.read_text())["counters"]["x"] == 1
+        assert json.loads(text) == json.loads(path.read_text())
+
+    def test_dump_profile_stdout_sentinel_writes_nothing(self, tmp_path):
+        report = profile_report(registry=MetricsRegistry(enabled=True))
+        text = dump_profile(report, "-")
+        assert json.loads(text)["schema"] == PROFILE_SCHEMA
+        assert list(tmp_path.iterdir()) == []
+
+    def test_markdown_rendering(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("twolayer.blocks_decoded", 12)
+        registry.record_time("search.filter", 0.02)
+        registry.observe("online.seal_occupancy", 64)
+        report = profile_report(meta={"command": "x"}, registry=registry)
+        markdown = profile_to_markdown(report)
+        assert "## Instrumentation" in markdown
+        assert "twolayer.blocks_decoded" in markdown
+        assert "search.filter" in markdown
+        assert "online.seal_occupancy" in markdown
+
+
+class TestInstrumentationEndToEnd:
+    """The acceptance-criteria counters flow from real operations."""
+
+    def test_search_records_stage_times_and_counters(self, word_collection):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        with enabled_metrics() as registry:
+            index = InvertedIndex(word_collection, scheme="css")
+            searcher = JaccardSearcher(index, algorithm="mergeskip")
+            searcher.search(word_collection.strings[0], 0.6)
+        assert registry.timer_seconds("index.build") > 0
+        assert registry.timer_seconds("search.filter") > 0
+        assert registry.timer_seconds("search.verify") > 0
+        assert registry.counter("search.queries") == 1
+        assert registry.counter("index.lists_built") == len(index.lists)
+        assert registry.counter("cursor.seeks") > 0
+
+    def test_scancount_decodes_blocks(self, word_collection):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        with enabled_metrics() as registry:
+            index = InvertedIndex(word_collection, scheme="css")
+            searcher = JaccardSearcher(index, algorithm="scancount")
+            searcher.search(word_collection.strings[0], 0.5)
+        assert registry.counter("twolayer.blocks_decoded") > 0
+        assert registry.counter("twolayer.elements_decoded") > 0
+
+    def test_join_records_seals_and_phases(self, word_collection):
+        from repro.join import PrefixFilterJoin
+
+        with enabled_metrics() as registry:
+            PrefixFilterJoin(word_collection, scheme="adapt").join(0.8)
+        assert registry.counter("online.seals") > 0
+        assert registry.counter("join.runs") == 1
+        assert registry.timer_seconds("join.probe") > 0
+        assert registry.timer_seconds("join.finalize") > 0
+        occupancy = registry.histograms["online.seal_occupancy"]
+        assert occupancy.count == registry.counter("online.seals")
+
+    def test_disabled_registry_records_nothing(self, word_collection):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        METRICS.reset()
+        assert not METRICS.enabled
+        index = InvertedIndex(word_collection, scheme="css")
+        JaccardSearcher(index).search(word_collection.strings[0], 0.6)
+        assert METRICS.counters == {}
+        assert METRICS.timers == {}

@@ -1,0 +1,158 @@
+"""Tests for OnlineCursor across the compressed/buffer region boundary.
+
+The join's MergeSkip probes walk online lists mid-construction, so the
+cursor must stay correct when some elements are sealed into two-layer
+blocks and the rest still sit in the uncompressed buffer — including
+seeks that start in one region and land in the other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.online import AdaptList, FixList, VariList
+from repro.obs import enabled_metrics
+
+
+def drain(cursor):
+    out = []
+    while not cursor.exhausted:
+        out.append(cursor.value())
+        cursor.advance()
+    return out
+
+
+def make_split_vari():
+    """A Vari list with both regions populated via partial seals."""
+    lst = VariList(buffer_capacity=8)
+    values = []
+    base = 0
+    for _ in range(4):
+        base += 100_000
+        values.extend(range(base, base + 6))
+    lst.extend(values)
+    assert lst.compressed_length > 0 and lst.buffer_length > 0
+    return lst, values
+
+
+class TestBoundaryCrossing:
+    @pytest.mark.parametrize("cls", [FixList, VariList, AdaptList])
+    def test_full_walk_spans_both_regions(self, cls, clustered_ids):
+        values = clustered_ids[:300].tolist()
+        lst = cls()
+        lst.extend(values)
+        assert drain(lst.cursor()) == values
+
+    def test_advance_crosses_into_buffer(self):
+        lst, values = make_split_vari()
+        cursor = lst.cursor()
+        for expected in values:
+            assert not cursor.exhausted
+            assert cursor.value() == expected
+            cursor.advance()
+        assert cursor.exhausted
+
+    def test_seek_from_compressed_into_buffer(self):
+        lst, values = make_split_vari()
+        first_buffered = values[lst.compressed_length]
+        cursor = lst.cursor()
+        cursor.seek(first_buffered)
+        assert cursor.value() == first_buffered
+        assert cursor.position == lst.compressed_length
+        assert drain(cursor) == values[lst.compressed_length :]
+
+    def test_seek_just_past_last_sealed_id(self):
+        lst, values = make_split_vari()
+        boundary = lst.compressed_length
+        key = values[boundary - 1] + 1
+        cursor = lst.cursor()
+        cursor.seek(key)
+        expected = values[int(np.searchsorted(values, key))]
+        assert cursor.value() == expected
+        assert expected >= values[boundary - 1]
+
+    def test_seek_past_everything_exhausts(self):
+        lst, values = make_split_vari()
+        cursor = lst.cursor()
+        cursor.seek(values[-1] + 1)
+        assert cursor.exhausted
+        assert cursor.position == len(values)
+
+    def test_seek_is_monotone_within_buffer(self):
+        lst, values = make_split_vari()
+        cursor = lst.cursor()
+        buffered = values[lst.compressed_length :]
+        for key in buffered:
+            cursor.seek(key)
+            assert cursor.value() == key
+
+
+class TestPositionAndRemaining:
+    def test_position_remaining_after_partial_vari_seals(self):
+        lst, values = make_split_vari()
+        cursor = lst.cursor()
+        for step in range(len(values)):
+            assert cursor.position == step
+            assert cursor.remaining() == len(values) - step
+            cursor.advance()
+        assert cursor.position == len(values)
+        assert cursor.remaining() == 0
+
+    def test_position_consistent_after_seek(self):
+        lst, values = make_split_vari()
+        reference = np.asarray(values)
+        for key in (values[3], values[-4], values[-1]):
+            cursor = lst.cursor()
+            cursor.seek(key)
+            assert cursor.position == int(np.searchsorted(reference, key))
+
+
+class TestEmptyRegions:
+    def test_cursor_on_empty_store_with_populated_buffer(self):
+        lst = VariList()  # default capacity 138: nothing seals
+        values = [7, 11, 200, 3000]
+        lst.extend(values)
+        assert lst.compressed_length == 0
+        cursor = lst.cursor()
+        assert cursor.position == 0
+        assert cursor.remaining() == len(values)
+        cursor.seek(150)
+        assert cursor.value() == 200
+        assert cursor.position == 2
+        assert drain(cursor) == [200, 3000]
+
+    def test_cursor_on_fully_sealed_list(self):
+        lst = FixList(block_size=4)
+        lst.extend([1, 2, 3, 4, 5, 6, 7, 8])
+        lst.finalize()
+        assert lst.buffer_length == 0
+        cursor = lst.cursor()
+        cursor.seek(6)
+        assert cursor.value() == 6
+        assert drain(cursor) == [6, 7, 8]
+
+    def test_cursor_on_empty_list(self):
+        cursor = VariList().cursor()
+        assert cursor.exhausted
+        assert cursor.remaining() == 0
+        cursor.seek(10)  # must not raise
+        assert cursor.exhausted
+
+
+class TestSeekAccounting:
+    def test_buffer_seeks_counted_once(self):
+        lst = VariList()  # buffer-only list
+        lst.extend([10, 20, 30, 40])
+        cursor = lst.cursor()
+        with enabled_metrics() as registry:
+            cursor.seek(25)
+        assert registry.counter("cursor.seeks") == 1
+
+    def test_exhausted_seek_not_counted(self):
+        lst = VariList()
+        lst.extend([10, 20])
+        cursor = lst.cursor()
+        cursor.seek(100)
+        assert cursor.exhausted
+        with enabled_metrics() as registry:
+            cursor.seek(200)  # nothing left to skip over
+        assert registry.counter("cursor.seeks") == 0

@@ -136,6 +136,39 @@ class TestVari:
         assert lst.compressed_length == 10
         assert lst.buffer_length == 2
 
+    def test_dp_sees_the_filling_arrival(self):
+        # regression: sealing used to trigger at len(buffer)+1 >= capacity,
+        # so the DP ran over capacity-1 elements and a sealed block could
+        # never reach the buffer capacity itself
+        lst = VariList(buffer_capacity=4)
+        lst.extend([1, 2, 3, 4])  # dense run: the DP keeps it as one block
+        assert lst._store.block_sizes() == [4]
+        assert lst.buffer_length == 0
+
+    def test_sealed_block_can_fill_the_whole_buffer(self):
+        # the DP may decide the whole buffer is one optimal block, so a
+        # sealed block of exactly buffer_capacity elements must be reachable
+        # (pre-fix it was capped at capacity - 1)
+        lst = VariList(buffer_capacity=16)
+        lst.extend(range(100, 116))  # dense: one optimal block of 16
+        assert lst._store.block_sizes() == [16]
+        assert lst.buffer_length == 0
+
+    def test_default_capacity_drains_fully_on_dense_run(self):
+        lst = VariList()
+        lst.extend(range(138))  # the 138th arrival fills the Theorem-1 buffer
+        assert lst.compressed_length + lst.buffer_length == 138
+        assert lst.compressed_length > 0
+        # the DP ran over all 138 elements; its blocks cover a prefix of them
+        assert sum(lst._store.block_sizes()) == lst.compressed_length
+
+    def test_seal_waits_for_full_buffer(self):
+        lst = VariList(buffer_capacity=6)
+        lst.extend([10, 20, 30, 40, 50])  # capacity - 1 arrivals
+        assert lst.compressed_length == 0  # nothing seals before the fill
+        lst.append(60)
+        assert lst.compressed_length > 0
+
     def test_matches_offline_css_when_finalized_in_one_shot(self, clustered_ids):
         from repro.compression import CSSList
 

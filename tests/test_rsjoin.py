@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.join import PrefixFilterRSJoin
+from repro.obs import enabled_metrics
 from repro.similarity import jaccard, tokenize_collection, tokenize_pair
 
 
@@ -85,6 +86,38 @@ class TestPrefixFilterRSJoin:
         assert PrefixFilterRSJoin(left, right).join(0.5) == []
         left, right = tokenize_pair(["a b"], [], mode="word")
         assert PrefixFilterRSJoin(left, right).join(0.5) == []
+
+
+class TestProbeDecodeBound:
+    """Regression: the probe loop used to call ``to_array`` per probing
+    record per token, re-decompressing the same left-prefix list hundreds
+    of times.  With the memoized decode, the total decoded-element count is
+    bounded by the index size (each list decoded at most once)."""
+
+    def test_decoded_elements_bounded_by_index_size(self, rs_collections):
+        left, right = rs_collections
+        join = PrefixFilterRSJoin(left, right, scheme="adapt")
+        with enabled_metrics() as registry:
+            join.join(0.7)
+            decoded_elements = registry.counter("online.elements_decoded")
+            decoded_lists = registry.counter("online.list_decodes")
+        index_postings = sum(len(lst) for lst in join._lists.values())
+        assert 0 < decoded_elements <= index_postings
+        assert decoded_lists <= len(join._lists)
+
+    def test_decode_count_independent_of_probe_count(self):
+        # the same right-side record repeated many times must not multiply
+        # the decode work: every probe after the first hits the memo
+        pool = [f"w{i}" for i in range(12)]
+        left_strings = [" ".join(pool[i : i + 4]) for i in range(8)]
+        right_strings = [left_strings[0]] * 40
+        left, right = tokenize_pair(left_strings, right_strings, mode="word")
+        join = PrefixFilterRSJoin(left, right, scheme="adapt")
+        with enabled_metrics() as registry:
+            pairs = join.join(0.5)
+            decoded_lists = registry.counter("online.list_decodes")
+        assert len(pairs) >= 40  # each copy matches left_strings[0]
+        assert decoded_lists <= len(join._lists)
 
 
 class TestTokenizePair:

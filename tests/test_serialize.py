@@ -94,3 +94,102 @@ class TestIndexDumpLoad:
         # the on-disk file should be in the ballpark of the logical size
         # (npz adds zlib on top, so it is usually smaller)
         assert path.stat().st_size < 4 * index.size_bits() / 8 + 65536
+
+
+class TestCorruptedLoad:
+    """A truncated or bit-flipped file must fail loudly at load time."""
+
+    def _tampered(self, tmp_path, word_collection, scheme, mutate):
+        index = InvertedIndex(word_collection, scheme=scheme)
+        path = tmp_path / "index.npz"
+        dump_index(index, path)
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files}
+        mutate(arrays)
+        np.savez_compressed(path, **arrays)
+        return path
+
+    def _assert_rejected(self, tmp_path, word_collection, mutate, match,
+                         scheme="css"):
+        path = self._tampered(tmp_path, word_collection, scheme, mutate)
+        with pytest.raises(ValueError, match=match):
+            load_index(path, word_collection)
+
+    def test_truncated_data_words(self, tmp_path, word_collection):
+        self._assert_rejected(
+            tmp_path, word_collection,
+            lambda a: a.update(words=a["words"][:-1]),
+            "consolidated array extents",
+        )
+
+    def test_tokens_kinds_mismatch(self, tmp_path, word_collection):
+        self._assert_rejected(
+            tmp_path, word_collection,
+            lambda a: a.update(kinds=a["kinds"][:-1]),
+            "tokens/kinds",
+        )
+
+    def test_width_out_of_range(self, tmp_path, word_collection):
+        def mutate(a):
+            widths = a["widths"].copy()
+            widths[0] = 50  # encoder never emits widths above 32
+            a["widths"] = widths
+
+        self._assert_rejected(
+            tmp_path, word_collection, mutate, "delta width"
+        )
+
+    def test_num_bits_past_data_words(self, tmp_path, word_collection):
+        def mutate(a):
+            bits = a["bit_counts"].copy()
+            bits[:] = 10**9
+            a["bit_counts"] = bits
+
+        self._assert_rejected(
+            tmp_path, word_collection, mutate, "num_bits|past num_bits"
+        )
+
+    def test_non_monotone_block_starts(self, tmp_path, word_collection):
+        def mutate(a):
+            starts = a["starts"].copy()
+            starts[:] = 0  # block sizes collapse to zero
+            a["starts"] = starts
+
+        self._assert_rejected(
+            tmp_path, word_collection, mutate,
+            "non-positive block size|starts",
+        )
+
+    def test_uncomp_extent_mismatch(self, tmp_path, word_collection):
+        def mutate(a):
+            counts = a["uncomp_counts"].copy()
+            counts[0] += 5
+            a["uncomp_counts"] = counts
+
+        self._assert_rejected(
+            tmp_path, word_collection, mutate,
+            "consolidated array extents", scheme="uncomp",
+        )
+
+    def test_negative_uncomp_extent(self, tmp_path, word_collection):
+        def mutate(a):
+            counts = a["uncomp_counts"].copy()
+            shift = counts[0] + 1
+            counts[0] -= shift  # now -1
+            counts[1] += shift  # keep the total so container checks pass
+            a["uncomp_counts"] = counts
+
+        self._assert_rejected(
+            tmp_path, word_collection, mutate,
+            "uncompressed extent", scheme="uncomp",
+        )
+
+    def test_loaded_random_access_flag_reflects_lists(
+        self, tmp_path, word_collection
+    ):
+        for scheme, expected in (("css", True), ("uncomp", True)):
+            index = InvertedIndex(word_collection, scheme=scheme)
+            path = tmp_path / f"{scheme}.npz"
+            dump_index(index, path)
+            loaded = load_index(path, word_collection)
+            assert loaded.supports_random_access is expected
