@@ -1,0 +1,111 @@
+"""Batched query throughput — serial vs. ``SimilarityEngine.search_batch``.
+
+The baseline for the engine PR: answer a batch of queries once serially
+(``workers=1``) and once over the worker pool (``workers=N``), assert the
+answers are identical, and record both throughputs (plus the decode-cache
+counters) to ``BENCH_batch_search.json`` next to the repo root.
+
+The recorded speedup is whatever the runner's cores give — a single-core
+container reports ~1x (pool overhead only); the parity assertion is what
+must always hold.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_block, search_dataset
+from repro.bench import render_table, sample_queries
+from repro.engine import SimilarityEngine
+
+DATASET = "aol"
+THRESHOLD = 0.8
+WORKERS = max(2, min(4, multiprocessing.cpu_count()))
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_search.json"
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def batch_queries():
+    dataset = search_dataset(DATASET)
+    # ~1k queries: every record once, cycled; enough work for the pool
+    # to amortize its startup at any REPRO_SCALE
+    queries = sample_queries(dataset, count=1000, seed=7)
+    return dataset, queries
+
+
+def test_batch_throughput_and_parity(benchmark, batch_queries):
+    dataset, queries = batch_queries
+    engine = SimilarityEngine(dataset.collection, scheme="css")
+
+    def serial():
+        return engine.search_batch(queries, THRESHOLD, workers=1)
+
+    with engine:
+        start = time.perf_counter()
+        serial_results = serial()
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_results = engine.search_batch(
+            queries, THRESHOLD, workers=WORKERS
+        )
+        parallel_seconds = time.perf_counter() - start
+        pool_kind = engine._pool_kind
+
+        benchmark.pedantic(serial, rounds=1, iterations=1)
+
+    # workers > 1 must be invisible in the answers
+    assert [list(r) for r in parallel_results] == [
+        list(r) for r in serial_results
+    ]
+
+    serial_qps = len(queries) / serial_seconds
+    parallel_qps = len(queries) / parallel_seconds
+    record = {
+        "dataset": DATASET,
+        "queries": len(queries),
+        "threshold": THRESHOLD,
+        "scheme": "css",
+        "algorithm": "mergeskip",
+        "workers": WORKERS,
+        "cpu_count": multiprocessing.cpu_count(),
+        "pool_kind": pool_kind,
+        "serial_qps": round(serial_qps, 1),
+        "parallel_qps": round(parallel_qps, 1),
+        "speedup": round(parallel_qps / serial_qps, 2),
+        "cache": engine.cache_stats(),
+    }
+    _results.update(record)
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if k != "cache"}
+    )
+
+    if BASELINE_PATH.parent.is_dir():
+        BASELINE_PATH.write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+
+    print_block(
+        render_table(
+            ["mode", "q/s"],
+            [
+                ["serial", record["serial_qps"]],
+                [f"workers={WORKERS} ({pool_kind})", record["parallel_qps"]],
+            ],
+            title=(
+                f"Batch search throughput — {len(queries)} queries on "
+                f"{DATASET}, {multiprocessing.cpu_count()} core(s), "
+                f"speedup {record['speedup']}x"
+            ),
+        )
+    )
+
+    # repeated queries over a shared vocabulary must actually hit the cache
+    assert record["cache"]["hits"] > 0

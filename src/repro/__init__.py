@@ -8,11 +8,12 @@ Quick tour
 
 Offline (similarity search)::
 
-    from repro import tokenize_collection, InvertedIndex, JaccardSearcher
+    from repro import SimilarityEngine, tokenize_collection
 
     coll = tokenize_collection(strings, mode="qgram", q=3)
-    index = InvertedIndex(coll, scheme="css")      # or uncomp / milc / pfordelta
-    hits = JaccardSearcher(index).search("query string", threshold=0.8)
+    engine = SimilarityEngine(coll, scheme="css")  # or uncomp / milc / pfordelta
+    hits = engine.search("query string", 0.8)      # frozen SearchResult
+    batch = engine.search_batch(queries, 0.8, workers=4)
 
 Online (similarity join)::
 
@@ -46,8 +47,9 @@ from .compression import (
     VByteList,
 )
 from .compression.online import AdaptList, FixList, ModelList, VariList
-from .core import offline_factory, online_factory
+from .core import offline_factory, online_factory, register_scheme
 from .datasets import load_dataset
+from .engine import DecodeCache, SimilarityEngine
 from .join import (
     CountFilterJoin,
     PrefixFilterRSJoin,
@@ -55,7 +57,13 @@ from .join import (
     PrefixFilterJoin,
     SegmentFilterJoin,
 )
-from .search import EditDistanceSearcher, InvertedIndex, JaccardSearcher
+from .search import (
+    EditDistanceSearcher,
+    InvertedIndex,
+    JaccardSearcher,
+    SearchResult,
+    SearchStats,
+)
 from .similarity import (
     edit_distance,
     jaccard,
@@ -80,6 +88,11 @@ __all__ = [
     "ModelList",
     "offline_factory",
     "online_factory",
+    "register_scheme",
+    "SimilarityEngine",
+    "DecodeCache",
+    "SearchResult",
+    "SearchStats",
     "tokenize_collection",
     "jaccard",
     "edit_distance",

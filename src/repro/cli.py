@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 from .compression.serialize import dump_index, load_index
 from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
 from .datasets import dataset_names, load_dataset
+from .engine import SimilarityEngine
 from .obs import METRICS, dump_profile, profile_report
 from .join import (
     CountFilterJoin,
@@ -33,7 +34,7 @@ from .join import (
     PrefixFilterJoin,
     SegmentFilterJoin,
 )
-from .search import EditDistanceSearcher, InvertedIndex, JaccardSearcher
+from .search import InvertedIndex
 from .similarity import tokenize_collection
 
 __all__ = ["main", "build_parser"]
@@ -48,8 +49,22 @@ _JOIN_FILTERS = {
 
 
 def _read_lines(path: str) -> List[str]:
-    with open(path, encoding="utf-8") as handle:
-        return [line.rstrip("\n") for line in handle if line.rstrip("\n")]
+    """Corpus lines with positions preserved: record id == 0-based line number.
+
+    Blank lines become empty records (no signatures, so they can never
+    match) instead of being dropped — dropping them used to shift every
+    subsequent record id relative to the source file, making ``search`` /
+    ``join`` output untraceable back to the corpus.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    blanks = sum(1 for line in lines if not line.strip())
+    if blanks:
+        print(
+            f"warning: {path}: {blanks} blank line(s) kept as empty records "
+            "so record ids keep matching line numbers",
+            file=sys.stderr,
+        )
+    return lines
 
 
 def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
@@ -134,7 +149,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     search = commands.add_parser("search", help="similarity search a corpus")
     search.add_argument("corpus")
-    search.add_argument("query")
+    search.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="query string (omit when using --queries-file)",
+    )
+    search.add_argument(
+        "--queries-file",
+        default=None,
+        metavar="PATH",
+        help="batch mode: answer every line of PATH as a query",
+    )
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool size for --queries-file batches (default: 1, serial)",
+    )
     _add_tokenize_args(search)
     search.add_argument(
         "--scheme", choices=sorted(OFFLINE_SCHEMES), default="css"
@@ -244,6 +276,9 @@ def _cmd_index(args) -> int:
 
 
 def _cmd_search(args) -> int:
+    if (args.query is None) == (args.queries_file is None):
+        print("error: provide exactly one of a query or --queries-file")
+        return 2
     strings = _read_lines(args.corpus)
     mode = "qgram" if args.metric == "ed" else args.mode
     q = 2 if args.metric == "ed" and args.mode == "word" else args.q
@@ -257,19 +292,33 @@ def _cmd_search(args) -> int:
             return 1
     else:
         index = InvertedIndex(collection, scheme=args.scheme)
-    start = time.perf_counter()
-    if args.metric == "ed":
-        searcher = EditDistanceSearcher(index, algorithm=args.algorithm)
-        hits = searcher.search(args.query, int(args.threshold))
-    else:
-        searcher = JaccardSearcher(
-            index, algorithm=args.algorithm, metric=args.metric
-        )
-        hits = searcher.search(args.query, args.threshold)
-    elapsed = 1000 * (time.perf_counter() - start)
-    print(f"{len(hits)} hits in {elapsed:.2f} ms:")
-    for hit in hits:
-        print(f"  [{hit}] {strings[hit]}")
+    threshold = int(args.threshold) if args.metric == "ed" else args.threshold
+    with SimilarityEngine(
+        index=index, algorithm=args.algorithm, metric=args.metric
+    ) as engine:
+        if args.queries_file is not None:
+            queries = _read_lines(args.queries_file)
+            start = time.perf_counter()
+            results = engine.search_batch(
+                queries, threshold, workers=args.workers
+            )
+            elapsed = time.perf_counter() - start
+            total = sum(len(result) for result in results)
+            for position, result in enumerate(results):
+                preview = " ".join(str(hit) for hit in result[:10])
+                suffix = " ..." if len(result) > 10 else ""
+                print(f"[{position}] {len(result)} hits: {preview}{suffix}")
+            rate = len(results) / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"{len(results)} queries, {total} total hits in "
+                f"{elapsed:.2f} s ({rate:.1f} q/s, workers={args.workers})"
+            )
+        else:
+            result = engine.search(args.query, threshold)
+            print(f"{len(result)} hits in {1000 * result.seconds:.2f} ms:")
+            for hit in result:
+                print(f"  [{hit}] {strings[hit]}")
+        cache_stats = engine.cache_stats()
     if profiling:
         _emit_profile(
             args,
@@ -278,6 +327,8 @@ def _cmd_search(args) -> int:
             algorithm=args.algorithm,
             metric=args.metric,
             threshold=args.threshold,
+            workers=args.workers,
+            cache=cache_stats,
         )
     return 0
 

@@ -6,6 +6,8 @@ from .framework import (
     UncompressedOnlineList,
     offline_factory,
     online_factory,
+    register_scheme,
+    scheme_factory,
 )
 from .listops import intersect, intersect_many, merge_counts, union_many
 
@@ -14,6 +16,8 @@ __all__ = [
     "ONLINE_SCHEMES",
     "offline_factory",
     "online_factory",
+    "register_scheme",
+    "scheme_factory",
     "UncompressedOnlineList",
     "intersect",
     "intersect_many",

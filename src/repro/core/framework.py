@@ -2,18 +2,29 @@
 
 The paper's framing is that CSS is a *flexible framework* — any filtering
 technique keeps its algorithm and swaps the posting-list representation.
-This module provides the factories search and join engines are parameterized
+This module provides the registry search and join engines are parameterized
 with, keyed by the scheme names used throughout the evaluation chapter:
 
 * offline (similarity search): ``uncomp``, ``pfordelta``, ``milc``, ``css``
   (+ ablation codecs ``vbyte``, ``eliasfano``, ``roaring``),
 * online (similarity join): ``uncomp``, ``fix``, ``vari``, ``adapt``
   (+ the ablation policy ``model``).
+
+Third-party and ablation codecs plug in without editing this module::
+
+    from repro.core.framework import register_scheme
+
+    @register_scheme("mycodec", kind="offline")
+    class MyList(SortedIDList): ...
+
+``offline_factory`` / ``online_factory`` remain as thin wrappers over the
+unified :func:`scheme_factory` lookup for callers written against the old
+parallel-factory API.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +52,8 @@ from ..obs import METRICS as _METRICS
 __all__ = [
     "OFFLINE_SCHEMES",
     "ONLINE_SCHEMES",
+    "register_scheme",
+    "scheme_factory",
     "offline_factory",
     "online_factory",
     "UncompressedOnlineList",
@@ -73,47 +86,75 @@ class UncompressedOnlineList(OnlineSortedIDList):
         return np.asarray(self._buffer, dtype=np.int64)
 
 
-OFFLINE_SCHEMES: Dict[str, OfflineFactory] = {
-    "uncomp": UncompressedList,
-    "pfordelta": PForDeltaList,
-    "milc": MILCList,
-    "css": CSSList,
-    "vbyte": VByteList,
-    "eliasfano": EliasFanoList,
-    "roaring": RoaringList,
-    "simple8b": Simple8bList,
-    "groupvarint": GroupVarintList,
+#: the two registries, keyed by evaluation-chapter scheme name.  These dicts
+#: are the storage behind :func:`register_scheme`; they stay importable (and
+#: identity-stable) because the CLI and tests enumerate them directly.
+OFFLINE_SCHEMES: Dict[str, OfflineFactory] = {}
+ONLINE_SCHEMES: Dict[str, OnlineFactory] = {}
+
+_KINDS: Dict[str, Dict[str, Callable]] = {
+    "offline": OFFLINE_SCHEMES,
+    "online": ONLINE_SCHEMES,
 }
 
-ONLINE_SCHEMES: Dict[str, OnlineFactory] = {
-    "uncomp": UncompressedOnlineList,
-    "fix": FixList,
-    "vari": VariList,
-    "adapt": AdaptList,
-    "model": ModelList,
-}
+
+def register_scheme(
+    name: str,
+    kind: str,
+    factory: Optional[Callable] = None,
+    *,
+    replace: bool = False,
+):
+    """Register ``factory`` as scheme ``name`` of the given ``kind``.
+
+    ``kind`` is ``"offline"`` (search codecs, ``factory(ids) -> list``) or
+    ``"online"`` (join codecs, ``factory() -> appendable list``).  With no
+    ``factory`` argument this returns a class decorator.  Re-registration
+    requires ``replace=True`` so accidental name collisions fail loudly.
+    """
+    try:
+        registry = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"kind must be one of {sorted(_KINDS)}, got {kind!r}"
+        ) from None
+
+    def _register(target: Callable) -> Callable:
+        if name in registry and not replace:
+            raise ValueError(
+                f"{kind} scheme {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        registry[name] = target
+        return target
+
+    return _register(factory) if factory is not None else _register
+
+
+def scheme_factory(name: str, kind: str) -> Callable:
+    """Factory for a registered scheme by name and kind."""
+    try:
+        registry = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"kind must be one of {sorted(_KINDS)}, got {kind!r}"
+        ) from None
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown {kind} scheme {name!r}; choose from {sorted(registry)}"
+        ) from None
 
 
 def offline_factory(scheme: str) -> OfflineFactory:
     """Factory for an offline scheme by its evaluation-chapter name."""
-    try:
-        return OFFLINE_SCHEMES[scheme]
-    except KeyError:
-        raise ValueError(
-            f"unknown offline scheme {scheme!r}; "
-            f"choose from {sorted(OFFLINE_SCHEMES)}"
-        ) from None
+    return scheme_factory(scheme, "offline")
 
 
 def online_factory(scheme: str) -> OnlineFactory:
     """Factory for an online scheme by its evaluation-chapter name."""
-    try:
-        return ONLINE_SCHEMES[scheme]
-    except KeyError:
-        raise ValueError(
-            f"unknown online scheme {scheme!r}; "
-            f"choose from {sorted(ONLINE_SCHEMES)}"
-        ) from None
+    return scheme_factory(scheme, "online")
 
 
 def offline_scheme_names() -> List[str]:
@@ -122,3 +163,31 @@ def offline_scheme_names() -> List[str]:
 
 def online_scheme_names() -> List[str]:
     return sorted(ONLINE_SCHEMES)
+
+
+# ---------------------------------------------------------------------- #
+# built-in schemes, registered through the same path third parties use
+# ---------------------------------------------------------------------- #
+for _name, _factory in (
+    ("uncomp", UncompressedList),
+    ("pfordelta", PForDeltaList),
+    ("milc", MILCList),
+    ("css", CSSList),
+    ("vbyte", VByteList),
+    ("eliasfano", EliasFanoList),
+    ("roaring", RoaringList),
+    ("simple8b", Simple8bList),
+    ("groupvarint", GroupVarintList),
+):
+    register_scheme(_name, "offline", _factory)
+
+for _name, _factory in (
+    ("uncomp", UncompressedOnlineList),
+    ("fix", FixList),
+    ("vari", VariList),
+    ("adapt", AdaptList),
+    ("model", ModelList),
+):
+    register_scheme(_name, "online", _factory)
+
+del _name, _factory

@@ -1,0 +1,308 @@
+""":class:`SimilarityEngine` — the unified serving facade.
+
+One object owns the whole query path: an inverted index (offline or
+dynamic), the searcher for the configured metric, a shared
+:class:`~repro.engine.cache.DecodeCache`, and a lazily-created worker pool
+that :meth:`SimilarityEngine.search_batch` reuses across calls.
+
+Batch execution prefers a ``fork``-context process pool: the index is
+inherited copy-on-write by the workers (no per-task pickling of the index),
+only query chunks go out and :class:`SearchResult` lists come back, so a
+CPU-bound Python query loop actually scales with cores.  Where ``fork`` is
+unavailable the engine falls back to a thread pool (which at least overlaps
+the numpy-released-GIL regions), and any pool failure falls back to the
+serial path — ``search_batch`` never returns different answers than a
+serial ``search`` loop, it only changes how fast they arrive.
+
+Dynamic ingest (:meth:`add`) invalidates exactly the cached posting lists
+the new record touched and retires the pool (forked workers hold the
+pre-ingest index image).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import METRICS as _METRICS
+from ..search.dynamic import DynamicInvertedIndex
+from ..search.edsearch import EditDistanceSearcher
+from ..search.result import SearchResult
+from ..search.searcher import InvertedIndex, JaccardSearcher
+from .cache import DecodeCache
+
+__all__ = ["SimilarityEngine"]
+
+#: engine image inside a pool worker, installed by the pool initializer.
+_WORKER_ENGINE: Optional["SimilarityEngine"] = None
+
+
+def _init_worker(engine: "SimilarityEngine") -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+    # under fork the worker inherits the parent's engine object verbatim,
+    # including its executor handle; drop it so worker-side teardown never
+    # touches the parent's pool machinery
+    engine._pool = None
+    engine._pool_kind = None
+    engine._pool_workers = 0
+    # child-side obs records cannot reach the parent registry; the parent
+    # replicates the per-query counters from the returned stats instead
+    _METRICS.enabled = False
+
+
+def _run_chunk(chunk: List[str], threshold) -> List[SearchResult]:
+    searcher = _WORKER_ENGINE.searcher
+    return [searcher.search(query, threshold) for query in chunk]
+
+
+class SimilarityEngine:
+    """Index + searcher + decode cache + worker pool behind one API.
+
+    Parameters
+    ----------
+    collection:
+        A :class:`~repro.similarity.tokenize.TokenizedCollection` to index
+        (ignored when ``index`` is given).
+    index:
+        A prebuilt :class:`InvertedIndex` / :class:`DynamicInvertedIndex`
+        to serve instead of building one.
+    scheme / algorithm / metric:
+        Offline scheme name, T-occurrence algorithm, and similarity metric
+        (``jaccard`` / ``cosine`` / ``dice`` / ``ed`` — ``ed`` thresholds
+        are integer edit distances).
+    cache_entries / cache_bytes / cache_admit_after:
+        Decode-cache capacity knobs; ``cache_entries=0`` disables the
+        cache entirely.
+    """
+
+    def __init__(
+        self,
+        collection=None,
+        *,
+        index=None,
+        scheme: str = "css",
+        algorithm: str = "mergeskip",
+        metric: str = "jaccard",
+        cache_entries: Optional[int] = 1024,
+        cache_bytes: Optional[int] = 64 << 20,
+        cache_admit_after: int = 2,
+        **scheme_kwargs,
+    ) -> None:
+        if index is None:
+            if collection is None:
+                raise ValueError("provide a tokenized collection or an index")
+            index = InvertedIndex(collection, scheme=scheme, **scheme_kwargs)
+        self.index = index
+        self.metric = metric
+        self.algorithm = algorithm
+        self.cache: Optional[DecodeCache] = (
+            None
+            if cache_entries == 0
+            else DecodeCache(
+                max_entries=cache_entries,
+                max_bytes=cache_bytes,
+                admit_after=cache_admit_after,
+            )
+        )
+        if metric == "ed":
+            self.searcher = EditDistanceSearcher(
+                index, algorithm=algorithm, cache=self.cache
+            )
+        else:
+            self.searcher = JaccardSearcher(
+                index, algorithm=algorithm, metric=metric, cache=self.cache
+            )
+        self._pool: Optional[Executor] = None
+        self._pool_kind: Optional[str] = None
+        self._pool_workers = 0
+
+    # ------------------------------------------------------------------ #
+    # single-query path
+    # ------------------------------------------------------------------ #
+    def search(self, query: str, threshold) -> SearchResult:
+        """Answer one query; see the searcher classes for semantics."""
+        return self.searcher.search(query, threshold)
+
+    # ------------------------------------------------------------------ #
+    # batch path
+    # ------------------------------------------------------------------ #
+    def search_batch(
+        self,
+        queries: Sequence[str],
+        threshold,
+        workers: Optional[int] = 1,
+        chunk_size: Optional[int] = None,
+    ) -> List[SearchResult]:
+        """Answer ``queries`` in order; identical results to serial ``search``.
+
+        ``workers > 1`` partitions the batch into chunks over a reused
+        process (preferred) or thread pool.  Small batches and
+        ``workers in (None, 0, 1)`` run serially — pool overhead would
+        dominate.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        workers = int(workers or 1)
+        if workers <= 1 or len(queries) < max(4, 2 * workers):
+            return self._search_serial(queries, threshold)
+
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(len(queries) / (workers * 4)))
+        chunks = [
+            queries[i : i + chunk_size]
+            for i in range(0, len(queries), chunk_size)
+        ]
+        try:
+            pool = self._ensure_pool(workers)
+            with _METRICS.span("engine.batch.parallel"):
+                futures = [
+                    pool.submit(*self._chunk_task(chunk, threshold))
+                    for chunk in chunks
+                ]
+                results = [
+                    result for future in futures for result in future.result()
+                ]
+        except Exception:
+            # a broken pool (pickling failure, dead worker) must not take
+            # the batch down with it; genuine query errors re-raise here
+            self.close()
+            return self._search_serial(queries, threshold)
+        if _METRICS.enabled:
+            if self._pool_kind == "process":
+                # replicate what the workers recorded into their (discarded)
+                # registries so --profile sees the whole batch
+                _METRICS.inc("search.queries", len(results))
+                _METRICS.inc(
+                    "search.candidates",
+                    sum(r.stats.candidates for r in results),
+                )
+                _METRICS.inc(
+                    "search.verifications",
+                    sum(r.stats.verifications for r in results),
+                )
+                _METRICS.inc(
+                    "search.results", sum(r.stats.results for r in results)
+                )
+            _METRICS.inc("engine.batch.queries", len(results))
+            _METRICS.inc("engine.batch.chunks", len(chunks))
+        return results
+
+    def _search_serial(
+        self, queries: List[str], threshold
+    ) -> List[SearchResult]:
+        with _METRICS.span("engine.batch.serial"):
+            return [self.searcher.search(query, threshold) for query in queries]
+
+    def _chunk_task(self, chunk: List[str], threshold):
+        if self._pool_kind == "process":
+            return (_run_chunk, chunk, threshold)
+        # threads share this engine (and its cache) directly; the module
+        # global would collide between engines
+        return (
+            lambda c=chunk, t=threshold: [
+                self.searcher.search(query, t) for query in c
+            ],
+        )
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self, workers: int) -> Executor:
+        if self._pool is not None and self._pool_workers == workers:
+            return self._pool
+        self.close()
+        pool: Optional[Executor] = None
+        try:
+            context = multiprocessing.get_context("fork")
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self,),
+            )
+            self._pool_kind = "process"
+        except (ValueError, OSError, ImportError):
+            pool = None
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-engine"
+            )
+            self._pool_kind = "thread"
+        self._pool = pool
+        self._pool_workers = workers
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (the engine stays usable serially)."""
+        pool, self._pool = self._pool, None
+        self._pool_kind = None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SimilarityEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # forked/pickled engine images must not carry the parent's pool
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_pool_kind"] = None
+        state["_pool_workers"] = 0
+        return state
+
+    # ------------------------------------------------------------------ #
+    # dynamic ingest
+    # ------------------------------------------------------------------ #
+    def add(self, text: str) -> int:
+        """Ingest one record (dynamic indexes only) and invalidate exactly
+        the cached posting lists the record touched."""
+        if not isinstance(self.index, DynamicInvertedIndex) and not hasattr(
+            self.index, "add"
+        ):
+            raise TypeError(
+                "dynamic ingest requires a DynamicInvertedIndex-backed "
+                "engine; this one serves a static InvertedIndex"
+            )
+        record_id = self.index.add(text)
+        if self.cache is not None:
+            for token in self.index.collection.records[record_id].tolist():
+                posting = self.index.lists.get(token)
+                if posting is not None:
+                    self.cache.invalidate(posting)
+        # forked workers hold the pre-ingest index image
+        self.close()
+        return record_id
+
+    def add_many(self, texts: Sequence[str]) -> List[int]:
+        return [self.add(text) for text in texts]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> Dict[str, int]:
+        """Decode-cache counters (all zero when the cache is disabled)."""
+        if self.cache is None:
+            return {
+                "entries": 0,
+                "bytes": 0,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "insertions": 0,
+                "invalidations": 0,
+            }
+        return self.cache.stats()

@@ -1,22 +1,28 @@
 """String similarity search (SSS) engines over compressed inverted indexes."""
 
+from .base import CountFilterSearcher
 from .brute import brute_edit_distance_search, brute_similarity_search
 from .dynamic import DynamicInvertedIndex
 from .edsearch import EditDistanceSearcher
 from .grouped import GroupedJaccardSearcher, LengthGroupedIndex
+from .result import SearchResult, SearchStats
 from .searcher import InvertedIndex, JaccardSearcher
-from .toccurrence import divide_skip, merge_skip, scan_count
+from .toccurrence import divide_skip, merge_skip, run_algorithm, scan_count
 
 __all__ = [
     "InvertedIndex",
     "DynamicInvertedIndex",
+    "CountFilterSearcher",
     "JaccardSearcher",
     "LengthGroupedIndex",
     "GroupedJaccardSearcher",
     "EditDistanceSearcher",
+    "SearchResult",
+    "SearchStats",
     "scan_count",
     "merge_skip",
     "divide_skip",
+    "run_algorithm",
     "brute_similarity_search",
     "brute_edit_distance_search",
 ]

@@ -1,0 +1,128 @@
+"""Shared scaffolding for the count-filter searchers.
+
+:class:`JaccardSearcher`, :class:`EditDistanceSearcher` and
+:class:`GroupedJaccardSearcher` used to each carry their own copy of the
+algorithm-name validation, the random-access guard (PForDelta cannot run
+MergeSkip, per Figure 7.2), the T-occurrence dispatch, and the post-query
+stats bookkeeping.  This module is the single home for all of it, plus the
+two pieces the batched engine adds to every searcher:
+
+* an optional shared :class:`~repro.engine.cache.DecodeCache` — when set,
+  probed posting lists are wrapped so hot lists are served from their
+  cached decoded form instead of being re-decoded per query;
+* the :class:`~repro.search.result.SearchResult` plumbing — ``search()``
+  returns a frozen result and ``last_stats`` survives only as a deprecated
+  property.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import List, Sequence
+
+from ..obs import METRICS as _METRICS
+from .result import SearchResult, SearchStats
+from .toccurrence import ALGORITHMS, run_algorithm
+
+__all__ = ["CountFilterSearcher"]
+
+
+class CountFilterSearcher:
+    """Base for searchers that answer queries via the count filter.
+
+    ``allowed_algorithms`` lets subclasses restrict the menu (the grouped
+    searcher does not implement DivideSkip).
+    """
+
+    def __init__(
+        self,
+        index,
+        algorithm: str,
+        cache=None,
+        allowed_algorithms: Sequence[str] = tuple(ALGORITHMS),
+    ) -> None:
+        if algorithm not in allowed_algorithms:
+            raise ValueError(
+                f"algorithm must be one of {tuple(allowed_algorithms)}, "
+                f"got {algorithm!r}"
+            )
+        if algorithm != "scancount" and not index.supports_random_access:
+            raise ValueError(
+                f"scheme {index.scheme!r} supports only sequential decoding; "
+                "use algorithm='scancount' (cf. Figure 7.2: PForDelta cannot "
+                "run MergeSkip)"
+            )
+        self.index = index
+        self.algorithm = algorithm
+        self.cache = cache
+        self._last_stats = SearchStats()
+
+    # ------------------------------------------------------------------ #
+    # deprecated mutable-stats surface
+    # ------------------------------------------------------------------ #
+    @property
+    def last_stats(self) -> SearchStats:
+        """Stats of the most recent query (deprecated).
+
+        Use the :class:`SearchResult` returned by :meth:`search` instead:
+        under the concurrent batch path "the last query" is not a
+        well-defined notion.
+        """
+        warnings.warn(
+            "searcher.last_stats is deprecated; use the stats attribute of "
+            "the SearchResult returned by search()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_stats
+
+    # ------------------------------------------------------------------ #
+    # shared query machinery
+    # ------------------------------------------------------------------ #
+    def _probe_lists(self, tokens: Sequence[int]) -> List:
+        """Posting lists for ``tokens``, cache-wrapped when a cache is set."""
+        lists = self.index.posting_lists(tokens)
+        cache = self.cache
+        if cache is not None:
+            lists = [cache.wrap(lst) for lst in lists]
+        return lists
+
+    def _candidates(self, lists, threshold: int):
+        return run_algorithm(
+            self.algorithm, lists, threshold, len(self.index.collection)
+        )
+
+    def _finish(
+        self,
+        query: str,
+        threshold: float,
+        stats: SearchStats,
+        ids: List[int],
+        started: float,
+    ) -> SearchResult:
+        """Freeze one query's outcome and record the per-query counters."""
+        stats.results = len(ids)
+        self._last_stats = stats
+        if _METRICS.enabled:
+            _METRICS.inc("search.queries")
+            _METRICS.inc("search.candidates", stats.candidates)
+            _METRICS.inc("search.verifications", stats.verifications)
+            _METRICS.inc("search.results", stats.results)
+        return SearchResult(
+            query=query,
+            threshold=threshold,
+            ids=tuple(int(i) for i in ids),
+            stats=stats,
+            seconds=time.perf_counter() - started,
+        )
+
+    def search(self, query: str, threshold) -> SearchResult:
+        raise NotImplementedError
+
+    def search_many(
+        self, queries: Sequence[str], threshold
+    ) -> List[SearchResult]:
+        """Serial batch; :meth:`repro.engine.SimilarityEngine.search_batch`
+        is the parallel equivalent."""
+        return [self.search(query, threshold) for query in queries]

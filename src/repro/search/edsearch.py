@@ -14,41 +14,33 @@ handle T <= 0.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
-
-import numpy as np
+import time
+from typing import Dict, List
 
 from ..obs import METRICS as _METRICS
 from ..similarity.edit_distance import within_edit_distance
-from .searcher import InvertedIndex, SearchStats
-from .toccurrence import divide_skip, merge_skip, scan_count
+from .base import CountFilterSearcher
+from .result import SearchResult, SearchStats
+from .searcher import InvertedIndex
 
 __all__ = ["EditDistanceSearcher"]
 
-_ALGORITHMS = ("scancount", "mergeskip", "divideskip")
 
-
-class EditDistanceSearcher:
+class EditDistanceSearcher(CountFilterSearcher):
     """q-gram count-filter search for ``ed(query, record) <= delta``."""
 
-    def __init__(self, index: InvertedIndex, algorithm: str = "mergeskip") -> None:
+    def __init__(
+        self,
+        index: InvertedIndex,
+        algorithm: str = "mergeskip",
+        cache=None,
+    ) -> None:
         if index.collection.mode != "qgram":
             raise ValueError(
                 "edit-distance search requires a q-gram tokenized collection"
             )
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(
-                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
-            )
-        if algorithm != "scancount" and not index.supports_random_access:
-            raise ValueError(
-                f"scheme {index.scheme!r} supports only sequential decoding; "
-                "use algorithm='scancount'"
-            )
-        self.index = index
-        self.algorithm = algorithm
+        super().__init__(index, algorithm, cache=cache)
         self.q = index.collection.q
-        self.last_stats = SearchStats()
         # length directory for the T <= 0 fallback; rebuilt lazily when the
         # collection grows (dynamic indexes ingest between queries)
         self._by_length: Dict[int, List[int]] = {}
@@ -59,31 +51,28 @@ class EditDistanceSearcher:
         strings = self.index.collection.strings
         if len(strings) == self._directory_size:
             return
-        self._by_length = {}
+        # build into locals, then publish with two atomic assignments so a
+        # concurrent reader (batch thread pool) never sees a half-built map
+        by_length: Dict[int, List[int]] = {}
         for record_id, text in enumerate(strings):
-            self._by_length.setdefault(len(text), []).append(record_id)
+            by_length.setdefault(len(text), []).append(record_id)
+        self._by_length = by_length
         self._directory_size = len(strings)
-
-    def _candidates(self, lists, threshold: int) -> np.ndarray:
-        if self.algorithm == "scancount":
-            return scan_count(lists, threshold, len(self.index.collection))
-        if self.algorithm == "mergeskip":
-            return merge_skip(lists, threshold)
-        return divide_skip(lists, threshold)
 
     def _length_scan(self, query: str, delta: int) -> List[int]:
         self._refresh_length_directory()
+        by_length = self._by_length
         candidates: List[int] = []
         for length in range(len(query) - delta, len(query) + delta + 1):
-            candidates.extend(self._by_length.get(length, []))
+            candidates.extend(by_length.get(length, []))
         return sorted(candidates)
 
-    def search(self, query: str, delta: int) -> List[int]:
+    def search(self, query: str, delta: int) -> SearchResult:
         """Record ids with ``ed(query, record) <= delta``, ascending."""
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
+        started = time.perf_counter()
         stats = SearchStats()
-        self.last_stats = stats
         collection = self.index.collection
         strings = collection.strings
         query_ids = collection.encode_query(query)
@@ -92,7 +81,7 @@ class EditDistanceSearcher:
         stats.count_threshold = count_threshold
 
         if count_threshold >= 1 and query_ids.size >= count_threshold:
-            lists = self.index.posting_lists(query_ids.tolist())
+            lists = self._probe_lists(query_ids.tolist())
             stats.lists_probed = len(lists)
             stats.postings_available = sum(len(lst) for lst in lists)
             with _METRICS.span("search.filter"):
@@ -100,7 +89,7 @@ class EditDistanceSearcher:
         elif count_threshold >= 1:
             # more unseen query grams than the bound tolerates: no record can
             # share count_threshold of the query's grams
-            return []
+            return self._finish(query, delta, stats, [], started)
         else:
             with _METRICS.span("search.filter"):
                 candidates = self._length_scan(query, delta)
@@ -115,13 +104,4 @@ class EditDistanceSearcher:
                 stats.verifications += 1
                 if within_edit_distance(query, text, delta):
                     results.append(candidate)
-        stats.results = len(results)
-        if _METRICS.enabled:
-            _METRICS.inc("search.queries")
-            _METRICS.inc("search.candidates", stats.candidates)
-            _METRICS.inc("search.verifications", stats.verifications)
-            _METRICS.inc("search.results", stats.results)
-        return results
-
-    def search_many(self, queries: Sequence[str], delta: int) -> List[List[int]]:
-        return [self.search(query, delta) for query in queries]
+        return self._finish(query, delta, stats, results, started)

@@ -18,6 +18,7 @@ equality and the candidate-count reduction.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List
 
 import numpy as np
@@ -27,7 +28,8 @@ from ..core.framework import offline_factory
 from ..similarity.measures import length_bounds, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .searcher import SearchStats
+from .base import CountFilterSearcher
+from .result import SearchResult, SearchStats
 from .toccurrence import merge_skip, scan_count
 
 __all__ = ["LengthGroupedIndex", "GroupedJaccardSearcher"]
@@ -104,7 +106,7 @@ class LengthGroupedIndex:
         return len(self.groups)
 
 
-class GroupedJaccardSearcher:
+class GroupedJaccardSearcher(CountFilterSearcher):
     """Count-filter search with per-group T-occurrence thresholds."""
 
     def __init__(
@@ -112,42 +114,40 @@ class GroupedJaccardSearcher:
         index: LengthGroupedIndex,
         algorithm: str = "mergeskip",
         metric: str = "jaccard",
+        cache=None,
     ) -> None:
-        if algorithm not in ("scancount", "mergeskip"):
-            raise ValueError(
-                f"algorithm must be scancount or mergeskip, got {algorithm!r}"
-            )
-        if algorithm != "scancount" and not index.supports_random_access:
-            raise ValueError(
-                f"scheme {index.scheme!r} supports only sequential decoding; "
-                "use algorithm='scancount'"
-            )
-        self.index = index
-        self.algorithm = algorithm
+        super().__init__(
+            index,
+            algorithm,
+            cache=cache,
+            allowed_algorithms=("scancount", "mergeskip"),
+        )
         self.metric = metric
-        self.last_stats = SearchStats()
 
-    def search(self, query: str, threshold: float) -> List[int]:
+    def search(self, query: str, threshold: float) -> SearchResult:
         """Record ids with ``SIM >= threshold`` — same answers as the plain
         searcher, computed with tighter per-group thresholds."""
         if not 0 < threshold <= 1:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        started = time.perf_counter()
         stats = SearchStats()
-        self.last_stats = stats
         collection = self.index.collection
         query_ids = collection.encode_query(query)
         signature_size = collection.signature_size(query)
         if signature_size == 0:
-            return []
+            return self._finish(query, threshold, stats, [], started)
         low, high = length_bounds(signature_size, threshold, self.metric)
 
         results: List[int] = []
+        cache = self.cache
         tokens = query_ids.tolist()
         for group in self.index.groups_for_range(low, high):
             lists = self.index.groups[group]
             probe = [lists[token] for token in tokens if token in lists]
             if not probe:
                 continue
+            if cache is not None:
+                probe = [cache.wrap(lst) for lst in probe]
             group_floor = max(low, self.index.group_min_size[group])
             group_threshold = required_overlap(
                 signature_size, group_floor, threshold, self.metric
@@ -180,5 +180,4 @@ class GroupedJaccardSearcher:
                 ):
                     results.append(candidate)
         results.sort()
-        stats.results = len(results)
-        return results
+        return self._finish(query, threshold, stats, results, started)

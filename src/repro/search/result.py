@@ -1,0 +1,92 @@
+"""Frozen search outcomes: :class:`SearchStats` and :class:`SearchResult`.
+
+The original searchers reported their filtering counters by mutating
+``self.last_stats`` after every query — fine for a single-threaded loop,
+racy the moment queries run concurrently (the batched engine interleaves
+queries over one searcher).  The redesigned API returns everything about a
+query in one immutable :class:`SearchResult`; nothing the caller receives
+can be clobbered by the next query.
+
+``SearchResult`` is a :class:`~collections.abc.Sequence` over the matching
+record ids and compares equal to a plain list/tuple of ids, so code (and
+tests) written against the old ``search() -> List[int]`` contract keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SearchStats", "SearchResult"]
+
+
+@dataclass
+class SearchStats:
+    """Filter-and-verification counters for one query.
+
+    The filtering-power lens of the paper's evaluation: how many posting
+    lists were probed, how many candidates survived the count filter, how
+    many reached exact verification, how many answered.
+    """
+
+    lists_probed: int = 0
+    postings_available: int = 0
+    candidates: int = 0
+    verifications: int = 0
+    results: int = 0
+    count_threshold: int = 0
+
+
+@dataclass(frozen=True, eq=False)
+class SearchResult(Sequence):
+    """Immutable outcome of one ``search()`` call.
+
+    Fields: the ``query`` and ``threshold`` it answered, the matching
+    record ``ids`` (ascending tuple), the per-query :class:`SearchStats`,
+    and the wall-clock ``seconds`` the query took.
+
+    Equality compares the ids only — against another result or against any
+    plain sequence of ids — which keeps the pre-redesign list contract.
+    """
+
+    query: str
+    threshold: float
+    ids: Tuple[int, ...]
+    stats: SearchStats = field(repr=False)
+    seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # sequence protocol over the ids
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __getitem__(self, index: Union[int, slice]):
+        return self.ids[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SearchResult):
+            return self.ids == other.ids
+        if isinstance(other, (list, tuple, np.ndarray)):
+            return list(self.ids) == [int(x) for x in other]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.ids)
+
+    def to_list(self) -> List[int]:
+        """The ids as a plain (mutable) list."""
+        return list(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = list(self.ids[:8])
+        suffix = ", ..." if len(self.ids) > 8 else ""
+        return (
+            f"<SearchResult query={self.query!r} threshold={self.threshold} "
+            f"hits={len(self.ids)} [{preview}{suffix}] "
+            f"{1000 * self.seconds:.2f} ms>"
+        )

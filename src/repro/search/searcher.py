@@ -13,7 +13,6 @@ requires for the search (as opposed to join) setting.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -24,28 +23,10 @@ from ..obs import METRICS as _METRICS
 from ..similarity.measures import length_bounds, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .toccurrence import divide_skip, merge_skip, scan_count
+from .base import CountFilterSearcher
+from .result import SearchResult, SearchStats
 
-__all__ = ["InvertedIndex", "JaccardSearcher", "SearchStats"]
-
-_ALGORITHMS = ("scancount", "mergeskip", "divideskip")
-
-
-@dataclass
-class SearchStats:
-    """Filter-and-verification counters for the most recent query.
-
-    The filtering-power lens of the paper's evaluation: how many posting
-    lists were probed, how many candidates survived the count filter, how
-    many reached exact verification, how many answered.
-    """
-
-    lists_probed: int = 0
-    postings_available: int = 0
-    candidates: int = 0
-    verifications: int = 0
-    results: int = 0
-    count_threshold: int = 0
+__all__ = ["InvertedIndex", "JaccardSearcher", "SearchStats", "SearchResult"]
 
 
 class InvertedIndex:
@@ -107,7 +88,7 @@ class InvertedIndex:
         return ELEMENT_BITS * self.num_postings() / compressed
 
 
-class JaccardSearcher:
+class JaccardSearcher(CountFilterSearcher):
     """Count-filter similarity search for Jaccard (and Cosine/Dice) metrics."""
 
     def __init__(
@@ -115,42 +96,22 @@ class JaccardSearcher:
         index: InvertedIndex,
         algorithm: str = "mergeskip",
         metric: str = "jaccard",
+        cache=None,
     ) -> None:
-        if algorithm not in _ALGORITHMS:
-            raise ValueError(
-                f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
-            )
-        if algorithm != "scancount" and not index.supports_random_access:
-            raise ValueError(
-                f"scheme {index.scheme!r} supports only sequential decoding; "
-                "use algorithm='scancount' (cf. Figure 7.2: PForDelta cannot "
-                "run MergeSkip)"
-            )
-        self.index = index
-        self.algorithm = algorithm
+        super().__init__(index, algorithm, cache=cache)
         self.metric = metric
-        self.last_stats = SearchStats()
 
-    def _candidates(
-        self, lists: Sequence[SortedIDList], threshold: int
-    ) -> np.ndarray:
-        if self.algorithm == "scancount":
-            return scan_count(lists, threshold, len(self.index.collection))
-        if self.algorithm == "mergeskip":
-            return merge_skip(lists, threshold)
-        return divide_skip(lists, threshold)
-
-    def search(self, query: str, threshold: float) -> List[int]:
+    def search(self, query: str, threshold: float) -> SearchResult:
         """Record ids with ``SIM(query, record) >= threshold``, ascending."""
         if not 0 < threshold <= 1:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        started = time.perf_counter()
         stats = SearchStats()
-        self.last_stats = stats
         collection = self.index.collection
         query_ids = collection.encode_query(query)
         signature_size = collection.signature_size(query)
         if signature_size == 0:
-            return []
+            return self._finish(query, threshold, stats, [], started)
         # minimum count over all admissible candidate lengths: for Jaccard
         # |s| >= tau |r| implies overlap >= ceil(tau |r|)  (Section 3.1.1)
         low, high = length_bounds(signature_size, threshold, self.metric)
@@ -159,8 +120,9 @@ class JaccardSearcher:
         )
         stats.count_threshold = count_threshold
         if count_threshold > query_ids.size:
-            return []  # too many query tokens unseen in the collection
-        lists = self.index.posting_lists(query_ids.tolist())
+            # too many query tokens unseen in the collection
+            return self._finish(query, threshold, stats, [], started)
+        lists = self._probe_lists(query_ids.tolist())
         stats.lists_probed = len(lists)
         stats.postings_available = sum(len(lst) for lst in lists)
         with _METRICS.span("search.filter"):
@@ -182,15 +144,4 @@ class JaccardSearcher:
                     >= needed
                 ):
                     results.append(candidate)
-        stats.results = len(results)
-        if _METRICS.enabled:
-            _METRICS.inc("search.queries")
-            _METRICS.inc("search.candidates", stats.candidates)
-            _METRICS.inc("search.verifications", stats.verifications)
-            _METRICS.inc("search.results", stats.results)
-        return results
-
-    def search_many(
-        self, queries: Sequence[str], threshold: float
-    ) -> List[List[int]]:
-        return [self.search(query, threshold) for query in queries]
+        return self._finish(query, threshold, stats, results, started)

@@ -28,7 +28,7 @@ import numpy as np
 from ..compression.base import SortedIDList
 from ..obs import METRICS as _METRICS
 
-__all__ = ["scan_count", "merge_skip", "divide_skip"]
+__all__ = ["scan_count", "merge_skip", "divide_skip", "ALGORITHMS", "run_algorithm"]
 
 
 def scan_count(
@@ -154,3 +154,35 @@ def divide_skip(
         _METRICS.inc("toccurrence.long_lists", len(long_lists))
         _METRICS.inc("toccurrence.membership_checks", membership_checks)
     return np.asarray(results, dtype=np.int64)
+
+
+#: algorithm-name -> solver; the single source of truth for which
+#: T-occurrence algorithms exist (searchers validate against these keys
+#: instead of keeping their own copies of the name tuple).
+ALGORITHMS = {
+    "scancount": scan_count,
+    "mergeskip": merge_skip,
+    "divideskip": divide_skip,
+}
+
+
+def run_algorithm(
+    name: str,
+    lists: Sequence[SortedIDList],
+    threshold: int,
+    universe: int,
+) -> np.ndarray:
+    """Solve the T-occurrence problem with the named algorithm.
+
+    ``universe`` (the record-id space) is only consumed by ScanCount; the
+    skip-based algorithms ignore it.
+    """
+    if name == "scancount":
+        return scan_count(lists, threshold, universe)
+    try:
+        solver = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"algorithm must be one of {tuple(ALGORITHMS)}, got {name!r}"
+        ) from None
+    return solver(lists, threshold)

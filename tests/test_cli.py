@@ -88,6 +88,122 @@ class TestIndexAndSearch:
         assert "world" not in out
 
 
+class TestBlankLines:
+    def test_ids_keep_matching_line_numbers(self, tmp_path, capsys):
+        path = tmp_path / "gappy.txt"
+        path.write_text("alpha beta\n\nalpha beta\n", encoding="utf-8")
+        assert (
+            main(["search", str(path), "alpha beta", "--threshold", "1.0"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        # record 1 is the blank line; hits sit at their source line numbers
+        assert "[0]" in captured.out
+        assert "[2]" in captured.out
+        assert "blank line(s) kept as empty records" in captured.err
+
+    def test_no_warning_without_blanks(self, corpus, word_strings, capsys):
+        assert (
+            main(["search", corpus, word_strings[0], "--threshold", "0.9"])
+            == 0
+        )
+        assert "blank line" not in capsys.readouterr().err
+
+
+class TestBatchSearch:
+    @pytest.fixture
+    def queries_file(self, tmp_path, word_strings):
+        path = tmp_path / "queries.txt"
+        path.write_text("\n".join(word_strings[:12]) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_batch_mode_output(self, corpus, queries_file, capsys):
+        assert (
+            main(
+                [
+                    "search", corpus,
+                    "--queries-file", queries_file,
+                    "--threshold", "1.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # one line per query, positionally numbered, plus a summary
+        for position in range(12):
+            assert f"[{position}] " in out
+        assert "12 queries," in out
+        assert "workers=1" in out
+
+    def test_batch_mode_with_workers(self, corpus, queries_file, capsys):
+        assert (
+            main(
+                [
+                    "search", corpus,
+                    "--queries-file", queries_file,
+                    "--threshold", "1.0",
+                    "--workers", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "12 queries," in out
+        assert "workers=2" in out
+
+    def test_workers_match_serial_hits(self, corpus, queries_file, capsys):
+        def hit_lines(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return [line for line in out.splitlines() if line.startswith("[")]
+
+        base = ["search", corpus, "--queries-file", queries_file,
+                "--threshold", "0.8"]
+        assert hit_lines(base + ["--workers", "2"]) == hit_lines(base)
+
+    def test_query_and_file_both_given_rejected(
+        self, corpus, queries_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "search", corpus, "some query",
+                    "--queries-file", queries_file,
+                ]
+            )
+            == 2
+        )
+        assert "exactly one" in capsys.readouterr().out
+
+    def test_neither_query_nor_file_rejected(self, corpus, capsys):
+        assert main(["search", corpus]) == 2
+        assert "exactly one" in capsys.readouterr().out
+
+    def test_batch_profile_includes_cache_stats(
+        self, corpus, queries_file, tmp_path, capsys
+    ):
+        import json
+
+        profile_path = tmp_path / "batch.json"
+        assert (
+            main(
+                [
+                    "search", corpus,
+                    "--queries-file", queries_file,
+                    "--threshold", "0.8",
+                    "--profile", str(profile_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        report = json.loads(profile_path.read_text())
+        assert report["meta"]["workers"] == 1
+        assert report["counters"]["search.queries"] == 12
+        cache = report["meta"]["cache"]
+        assert cache["misses"] >= 0 and "hits" in cache
+
+
 class TestCheck:
     def test_healthy_index_passes(self, corpus, tmp_path, capsys):
         index_path = str(tmp_path / "i.npz")

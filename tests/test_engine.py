@@ -1,0 +1,283 @@
+"""Tests for `repro.engine.SimilarityEngine` and the redesigned search API."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.core.framework import (
+    OFFLINE_SCHEMES,
+    register_scheme,
+    scheme_factory,
+)
+from repro.compression import UncompressedList
+from repro.engine import SimilarityEngine
+from repro.obs import enabled_metrics
+from repro.search import (
+    DynamicInvertedIndex,
+    InvertedIndex,
+    JaccardSearcher,
+    SearchResult,
+    SearchStats,
+    brute_similarity_search,
+)
+
+#: scheme -> algorithms it can run (PForDelta is sequential-decode only).
+SCHEME_ALGORITHMS = {
+    "uncomp": ("scancount", "mergeskip", "divideskip"),
+    "css": ("scancount", "mergeskip", "divideskip"),
+    "milc": ("scancount", "mergeskip", "divideskip"),
+    "pfordelta": ("scancount",),
+}
+
+
+class TestSearchResult:
+    @pytest.fixture()
+    def result(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        return engine.search(word_collection.strings[0], 0.6)
+
+    def test_sequence_protocol(self, result):
+        assert len(result) >= 1
+        assert result[0] == result.ids[0]
+        assert list(result) == list(result.ids)
+        assert result.ids[0] in result
+        assert result[:2] == result.ids[:2]
+
+    def test_equality_with_plain_sequences(self, result):
+        assert result == list(result.ids)
+        assert result == tuple(result.ids)
+        assert [*result.ids] == result  # reflected comparison
+        assert result != list(result.ids) + [10**9]
+
+    def test_frozen(self, result):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.ids = ()
+
+    def test_carries_stats_and_timing(self, result):
+        assert isinstance(result, SearchResult)
+        assert isinstance(result.stats, SearchStats)
+        assert result.stats.results == len(result)
+        assert result.stats.lists_probed > 0
+        assert result.seconds >= 0
+        assert result.threshold == 0.6
+
+    def test_to_list_is_mutable_copy(self, result):
+        ids = result.to_list()
+        ids.append(-1)
+        assert -1 not in result
+
+    def test_hashable_by_ids(self, result):
+        assert hash(result) == hash(result.ids)
+
+
+class TestLastStatsDeprecation:
+    def test_warns_but_reports(self, word_collection):
+        searcher = JaccardSearcher(InvertedIndex(word_collection, scheme="css"))
+        result = searcher.search(word_collection.strings[0], 0.6)
+        with pytest.warns(DeprecationWarning):
+            stats = searcher.last_stats
+        assert stats is result.stats
+
+    def test_search_does_not_warn(self, word_collection):
+        searcher = JaccardSearcher(InvertedIndex(word_collection, scheme="css"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            searcher.search(word_collection.strings[0], 0.6)
+
+
+class TestEngineSingleQuery:
+    def test_matches_brute_force(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        for query in word_collection.strings[:10]:
+            assert engine.search(query, 0.7) == brute_similarity_search(
+                word_collection, query, 0.7
+            )
+
+    def test_prebuilt_index(self, word_collection):
+        index = InvertedIndex(word_collection, scheme="milc")
+        engine = SimilarityEngine(index=index)
+        assert engine.index is index
+        query = word_collection.strings[3]
+        assert engine.search(query, 0.8) == brute_similarity_search(
+            word_collection, query, 0.8
+        )
+
+    def test_requires_collection_or_index(self):
+        with pytest.raises(ValueError, match="collection or an index"):
+            SimilarityEngine()
+
+    def test_edit_distance_metric(self, qgram_collection, char_strings):
+        engine = SimilarityEngine(
+            qgram_collection, scheme="css", metric="ed"
+        )
+        result = engine.search(char_strings[0], 1)
+        assert 0 in result
+
+    def test_repeated_queries_hit_the_cache(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        query = word_collection.strings[0]
+        for _ in range(4):
+            engine.search(query, 0.6)
+        stats = engine.cache_stats()
+        assert stats["hits"] > 0
+        assert stats["insertions"] > 0
+
+    def test_cache_disabled(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css", cache_entries=0)
+        query = word_collection.strings[0]
+        expected = engine.search(query, 0.6)
+        for _ in range(3):
+            assert engine.search(query, 0.6) == expected
+        assert engine.cache is None
+        assert engine.cache_stats()["hits"] == 0
+
+    def test_cached_results_identical_to_uncached(self, word_collection):
+        cached = SimilarityEngine(word_collection, scheme="css")
+        uncached = SimilarityEngine(
+            word_collection, scheme="css", cache_entries=0
+        )
+        for _ in range(3):  # repeat so the cache is actually exercised
+            for query in word_collection.strings[:15]:
+                assert cached.search(query, 0.6) == uncached.search(query, 0.6)
+
+
+class TestSearchBatch:
+    @pytest.mark.parametrize(
+        "scheme,algorithm",
+        [
+            (scheme, algorithm)
+            for scheme, algorithms in SCHEME_ALGORITHMS.items()
+            for algorithm in algorithms
+        ],
+    )
+    def test_parallel_identical_to_serial(
+        self, word_collection, scheme, algorithm
+    ):
+        queries = word_collection.strings[:24]
+        with SimilarityEngine(
+            word_collection, scheme=scheme, algorithm=algorithm
+        ) as engine:
+            serial = engine.search_batch(queries, 0.7, workers=1)
+            parallel = engine.search_batch(queries, 0.7, workers=2)
+        assert [list(r) for r in parallel] == [list(r) for r in serial]
+        assert [r.query for r in parallel] == list(queries)
+
+    def test_parallel_identical_to_serial_edit_distance(
+        self, qgram_collection, char_strings
+    ):
+        queries = char_strings[:20]
+        with SimilarityEngine(
+            qgram_collection, scheme="css", metric="ed"
+        ) as engine:
+            serial = engine.search_batch(queries, 1, workers=1)
+            parallel = engine.search_batch(queries, 1, workers=2)
+        assert [list(r) for r in parallel] == [list(r) for r in serial]
+
+    def test_empty_batch(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        assert engine.search_batch([], 0.8, workers=4) == []
+
+    def test_small_batch_stays_serial(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        results = engine.search_batch(
+            word_collection.strings[:3], 0.8, workers=4
+        )
+        assert engine._pool is None  # below the parallel cutoff: no pool
+        assert len(results) == 3
+
+    def test_pool_reused_across_batches(self, word_collection):
+        queries = word_collection.strings[:16]
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            engine.search_batch(queries, 0.7, workers=2)
+            pool = engine._pool
+            engine.search_batch(queries, 0.7, workers=2)
+            assert engine._pool is pool
+
+    def test_parallel_batch_records_query_counters(self, word_collection):
+        queries = word_collection.strings[:16]
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            with enabled_metrics() as registry:
+                engine.search_batch(queries, 0.7, workers=2)
+            assert registry.counter("search.queries") == len(queries)
+            assert registry.counter("engine.batch.queries") == len(queries)
+
+    def test_genuine_errors_propagate(self, word_collection):
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            with pytest.raises(ValueError, match="threshold"):
+                engine.search_batch(
+                    word_collection.strings[:16], 1.5, workers=2
+                )
+
+
+class TestDynamicIngest:
+    def test_static_index_rejects_add(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        with pytest.raises(TypeError, match="dynamic"):
+            engine.add("new record")
+
+    def test_ingest_invalidates_and_stays_correct(self, word_strings):
+        index = DynamicInvertedIndex(mode="word", scheme="adapt")
+        engine = SimilarityEngine(index=index)
+        engine.add_many(word_strings[:40])
+        query = word_strings[0]
+        for _ in range(3):  # warm the cache on the hot lists
+            engine.search(query, 1.0)
+        before = engine.search(query, 1.0)
+        assert 0 in before
+        engine.add(word_strings[0])  # duplicate record: must appear in results
+        after = engine.search(query, 1.0)
+        assert list(after) == sorted(set(before.ids) | {40})
+        assert engine.cache_stats()["invalidations"] > 0
+
+    def test_batch_after_ingest_consistent(self, word_strings):
+        index = DynamicInvertedIndex(mode="word", scheme="adapt")
+        engine = SimilarityEngine(index=index)
+        engine.add_many(word_strings[:30])
+        queries = word_strings[:12]
+        with engine:
+            engine.search_batch(queries, 0.8, workers=2)
+            engine.add(word_strings[5])
+            serial = [engine.search(q, 0.8) for q in queries]
+            parallel = engine.search_batch(queries, 0.8, workers=2)
+        assert [list(r) for r in parallel] == [list(r) for r in serial]
+
+
+class TestRegisterScheme:
+    def test_register_and_build(self, word_collection):
+        class EchoList(UncompressedList):
+            scheme_name = "echo"
+
+        register_scheme("echo", "offline", EchoList)
+        try:
+            assert scheme_factory("echo", "offline") is EchoList
+            engine = SimilarityEngine(word_collection, scheme="echo")
+            query = word_collection.strings[0]
+            assert engine.search(query, 0.7) == brute_similarity_search(
+                word_collection, query, 0.7
+            )
+        finally:
+            del OFFLINE_SCHEMES["echo"]
+
+    def test_decorator_form(self):
+        @register_scheme("echo2", "offline")
+        class EchoList(UncompressedList):
+            scheme_name = "echo2"
+
+        try:
+            assert scheme_factory("echo2", "offline") is EchoList
+        finally:
+            del OFFLINE_SCHEMES["echo2"]
+
+    def test_duplicate_rejected_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheme("css", "offline", UncompressedList)
+
+    def test_replace_allows_override(self):
+        original = OFFLINE_SCHEMES["uncomp"]
+        register_scheme("uncomp", "offline", original, replace=True)
+        assert OFFLINE_SCHEMES["uncomp"] is original
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_scheme("x", "sideways", UncompressedList)
