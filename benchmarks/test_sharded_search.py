@@ -1,0 +1,134 @@
+"""Sharded build + serving — monolithic vs. :class:`ShardedEngine`.
+
+Builds the same corpus once as a single CSS index and once as a 4-shard
+:class:`ShardedEngine` (parallel shard build over a ``fork`` pool when the
+host has the cores), asserts sharded answers are bit-identical to the
+monolithic engine for a query batch, and records build times, build
+speedup, query throughputs and the per-shard size accounting to
+``BENCH_sharded_search.json`` next to the repo root.
+
+The recorded build speedup is whatever the runner's cores give — a
+single-core container builds the shards serially and reports ~1x (the DP
+partitioning cost of CSS is linear, so sharding alone buys nothing without
+parallel hardware).  The parity assertion is what must always hold.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_block, search_dataset
+from repro.bench import render_table, sample_queries
+from repro.engine import ShardedEngine, SimilarityEngine
+
+DATASET = "aol"
+THRESHOLD = 0.8
+SHARDS = 4
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_sharded_search.json"
+)
+
+
+@pytest.fixture(scope="module")
+def sharded_queries():
+    dataset = search_dataset(DATASET)
+    queries = sample_queries(dataset, count=400, seed=11)
+    return dataset, queries
+
+
+def test_sharded_build_and_parity(benchmark, sharded_queries):
+    dataset, queries = sharded_queries
+
+    start = time.perf_counter()
+    mono = SimilarityEngine(dataset.collection, scheme="css")
+    mono_build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = ShardedEngine(
+        dataset.collection, shards=SHARDS, routing="contiguous", scheme="css"
+    )
+    sharded_build_seconds = time.perf_counter() - start
+
+    def build_sharded():
+        return ShardedEngine(
+            dataset.collection,
+            shards=SHARDS,
+            routing="contiguous",
+            scheme="css",
+        )
+
+    benchmark.pedantic(build_sharded, rounds=1, iterations=1)
+
+    with sharded:
+        start = time.perf_counter()
+        mono_results = mono.search_batch(queries, THRESHOLD, workers=1)
+        mono_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sharded_results = sharded.search_batch(queries, THRESHOLD)
+        sharded_seconds = time.perf_counter() - start
+
+    # sharding must be invisible in the answers: same ids, same order
+    assert [list(r) for r in sharded_results] == [
+        list(r) for r in mono_results
+    ]
+
+    record = {
+        "dataset": DATASET,
+        "queries": len(queries),
+        "threshold": THRESHOLD,
+        "scheme": "css",
+        "shards": SHARDS,
+        "routing": "contiguous",
+        "cpu_count": multiprocessing.cpu_count(),
+        "mono_build_seconds": round(mono_build_seconds, 3),
+        "sharded_build_seconds": round(sharded_build_seconds, 3),
+        "build_speedup": round(
+            mono_build_seconds / sharded_build_seconds, 2
+        ),
+        "mono_qps": round(len(queries) / mono_seconds, 1),
+        "sharded_qps": round(len(queries) / sharded_seconds, 1),
+        "shard_records": sharded.shard_sizes(),
+        "mono_size_bits": mono.index.size_bits(),
+        "sharded_size_bits": sharded.size_bits(),
+        "parity": True,
+        "cache": sharded.cache_stats(),
+    }
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if k not in ("cache",)}
+    )
+
+    if BASELINE_PATH.parent.is_dir():
+        BASELINE_PATH.write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+
+    print_block(
+        render_table(
+            ["engine", "build s", "q/s", "size bits"],
+            [
+                [
+                    "monolithic",
+                    record["mono_build_seconds"],
+                    record["mono_qps"],
+                    record["mono_size_bits"],
+                ],
+                [
+                    f"{SHARDS} shards",
+                    record["sharded_build_seconds"],
+                    record["sharded_qps"],
+                    record["sharded_size_bits"],
+                ],
+            ],
+            title=(
+                f"Sharded serving — {len(queries)} queries on {DATASET}, "
+                f"{multiprocessing.cpu_count()} core(s), build speedup "
+                f"{record['build_speedup']}x"
+            ),
+        )
+    )

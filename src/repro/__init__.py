@@ -49,7 +49,7 @@ from .compression import (
 from .compression.online import AdaptList, FixList, ModelList, VariList
 from .core import offline_factory, online_factory, register_scheme
 from .datasets import load_dataset
-from .engine import DecodeCache, SimilarityEngine
+from .engine import DecodeCache, ShardedEngine, SimilarityEngine
 from .join import (
     CountFilterJoin,
     PrefixFilterRSJoin,
@@ -90,6 +90,7 @@ __all__ = [
     "online_factory",
     "register_scheme",
     "SimilarityEngine",
+    "ShardedEngine",
     "DecodeCache",
     "SearchResult",
     "SearchStats",

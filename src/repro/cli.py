@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence
 from .compression.serialize import dump_index, load_index
 from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
 from .datasets import dataset_names, load_dataset
-from .engine import SimilarityEngine
+from .engine import ShardedEngine, SimilarityEngine
 from .obs import METRICS, dump_profile, profile_report
 from .join import (
     CountFilterJoin,
@@ -65,6 +65,21 @@ def _read_lines(path: str) -> List[str]:
             file=sys.stderr,
         )
     return lines
+
+
+def _integral_threshold(value: float, what: str) -> Optional[int]:
+    """``value`` as an edit-distance threshold, or ``None`` after an error.
+
+    ``int(1.9)`` silently meant "1 edit" for years; a non-integral edit
+    distance is always a user mistake, so reject it loudly instead.
+    """
+    if float(value) != int(value):
+        print(
+            f"error: {what} thresholds are edit distances and must be "
+            f"integral; got {value}"
+        )
+        return None
+    return int(value)
 
 
 def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--load-index", default=None, help="persisted .npz index to reuse"
     )
+    search.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the index into N shards served by a fan-out/merge "
+        "engine (default: 1, monolithic; results are identical)",
+    )
+    search.add_argument(
+        "--routing",
+        choices=("contiguous", "hash"),
+        default="contiguous",
+        help="shard routing mode for --shards > 1 (default: contiguous)",
+    )
     _add_profile_arg(search)
 
     join = commands.add_parser("join", help="similarity self-join a corpus")
@@ -279,23 +307,48 @@ def _cmd_search(args) -> int:
     if (args.query is None) == (args.queries_file is None):
         print("error: provide exactly one of a query or --queries-file")
         return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}")
+        return 2
+    if args.shards > 1 and args.load_index:
+        print(
+            "error: --load-index holds a monolithic index; --shards N "
+            "builds a partitioned one (dump it with ShardedEngine.dump)"
+        )
+        return 2
+    if args.metric == "ed":
+        threshold = _integral_threshold(args.threshold, "--metric ed")
+        if threshold is None:
+            return 2
+    else:
+        threshold = args.threshold
     strings = _read_lines(args.corpus)
     mode = "qgram" if args.metric == "ed" else args.mode
     q = 2 if args.metric == "ed" and args.mode == "word" else args.q
     collection = tokenize_collection(strings, mode=mode, q=q)
     profiling = _start_profile(args)
-    if args.load_index:
-        try:
-            index = load_index(args.load_index, collection)
-        except ValueError as error:
-            print(f"error: {error}")
-            return 1
+    if args.shards > 1:
+        engine_factory = lambda: ShardedEngine(  # noqa: E731
+            collection,
+            shards=args.shards,
+            routing=args.routing,
+            scheme=args.scheme,
+            algorithm=args.algorithm,
+            metric=args.metric,
+        )
     else:
-        index = InvertedIndex(collection, scheme=args.scheme)
-    threshold = int(args.threshold) if args.metric == "ed" else args.threshold
-    with SimilarityEngine(
-        index=index, algorithm=args.algorithm, metric=args.metric
-    ) as engine:
+        if args.load_index:
+            try:
+                index = load_index(args.load_index, collection)
+            except ValueError as error:
+                print(f"error: {error}")
+                return 1
+        else:
+            index = InvertedIndex(collection, scheme=args.scheme)
+        engine_factory = lambda: SimilarityEngine(  # noqa: E731
+            index=index, algorithm=args.algorithm, metric=args.metric
+        )
+    with engine_factory() as engine:
         if args.queries_file is not None:
             queries = _read_lines(args.queries_file)
             start = time.perf_counter()
@@ -328,6 +381,7 @@ def _cmd_search(args) -> int:
             metric=args.metric,
             threshold=args.threshold,
             workers=args.workers,
+            shards=args.shards,
             cache=cache_stats,
         )
     return 0
@@ -372,8 +426,13 @@ def _cmd_report(args) -> int:
 def _cmd_join(args) -> int:
     strings = _read_lines(args.corpus)
     if args.filter in ("segment", "edcount"):
+        integral = _integral_threshold(
+            args.threshold, f"--filter {args.filter}"
+        )
+        if integral is None:
+            return 2
         join = _JOIN_FILTERS[args.filter](strings, scheme=args.scheme)
-        threshold: float = int(args.threshold)
+        threshold: float = integral
     else:
         collection = tokenize_collection(strings, mode=args.mode, q=args.q)
         join = _JOIN_FILTERS[args.filter](collection, scheme=args.scheme)

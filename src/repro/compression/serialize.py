@@ -21,19 +21,32 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from .bitpack import BitBuffer
+from .online import OnlineSortedIDList
 from .twolayer import TwoLayerList, TwoLayerStore
 from .uncompressed import UncompressedList
 
-__all__ = ["dump_index", "load_index", "store_to_arrays", "store_from_arrays"]
+__all__ = [
+    "dump_index",
+    "load_index",
+    "dump_sharded",
+    "load_sharded",
+    "store_to_arrays",
+    "store_from_arrays",
+]
 
 FORMAT_VERSION = 2
 _KIND_TWOLAYER = 0
 _KIND_UNCOMP = 1
+
+SHARDED_FORMAT_VERSION = 1
+SHARDED_KIND = "repro.sharded_index"
+_MANIFEST_NAME = "manifest.json"
+_ASSIGNMENTS_NAME = "assignments.npz"
 
 
 def store_to_arrays(store: TwoLayerStore) -> Dict[str, np.ndarray]:
@@ -131,7 +144,22 @@ class _LoadedTwoLayerList(TwoLayerList):
 
 
 def dump_index(index, path: Union[str, Path]) -> None:
-    """Persist an :class:`InvertedIndex` to ``path`` (``.npz``)."""
+    """Persist an :class:`InvertedIndex` to ``path`` (``.npz``).
+
+    Dynamic indexes are rejected up front: their online two-region lists
+    are transient by design (they live for the duration of one join or
+    ingest session), so there is nothing durable to persist.  Rebuild the
+    corpus as an offline :class:`InvertedIndex` and dump that.
+    """
+    if any(
+        isinstance(lst, OnlineSortedIDList) for lst in index.lists.values()
+    ):
+        raise ValueError(
+            "cannot dump a dynamic index: online (two-region) lists are "
+            "transient by design; rebuild the corpus as an offline "
+            "InvertedIndex under a persistent scheme (uncomp/milc/css) "
+            "and dump that instead"
+        )
     tokens: List[int] = []
     kinds: List[int] = []
     bases, offsets, widths, starts = [], [], [], []
@@ -292,3 +320,151 @@ def load_index(path: Union[str, Path], collection):
             lst.supports_random_access for lst in index.lists.values()
         )
         return index
+
+
+# ---------------------------------------------------------------------- #
+# sharded persistence: one manifest + one validated .npz per shard
+# ---------------------------------------------------------------------- #
+def _validate_assignments(assignments: List[np.ndarray]) -> int:
+    """Check the shard assignment is a partition of ``0..N-1``; returns N."""
+    total = sum(int(a.size) for a in assignments)
+    if total == 0:
+        return 0
+    flat = np.concatenate(assignments)
+    if flat.size and not np.array_equal(
+        np.sort(flat), np.arange(total, dtype=np.int64)
+    ):
+        raise ValueError(
+            "shard assignments must cover record ids 0..N-1 exactly once"
+        )
+    for position, assignment in enumerate(assignments):
+        if assignment.size > 1 and not np.all(np.diff(assignment) > 0):
+            raise ValueError(
+                f"shard {position} assignment is not strictly ascending"
+            )
+    return total
+
+
+def _shard_file(position: int) -> str:
+    return f"shard-{position:05d}.npz"
+
+
+def dump_sharded(
+    indexes: Sequence,
+    assignments: Sequence[Sequence[int]],
+    path: Union[str, Path],
+    routing: str = "contiguous",
+) -> None:
+    """Persist a sharded index to directory ``path``.
+
+    Layout: ``manifest.json`` (version, routing, shard count, per-shard
+    record counts, scheme), ``assignments.npz`` (one local→global int64
+    array per shard) and one :func:`dump_index` ``.npz`` per shard — each
+    shard file reuses the consolidated, load-validated store arrays of the
+    monolithic format, so a corrupted shard fails loudly at load time.
+    """
+    if not indexes:
+        raise ValueError("dump_sharded needs at least one shard")
+    if len(indexes) != len(assignments):
+        raise ValueError(
+            f"{len(indexes)} shard indexes but {len(assignments)} assignments"
+        )
+    arrays = [np.asarray(a, dtype=np.int64) for a in assignments]
+    total = _validate_assignments(arrays)
+    for position, (index, assignment) in enumerate(zip(indexes, arrays)):
+        if len(index.collection) != assignment.size:
+            raise ValueError(
+                f"shard {position} indexes {len(index.collection)} records "
+                f"but its assignment lists {assignment.size}"
+            )
+    schemes = {index.scheme for index in indexes}
+    if len(schemes) != 1:
+        raise ValueError(f"shards disagree on the scheme: {sorted(schemes)}")
+
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise ValueError(f"{path} exists and is not a directory")
+    path.mkdir(parents=True, exist_ok=True)
+    for position, index in enumerate(indexes):
+        dump_index(index, path / _shard_file(position))
+    np.savez_compressed(
+        path / _ASSIGNMENTS_NAME,
+        **{f"shard_{i}": a for i, a in enumerate(arrays)},
+    )
+    manifest = {
+        "version": SHARDED_FORMAT_VERSION,
+        "kind": SHARDED_KIND,
+        "shards": len(indexes),
+        "routing": routing,
+        "scheme": next(iter(schemes)),
+        "num_records": total,
+        "shard_records": [int(a.size) for a in arrays],
+    }
+    (path / _MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_sharded(
+    path: Union[str, Path],
+    collection_for_shard: Callable[[int, np.ndarray], object],
+) -> Tuple[List, List[np.ndarray], Dict]:
+    """Load a :func:`dump_sharded` directory.
+
+    ``collection_for_shard(shard_id, global_ids)`` supplies the tokenized
+    sub-collection each shard index binds to (the serializer stores posting
+    lists and the id remap, never the strings).  Returns
+    ``(indexes, assignments, manifest)``.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} is not a sharded index (no {_MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("kind") != SHARDED_KIND:
+        raise ValueError(
+            f"{manifest_path} is not a {SHARDED_KIND} manifest"
+        )
+    if manifest.get("version") != SHARDED_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded index version {manifest.get('version')}"
+        )
+    shards = int(manifest["shards"])
+    shard_records = [int(n) for n in manifest["shard_records"]]
+    if shards < 1 or len(shard_records) != shards:
+        raise ValueError(
+            "corrupted sharded manifest: shard count disagrees with the "
+            "per-shard record listing"
+        )
+
+    with np.load(path / _ASSIGNMENTS_NAME) as bundle:
+        assignments = [
+            bundle[f"shard_{position}"].astype(np.int64)
+            for position in range(shards)
+        ]
+    for position, (assignment, expected) in enumerate(
+        zip(assignments, shard_records)
+    ):
+        if assignment.size != expected:
+            raise ValueError(
+                f"corrupted sharded index: shard {position} assignment "
+                f"holds {assignment.size} ids, manifest says {expected}"
+            )
+    if _validate_assignments(assignments) != int(manifest["num_records"]):
+        raise ValueError(
+            "corrupted sharded index: assignments disagree with the "
+            "manifest record count"
+        )
+
+    indexes = []
+    for position in range(shards):
+        shard_path = path / _shard_file(position)
+        if not shard_path.is_file():
+            raise ValueError(f"missing shard file {shard_path}")
+        indexes.append(
+            load_index(
+                shard_path,
+                collection_for_shard(position, assignments[position]),
+            )
+        )
+    return indexes, assignments, manifest

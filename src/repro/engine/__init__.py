@@ -11,6 +11,10 @@ for batched queries:
     result = engine.search("query string", 0.8)          # SearchResult
     batch = engine.search_batch(queries, 0.8, workers=4) # parallel
 
+:class:`ShardedEngine` is the horizontally-partitioned variant: N shards,
+each with its own index, searcher and decode cache; queries fan out and
+merge with local→global id remapping, bit-identical to a single shard.
+
 The decode cache is the piece the paper's two-layer layout motivates:
 posting lists are stored bit-packed, and every decode costs real work — so
 hot lists (Zipf token distributions make most workloads hot) are decoded
@@ -20,5 +24,11 @@ join probe phase, with ``obs`` counters for hits/misses/evictions/bytes.
 
 from .cache import CachedListView, DecodeCache
 from .core import SimilarityEngine
+from .sharded import ShardedEngine
 
-__all__ = ["SimilarityEngine", "DecodeCache", "CachedListView"]
+__all__ = [
+    "SimilarityEngine",
+    "ShardedEngine",
+    "DecodeCache",
+    "CachedListView",
+]

@@ -10,9 +10,12 @@ inherited copy-on-write by the workers (no per-task pickling of the index),
 only query chunks go out and :class:`SearchResult` lists come back, so a
 CPU-bound Python query loop actually scales with cores.  Where ``fork`` is
 unavailable the engine falls back to a thread pool (which at least overlaps
-the numpy-released-GIL regions), and any pool failure falls back to the
-serial path — ``search_batch`` never returns different answers than a
-serial ``search`` loop, it only changes how fast they arrive.
+the numpy-released-GIL regions).  Pool-*infrastructure* failures (broken
+worker, pickling error, ``OSError``) fall back to the serial path for the
+chunks the pool did not answer; genuine query exceptions propagate exactly
+as a serial ``search`` loop would raise them — ``search_batch`` never
+returns different answers than a serial loop, it only changes how fast
+they arrive.
 
 Dynamic ingest (:meth:`add`) invalidates exactly the cached posting lists
 the new record touched and retires the pool (forked workers hold the
@@ -23,7 +26,13 @@ from __future__ import annotations
 
 import math
 import multiprocessing
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import pickle
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Dict, List, Optional, Sequence
 
 from ..obs import METRICS as _METRICS
@@ -34,6 +43,13 @@ from ..search.searcher import InvertedIndex, JaccardSearcher
 from .cache import DecodeCache
 
 __all__ = ["SimilarityEngine"]
+
+#: pool-infrastructure failures: the worker transport broke, not the query.
+#: Only these trigger the serial fallback — a dead forked worker
+#: (``BrokenProcessPool`` is a ``BrokenExecutor``), a task or result that
+#: would not pickle, or an OS-level resource failure.  Anything else raised
+#: out of a chunk is a genuine query error and must propagate unchanged.
+_POOL_FAILURES = (BrokenExecutor, pickle.PicklingError, OSError)
 
 #: engine image inside a pool worker, installed by the pool initializer.
 _WORKER_ENGINE: Optional["SimilarityEngine"] = None
@@ -142,6 +158,14 @@ class SimilarityEngine:
         process (preferred) or thread pool.  Small batches and
         ``workers in (None, 0, 1)`` run serially — pool overhead would
         dominate.
+
+        Failure semantics: only *pool-infrastructure* failures (a broken
+        worker process, a pickling failure, an ``OSError``) fall back to
+        the serial path, and only for the chunks the pool did not answer —
+        chunks that already completed keep their results, so thread-mode
+        obs counters are never double-counted.  A genuine query exception
+        (bad threshold, searcher bug) propagates immediately, exactly as it
+        would from a serial ``search`` loop.
         """
         queries = list(queries)
         if not queries:
@@ -156,36 +180,78 @@ class SimilarityEngine:
             queries[i : i + chunk_size]
             for i in range(0, len(queries), chunk_size)
         ]
+        chunk_results: List[Optional[List[SearchResult]]] = [None] * len(chunks)
+        served_by_pool = [False] * len(chunks)
+        pool: Optional[Executor] = None
+        pool_kind: Optional[str] = None
+        infrastructure_broken = False
         try:
             pool = self._ensure_pool(workers)
+            pool_kind = self._pool_kind
+        except _POOL_FAILURES:
+            infrastructure_broken = True
+        if pool is not None:
             with _METRICS.span("engine.batch.parallel"):
-                futures = [
-                    pool.submit(*self._chunk_task(chunk, threshold))
-                    for chunk in chunks
-                ]
-                results = [
-                    result for future in futures for result in future.result()
-                ]
-        except Exception:
-            # a broken pool (pickling failure, dead worker) must not take
-            # the batch down with it; genuine query errors re-raise here
+                futures = []
+                try:
+                    for chunk in chunks:
+                        futures.append(
+                            pool.submit(*self._chunk_task(chunk, threshold))
+                        )
+                except _POOL_FAILURES:
+                    infrastructure_broken = True
+                for position, future in enumerate(futures):
+                    try:
+                        chunk_results[position] = future.result()
+                        served_by_pool[position] = True
+                    except _POOL_FAILURES:
+                        infrastructure_broken = True
+                    except BaseException:
+                        # a genuine query error: cancel what has not started
+                        # and let it propagate — no serial rerun, the serial
+                        # path would raise the same exception
+                        for pending in futures[position + 1 :]:
+                            pending.cancel()
+                        raise
+        if infrastructure_broken:
+            # the transport died, not the queries: retire the pool and
+            # answer only the chunks it never completed
             self.close()
-            return self._search_serial(queries, threshold)
+        missing = [
+            position
+            for position, chunk in enumerate(chunk_results)
+            if chunk is None
+        ]
+        if missing:
+            with _METRICS.span("engine.batch.serial"):
+                for position in missing:
+                    chunk_results[position] = [
+                        self.searcher.search(query, threshold)
+                        for query in chunks[position]
+                    ]
+        results = [result for chunk in chunk_results for result in chunk]
         if _METRICS.enabled:
-            if self._pool_kind == "process":
-                # replicate what the workers recorded into their (discarded)
-                # registries so --profile sees the whole batch
-                _METRICS.inc("search.queries", len(results))
+            if pool_kind == "process":
+                # replicate what the fork workers recorded into their
+                # (discarded) registries so --profile sees the whole batch;
+                # serially-rerun chunks already recorded live in-process
+                pooled = [
+                    result
+                    for position, chunk in enumerate(chunk_results)
+                    if served_by_pool[position]
+                    for result in chunk
+                ]
+                _METRICS.inc("search.queries", len(pooled))
                 _METRICS.inc(
                     "search.candidates",
-                    sum(r.stats.candidates for r in results),
+                    sum(r.stats.candidates for r in pooled),
                 )
                 _METRICS.inc(
                     "search.verifications",
-                    sum(r.stats.verifications for r in results),
+                    sum(r.stats.verifications for r in pooled),
                 )
                 _METRICS.inc(
-                    "search.results", sum(r.stats.results for r in results)
+                    "search.results", sum(r.stats.results for r in pooled)
                 )
             _METRICS.inc("engine.batch.queries", len(results))
             _METRICS.inc("engine.batch.chunks", len(chunks))

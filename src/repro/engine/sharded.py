@@ -1,0 +1,591 @@
+""":class:`ShardedEngine` — horizontal partitioning of the serving layer.
+
+The paper's SSD discussion (§6.1) assumes one monolithic index dumped and
+queried in place; the production axis beyond batching is partitioning the
+index itself.  Partitioned inverted indexes with per-partition compressed
+lists are the standard route to index-size and build-time scaling (Pibiri &
+Venturini, *Techniques for Inverted Index Compression*), and per-partition
+encoders compose cleanly when each shard keeps *local* ids (Vigna,
+*Quasi-Succinct Indices*): every shard numbers its records ``0..m-1``, so
+delta widths stay small and any offline scheme works unchanged.
+
+:class:`ShardedEngine` partitions a
+:class:`~repro.similarity.tokenize.TokenizedCollection` into N shards, each
+owning its own :class:`~repro.search.searcher.InvertedIndex` (or
+:class:`~repro.search.dynamic.DynamicInvertedIndex`), its own searcher and
+its own :class:`~repro.engine.cache.DecodeCache`.  Queries fan out to every
+shard and the per-shard results are merged with local→global id remapping —
+answers are **bit-identical** to a single-shard
+:class:`~repro.engine.core.SimilarityEngine` (same ids, same ascending
+order), because the count filter and exact verification are both local to a
+record: sharding changes which index answers for a record, never whether it
+answers.
+
+Routing modes
+-------------
+
+* ``"contiguous"`` — record ids split into N equal contiguous ranges
+  (shard ``k`` owns ``[bounds[k], bounds[k+1])``).  Preserves locality of
+  id-clustered corpora; the merge is a concatenation.
+* ``"hash"`` — record ``g`` lives on shard ``g % N``.  Balances skewed
+  corpora and is the routing used for dynamic ingest (the owning shard of
+  a new record is known before it arrives).
+
+Static shards share the parent collection's token dictionary, so a query
+encodes identically everywhere; dynamic shards each grow their own
+dictionary, which is equally exact (a token a shard has never seen cannot
+contribute overlap on that shard).
+
+Shard builds run in parallel over a ``fork``-context process pool when the
+host has the cores for it (each worker builds one shard's index from the
+inherited collection and ships the compressed layout back); a single-core
+host or an unavailable ``fork`` builds serially — same indexes, different
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import METRICS as _METRICS
+from ..search.dynamic import DynamicInvertedIndex
+from ..search.edsearch import EditDistanceSearcher
+from ..search.result import SearchResult, SearchStats
+from ..search.searcher import InvertedIndex, JaccardSearcher
+from ..similarity.tokenize import TokenizedCollection
+from .cache import DecodeCache
+from .core import _POOL_FAILURES
+
+__all__ = ["ShardedEngine", "partition_records", "subcollection"]
+
+ROUTINGS = ("contiguous", "hash")
+
+
+def partition_records(
+    num_records: int, shards: int, routing: str = "contiguous"
+) -> List[np.ndarray]:
+    """Global record ids per shard (ascending within each shard)."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if routing not in ROUTINGS:
+        raise ValueError(f"routing must be one of {ROUTINGS}, got {routing!r}")
+    everything = np.arange(num_records, dtype=np.int64)
+    if routing == "contiguous":
+        return [np.ascontiguousarray(a) for a in np.array_split(everything, shards)]
+    return [everything[shard::shards] for shard in range(shards)]
+
+
+def subcollection(
+    collection: TokenizedCollection, global_ids: Sequence[int]
+) -> TokenizedCollection:
+    """The records of ``global_ids`` as a collection with local ids 0..m-1.
+
+    Shares the parent's token dictionary (and the record arrays by
+    reference), so queries encode identically on every shard.
+    """
+    ids = [int(i) for i in global_ids]
+    return TokenizedCollection(
+        strings=[collection.strings[i] for i in ids],
+        records=[collection.records[i] for i in ids],
+        dictionary=collection.dictionary,
+        mode=collection.mode,
+        q=collection.q,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# parallel shard build (fork pool; workers inherit the collection)
+# ---------------------------------------------------------------------- #
+_BUILD_CONTEXT: Optional[Tuple] = None
+
+
+def _init_build_worker(collection, assignments, scheme, scheme_kwargs) -> None:
+    global _BUILD_CONTEXT
+    _BUILD_CONTEXT = (collection, assignments, scheme, scheme_kwargs)
+    # child-side records cannot reach the parent registry
+    _METRICS.enabled = False
+
+
+def _build_one_shard(shard_id: int) -> InvertedIndex:
+    collection, assignments, scheme, scheme_kwargs = _BUILD_CONTEXT
+    sub = subcollection(collection, assignments[shard_id])
+    return InvertedIndex(sub, scheme=scheme, **scheme_kwargs)
+
+
+class _Shard:
+    """One partition: index + searcher + decode cache + id remap."""
+
+    __slots__ = ("shard_id", "index", "searcher", "cache", "local_to_global")
+
+    def __init__(
+        self,
+        shard_id: int,
+        index,
+        local_to_global: List[int],
+        *,
+        algorithm: str,
+        metric: str,
+        cache_entries: Optional[int],
+        cache_bytes: Optional[int],
+        cache_admit_after: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.index = index
+        self.local_to_global = local_to_global
+        self.cache: Optional[DecodeCache] = (
+            None
+            if cache_entries == 0
+            else DecodeCache(
+                max_entries=cache_entries,
+                max_bytes=cache_bytes,
+                admit_after=cache_admit_after,
+            )
+        )
+        if metric == "ed":
+            self.searcher = EditDistanceSearcher(
+                index, algorithm=algorithm, cache=self.cache
+            )
+        else:
+            self.searcher = JaccardSearcher(
+                index, algorithm=algorithm, metric=metric, cache=self.cache
+            )
+
+
+class ShardedEngine:
+    """Fan-out/merge serving engine over N index shards.
+
+    Parameters
+    ----------
+    collection:
+        The :class:`TokenizedCollection` to partition and index (static
+        engines; omit for ``dynamic=True``).
+    shards / routing:
+        Partition count and routing mode (``"contiguous"`` / ``"hash"``).
+    dynamic:
+        Build :class:`DynamicInvertedIndex` shards that accept :meth:`add`;
+        requires ``routing="hash"`` (the owning shard of global id ``g`` is
+        ``g % shards``) and tokenizes with ``mode`` / ``q``.
+    scheme:
+        Offline scheme for static shards (default ``"css"``), online scheme
+        for dynamic shards (default ``"adapt"``).
+    algorithm / metric:
+        As on :class:`~repro.engine.core.SimilarityEngine`.
+    cache_entries / cache_bytes / cache_admit_after:
+        Per-shard :class:`DecodeCache` knobs (``cache_entries=0`` disables).
+    build_workers:
+        Process-pool size for the parallel static build; default
+        ``min(shards, cpu_count)``.  ``1`` forces a serial build.
+    """
+
+    def __init__(
+        self,
+        collection: Optional[TokenizedCollection] = None,
+        *,
+        shards: int = 2,
+        routing: str = "contiguous",
+        dynamic: bool = False,
+        mode: str = "word",
+        q: int = 3,
+        scheme: Optional[str] = None,
+        algorithm: str = "mergeskip",
+        metric: str = "jaccard",
+        cache_entries: Optional[int] = 1024,
+        cache_bytes: Optional[int] = 64 << 20,
+        cache_admit_after: int = 2,
+        build_workers: Optional[int] = None,
+        **scheme_kwargs,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if routing not in ROUTINGS:
+            raise ValueError(
+                f"routing must be one of {ROUTINGS}, got {routing!r}"
+            )
+        self.num_shards = shards
+        self.routing = routing
+        self.dynamic = dynamic
+        self.metric = metric
+        self.algorithm = algorithm
+        self._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
+        self._pool: Optional[Executor] = None
+        self._pool_workers = 0
+        self.shards: List[_Shard] = []
+        self.build_seconds = 0.0
+
+        if dynamic:
+            if routing != "hash":
+                raise ValueError(
+                    "dynamic sharding requires routing='hash' (the owning "
+                    "shard of a new record must be known from its id alone)"
+                )
+            if collection is not None:
+                raise ValueError(
+                    "dynamic sharded engines tokenize their own records; "
+                    "pass strings through add()/add_many(), not a collection"
+                )
+            scheme = scheme or "adapt"
+            self.scheme = scheme
+            self._num_records = 0
+            for shard_id in range(shards):
+                index = DynamicInvertedIndex(
+                    mode=mode, q=q, scheme=scheme, **scheme_kwargs
+                )
+                self.shards.append(
+                    self._make_shard(shard_id, index, [])
+                )
+            return
+
+        if collection is None:
+            raise ValueError("provide a tokenized collection (or dynamic=True)")
+        scheme = scheme or "css"
+        self.scheme = scheme
+        assignments = partition_records(len(collection), shards, routing)
+        self._num_records = len(collection)
+        started = time.perf_counter()
+        with _METRICS.span("engine.shard.build"):
+            indexes = self._build_indexes(
+                collection, assignments, scheme, scheme_kwargs, build_workers
+            )
+        self.build_seconds = time.perf_counter() - started
+        if _METRICS.enabled:
+            _METRICS.inc("engine.shard.builds", shards)
+        for shard_id, (index, assignment) in enumerate(
+            zip(indexes, assignments)
+        ):
+            self.shards.append(
+                self._make_shard(shard_id, index, assignment.tolist())
+            )
+
+    def _make_shard(self, shard_id: int, index, local_to_global) -> _Shard:
+        entries, max_bytes, admit_after = self._cache_knobs
+        return _Shard(
+            shard_id,
+            index,
+            local_to_global,
+            algorithm=self.algorithm,
+            metric=self.metric,
+            cache_entries=entries,
+            cache_bytes=max_bytes,
+            cache_admit_after=admit_after,
+        )
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+    def _build_indexes(
+        self,
+        collection: TokenizedCollection,
+        assignments: List[np.ndarray],
+        scheme: str,
+        scheme_kwargs: Dict,
+        build_workers: Optional[int],
+    ) -> List[InvertedIndex]:
+        shards = len(assignments)
+        if build_workers is None:
+            build_workers = min(shards, os.cpu_count() or 1)
+        if shards > 1 and build_workers > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=min(build_workers, shards),
+                    mp_context=context,
+                    initializer=_init_build_worker,
+                    initargs=(collection, assignments, scheme, scheme_kwargs),
+                ) as pool:
+                    return list(pool.map(_build_one_shard, range(shards)))
+            except (ValueError, ImportError) + _POOL_FAILURES:
+                pass  # fork unavailable or a worker died: build serially
+        return [
+            InvertedIndex(
+                subcollection(collection, assignment),
+                scheme=scheme,
+                **scheme_kwargs,
+            )
+            for assignment in assignments
+        ]
+
+    # ------------------------------------------------------------------ #
+    # query path
+    # ------------------------------------------------------------------ #
+    def search(self, query: str, threshold) -> SearchResult:
+        """Fan one query out to every shard and merge (parity with a
+        single-shard engine: same ids, same ascending order)."""
+        started = time.perf_counter()
+        with _METRICS.span("engine.shard.search"):
+            shard_results = [
+                shard.searcher.search(query, threshold)
+                for shard in self.shards
+            ]
+            merged = self._merge(query, threshold, shard_results, started)
+        if _METRICS.enabled:
+            _METRICS.inc("engine.shard.queries")
+            _METRICS.inc("engine.shard.fanout", len(self.shards))
+        return merged
+
+    def search_batch(
+        self,
+        queries: Sequence[str],
+        threshold,
+        workers: Optional[int] = None,
+    ) -> List[SearchResult]:
+        """Answer ``queries`` in order, fanning each shard's sub-batch out
+        over a reused thread pool (``workers=None`` uses one thread per
+        shard; ``workers<=1`` runs serially).  Results are identical to a
+        serial loop of :meth:`search` calls."""
+        queries = list(queries)
+        if not queries:
+            return []
+        workers = len(self.shards) if workers is None else int(workers)
+        started = time.perf_counter()
+        with _METRICS.span("engine.shard.batch"):
+            if workers <= 1 or len(self.shards) == 1:
+                per_shard = [
+                    [shard.searcher.search(q, threshold) for q in queries]
+                    for shard in self.shards
+                ]
+            else:
+                pool = self._ensure_pool(min(workers, len(self.shards)))
+                futures = [
+                    pool.submit(
+                        lambda s=shard: [
+                            s.searcher.search(q, threshold) for q in queries
+                        ]
+                    )
+                    for shard in self.shards
+                ]
+                per_shard = [future.result() for future in futures]
+            merged = [
+                self._merge(
+                    query,
+                    threshold,
+                    [results[position] for results in per_shard],
+                    started=None,
+                )
+                for position, query in enumerate(queries)
+            ]
+        if _METRICS.enabled:
+            _METRICS.inc("engine.shard.queries", len(queries))
+            _METRICS.inc("engine.shard.fanout", len(queries) * len(self.shards))
+        # spread the batch wall-clock over the per-query seconds uniformly:
+        # per-query timing is not observable under the shard-parallel path
+        elapsed = time.perf_counter() - started
+        return [
+            SearchResult(
+                query=r.query,
+                threshold=r.threshold,
+                ids=r.ids,
+                stats=r.stats,
+                seconds=elapsed / len(queries),
+            )
+            for r in merged
+        ]
+
+    def _merge(
+        self,
+        query: str,
+        threshold,
+        shard_results: List[SearchResult],
+        started: Optional[float],
+    ) -> SearchResult:
+        ids: List[int] = []
+        stats = SearchStats()
+        for shard, result in zip(self.shards, shard_results):
+            remap = shard.local_to_global
+            ids.extend(remap[local] for local in result.ids)
+            stats.lists_probed += result.stats.lists_probed
+            stats.postings_available += result.stats.postings_available
+            stats.candidates += result.stats.candidates
+            stats.verifications += result.stats.verifications
+        if shard_results:
+            stats.count_threshold = shard_results[0].stats.count_threshold
+        ids.sort()  # contiguous routing is pre-sorted; hash interleaves
+        stats.results = len(ids)
+        return SearchResult(
+            query=query,
+            threshold=threshold,
+            ids=tuple(ids),
+            stats=stats,
+            seconds=0.0 if started is None else time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    # dynamic ingest
+    # ------------------------------------------------------------------ #
+    def route(self, global_id: int) -> int:
+        """The shard that owns ``global_id`` under this engine's routing."""
+        if self.routing == "hash":
+            return global_id % self.num_shards
+        for shard in self.shards:  # contiguous: ranges are ascending
+            remap = shard.local_to_global
+            if remap and remap[0] <= global_id <= remap[-1]:
+                return shard.shard_id
+        raise KeyError(f"record {global_id} is not owned by any shard")
+
+    def add(self, text: str) -> int:
+        """Ingest one record into its owning shard (dynamic engines only);
+        invalidates exactly the owning shard's cached lists it touched."""
+        if not self.dynamic:
+            raise TypeError(
+                "dynamic ingest requires a ShardedEngine(dynamic=True); "
+                "this one serves static InvertedIndex shards"
+            )
+        global_id = self._num_records
+        shard = self.shards[global_id % self.num_shards]
+        local_id = shard.index.add(text)
+        shard.local_to_global.append(global_id)
+        self._num_records += 1
+        if shard.cache is not None:
+            for token in shard.index.collection.records[local_id].tolist():
+                posting = shard.index.lists.get(token)
+                if posting is not None:
+                    shard.cache.invalidate(posting)
+        if _METRICS.enabled:
+            _METRICS.inc("engine.shard.adds")
+        return global_id
+
+    def add_many(self, texts: Sequence[str]) -> List[int]:
+        return [self.add(text) for text in texts]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def dump(self, path) -> None:
+        """Persist every shard + the routing manifest to directory ``path``
+        (see :func:`repro.compression.serialize.dump_sharded`)."""
+        from ..compression.serialize import dump_sharded
+
+        dump_sharded(
+            [shard.index for shard in self.shards],
+            [shard.local_to_global for shard in self.shards],
+            path,
+            routing=self.routing,
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        collection: TokenizedCollection,
+        *,
+        algorithm: str = "mergeskip",
+        metric: str = "jaccard",
+        cache_entries: Optional[int] = 1024,
+        cache_bytes: Optional[int] = 64 << 20,
+        cache_admit_after: int = 2,
+    ) -> "ShardedEngine":
+        """Reconstitute a dumped sharded engine, bound to ``collection``
+        (the corpus the shards were built from)."""
+        from ..compression.serialize import load_sharded
+
+        def shard_collection(shard_id: int, ids: np.ndarray):
+            if ids.size and int(ids[-1]) >= len(collection):
+                raise ValueError(
+                    f"sharded index references record {int(ids[-1])} but "
+                    f"the supplied collection holds {len(collection)} records"
+                )
+            return subcollection(collection, ids)
+
+        indexes, assignments, manifest = load_sharded(path, shard_collection)
+        if manifest["num_records"] != len(collection):
+            raise ValueError(
+                f"sharded index holds {manifest['num_records']} records but "
+                f"the supplied collection holds {len(collection)}"
+            )
+        engine = cls.__new__(cls)
+        engine.num_shards = manifest["shards"]
+        engine.routing = manifest["routing"]
+        engine.dynamic = False
+        engine.metric = metric
+        engine.algorithm = algorithm
+        engine.scheme = manifest["scheme"]
+        engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
+        engine._pool = None
+        engine._pool_workers = 0
+        engine._num_records = manifest["num_records"]
+        engine.build_seconds = 0.0
+        engine.shards = [
+            engine._make_shard(shard_id, index, assignment.tolist())
+            for shard_id, (index, assignment) in enumerate(
+                zip(indexes, assignments)
+            )
+        ]
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self, workers: int) -> Executor:
+        if self._pool is not None and self._pool_workers == workers:
+            return self._pool
+        self.close()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+        self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (the engine stays usable serially)."""
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def size_bits(self) -> int:
+        return sum(shard.index.size_bits() for shard in self.shards)
+
+    def size_mb(self) -> float:
+        return self.size_bits() / 8 / 1024 / 1024
+
+    def num_postings(self) -> int:
+        return sum(shard.index.num_postings() for shard in self.shards)
+
+    def shard_sizes(self) -> List[int]:
+        """Records per shard (the routing balance, for dashboards)."""
+        return [len(shard.local_to_global) for shard in self.shards]
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Decode-cache counters summed over every shard's cache."""
+        totals = {
+            "entries": 0,
+            "bytes": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "insertions": 0,
+            "invalidations": 0,
+        }
+        for shard in self.shards:
+            if shard.cache is None:
+                continue
+            for name, value in shard.cache.stats().items():
+                totals[name] += value
+        return totals

@@ -88,6 +88,113 @@ class TestIndexAndSearch:
         assert "world" not in out
 
 
+class TestThresholdValidation:
+    """Edit-distance thresholds are integer edit counts — a fractional
+    value must be rejected loudly, never silently truncated."""
+
+    def test_fractional_ed_threshold_rejected(self, tmp_path, capsys):
+        path = tmp_path / "words.txt"
+        path.write_text("hello\nhallo\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "search", str(path), "hellp",
+                    "--metric", "ed", "--threshold", "1.9",
+                ]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "integral" in out and "1.9" in out
+
+    def test_integral_float_ed_threshold_accepted(self, tmp_path, capsys):
+        path = tmp_path / "words.txt"
+        path.write_text("hello\nhallo\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "search", str(path), "hellp",
+                    "--metric", "ed", "--threshold", "1.0",
+                ]
+            )
+            == 0
+        )
+        assert "[0] hello" in capsys.readouterr().out
+
+    def test_fractional_segment_join_threshold_rejected(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "words.txt"
+        path.write_text("cat\ncut\ndog\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "join", str(path),
+                    "--filter", "segment",
+                    "--threshold", "2.5",
+                ]
+            )
+            == 2
+        )
+        assert "integral" in capsys.readouterr().out
+
+
+class TestShardedSearch:
+    def test_sharded_matches_monolithic(self, corpus, word_strings, capsys):
+        query = word_strings[0]
+        base = ["search", corpus, query, "--threshold", "0.8"]
+        assert main(base) == 0
+        mono_out = capsys.readouterr().out
+        assert main(base + ["--shards", "3"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert [
+            line for line in sharded_out.splitlines() if line.startswith("[")
+        ] == [line for line in mono_out.splitlines() if line.startswith("[")]
+
+    def test_hash_routing(self, corpus, word_strings, capsys):
+        query = word_strings[0]
+        assert (
+            main(
+                [
+                    "search", corpus, query,
+                    "--threshold", "0.8",
+                    "--shards", "2", "--routing", "hash",
+                ]
+            )
+            == 0
+        )
+        assert "[" in capsys.readouterr().out
+
+    def test_shards_rejects_loaded_index(self, corpus, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        assert main(["index", corpus, index_path, "--scheme", "css"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "search", corpus, "anything",
+                    "--threshold", "0.8",
+                    "--load-index", index_path,
+                    "--shards", "2",
+                ]
+            )
+            == 2
+        )
+        assert "monolithic" in capsys.readouterr().out
+
+    def test_zero_shards_rejected(self, corpus, capsys):
+        assert (
+            main(
+                [
+                    "search", corpus, "anything",
+                    "--threshold", "0.8", "--shards", "0",
+                ]
+            )
+            == 2
+        )
+        assert "--shards" in capsys.readouterr().out
+
+
 class TestBlankLines:
     def test_ids_keep_matching_line_numbers(self, tmp_path, capsys):
         path = tmp_path / "gappy.txt"

@@ -210,6 +210,131 @@ class TestSearchBatch:
                 )
 
 
+class _PoisonedSearcher:
+    """Delegates to a real searcher; raises on one query, counts every call."""
+
+    def __init__(self, inner, poison):
+        self.inner = inner
+        self.poison = poison
+        self.calls = []
+
+    def search(self, query, threshold):
+        self.calls.append(query)
+        if query == self.poison:
+            raise RuntimeError("poisoned query")
+        return self.inner.search(query, threshold)
+
+
+class _FlakyPool:
+    """Delegates to a real executor but raises OSError on the Nth submit
+    (a pool-infrastructure failure, as opposed to a query error)."""
+
+    def __init__(self, inner, fail_at):
+        self._inner = inner
+        self._fail_at = fail_at
+        self._submits = 0
+
+    def submit(self, *args, **kwargs):
+        self._submits += 1
+        if self._submits == self._fail_at:
+            raise OSError("induced transport failure")
+        return self._inner.submit(*args, **kwargs)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self._inner.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
+@pytest.fixture
+def thread_mode(monkeypatch):
+    """Force the thread-pool fallback by making ``fork`` unavailable."""
+
+    def no_fork(*args, **kwargs):
+        raise ValueError("fork disabled for this test")
+
+    monkeypatch.setattr(
+        "repro.engine.core.multiprocessing.get_context", no_fork
+    )
+
+
+class TestBatchFailureSemantics:
+    """Only pool-*infrastructure* failures may fall back to the serial
+    path, and only for unanswered chunks; genuine query errors propagate
+    immediately with no serial rerun and no double-counted obs counters."""
+
+    def test_query_error_runs_nothing_twice_thread_mode(
+        self, word_collection, thread_mode
+    ):
+        queries = list(word_collection.strings[:15])
+        queries.insert(6, "!!poison!!")
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            wrapper = _PoisonedSearcher(engine.searcher, "!!poison!!")
+            engine.searcher = wrapper
+            with pytest.raises(RuntimeError, match="poisoned"):
+                engine.search_batch(queries, 0.7, workers=2)
+            # no serial rerun: the poisoned query ran exactly once and the
+            # pool was not torn down (the transport is healthy)
+            assert wrapper.calls.count("!!poison!!") == 1
+            assert len(wrapper.calls) <= len(queries)
+            assert engine._pool is not None
+            assert engine._pool_kind == "thread"
+
+    def test_query_error_propagates_process_mode(self, word_collection):
+        queries = list(word_collection.strings[:15])
+        queries.insert(6, "!!poison!!")
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            wrapper = _PoisonedSearcher(engine.searcher, "!!poison!!")
+            engine.searcher = wrapper
+            with pytest.raises(RuntimeError, match="poisoned"):
+                engine.search_batch(queries, 0.7, workers=2)
+            if engine._pool_kind == "process":
+                # all work happened in the fork workers — a serial rerun
+                # would have re-executed queries in this process
+                assert wrapper.calls == []
+                assert engine._pool is not None
+
+    def test_infrastructure_failure_counters_thread_mode(
+        self, word_collection, thread_mode
+    ):
+        queries = word_collection.strings[:16]
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            baseline = [
+                list(r) for r in engine.search_batch(queries, 0.7, workers=1)
+            ]
+            real_pool = engine._ensure_pool(2)
+            assert engine._pool_kind == "thread"
+            engine._pool = _FlakyPool(real_pool, fail_at=3)
+            with enabled_metrics() as registry:
+                results = engine.search_batch(queries, 0.7, workers=2)
+            # the flaky pool was retired, answers are complete and correct
+            assert engine._pool is None
+            assert [list(r) for r in results] == baseline
+            # pooled chunks recorded live, rerun chunks recorded serially:
+            # exactly one count per query, not two
+            assert registry.counter("search.queries") == len(queries)
+            assert registry.counter("engine.batch.queries") == len(queries)
+
+    def test_infrastructure_failure_counters_process_mode(
+        self, word_collection
+    ):
+        queries = word_collection.strings[:16]
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            baseline = [
+                list(r) for r in engine.search_batch(queries, 0.7, workers=1)
+            ]
+            real_pool = engine._ensure_pool(2)
+            if engine._pool_kind != "process":
+                pytest.skip("no fork pool on this platform")
+            engine._pool = _FlakyPool(real_pool, fail_at=3)
+            with enabled_metrics() as registry:
+                results = engine.search_batch(queries, 0.7, workers=2)
+            assert engine._pool is None
+            assert [list(r) for r in results] == baseline
+            # replicated counters cover only pool-served chunks; the
+            # serially-rerun remainder recorded live — one count per query
+            assert registry.counter("search.queries") == len(queries)
+            assert registry.counter("engine.batch.queries") == len(queries)
+
+
 class TestDynamicIngest:
     def test_static_index_rejects_add(self, word_collection):
         engine = SimilarityEngine(word_collection, scheme="css")

@@ -1,0 +1,175 @@
+"""Seeded parity fuzz: every registered scheme × algorithm vs brute force.
+
+The whole correctness story of the paper is that compressed T-occurrence
+answers are *bit-identical* to an uncompressed scan — these tests pin that
+for every scheme in the registries (including ones registered after the
+original suite was written) rather than a hand-picked subset:
+
+* every offline scheme × every T-occurrence algorithm the built index
+  supports, against :func:`brute_similarity_search` on a random word
+  corpus and :func:`brute_edit_distance_search` on a random q-gram corpus;
+* every online scheme × every algorithm through a
+  :class:`DynamicInvertedIndex` behind a :class:`SimilarityEngine`, with
+  searches *interleaved* between ``add()`` rounds and an always-admit
+  decode cache, so a stale (un-invalidated) cached decode cannot hide.
+
+Everything is seeded — a failure reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
+from repro.engine import SimilarityEngine
+from repro.search import InvertedIndex, JaccardSearcher
+from repro.search.brute import (
+    brute_edit_distance_search,
+    brute_similarity_search,
+)
+from repro.search.dynamic import DynamicInvertedIndex
+from repro.search.edsearch import EditDistanceSearcher
+from repro.similarity import tokenize_collection
+
+ALGORITHMS = ("scancount", "mergeskip", "divideskip")
+SEED = 20220711
+
+
+def _word_strings(seed: int, count: int, vocab: int = 60) -> list:
+    """Zipf-weighted multi-word records (some tokens hot, some rare)."""
+    gen = np.random.default_rng(seed)
+    words = [f"w{i}" for i in range(vocab)]
+    weights = np.arange(1, vocab + 1, dtype=float) ** -0.9
+    weights /= weights.sum()
+    out = []
+    for _ in range(count):
+        size = int(gen.integers(1, 8))
+        picks = gen.choice(words, size=size, replace=False, p=weights)
+        out.append(" ".join(picks))
+    return out
+
+
+def _char_strings(seed: int, count: int) -> list:
+    """Short strings over a tiny alphabet (dense edit-distance neighbours)."""
+    gen = np.random.default_rng(seed)
+    return [
+        "".join(gen.choice(list("abcd"), size=int(gen.integers(2, 10))))
+        for _ in range(count)
+    ]
+
+
+def _sample_queries(seed: int, strings: list, extra: list) -> list:
+    gen = np.random.default_rng(seed)
+    picks = [strings[int(i)] for i in gen.integers(0, len(strings), size=6)]
+    return picks + extra
+
+
+def _supported_algorithms(index) -> list:
+    return [
+        algorithm
+        for algorithm in ALGORITHMS
+        if algorithm == "scancount" or index.supports_random_access
+    ]
+
+
+class TestOfflineSchemes:
+    @pytest.mark.parametrize("scheme", sorted(OFFLINE_SCHEMES))
+    def test_matches_brute_jaccard(self, scheme):
+        strings = _word_strings(SEED, 70)
+        collection = tokenize_collection(strings, mode="word")
+        index = InvertedIndex(collection, scheme=scheme)
+        queries = _sample_queries(
+            SEED + 1, strings, ["w0 w1 w2", "zzz unseen tokens", "w59"]
+        )
+        algorithms = _supported_algorithms(index)
+        assert "scancount" in algorithms
+        for algorithm in algorithms:
+            searcher = JaccardSearcher(index, algorithm=algorithm)
+            for threshold in (0.45, 0.8):
+                for query in queries:
+                    expected = brute_similarity_search(
+                        collection, query, threshold
+                    )
+                    got = list(searcher.search(query, threshold).ids)
+                    assert got == expected, (
+                        scheme, algorithm, threshold, query,
+                    )
+
+    @pytest.mark.parametrize("scheme", sorted(OFFLINE_SCHEMES))
+    def test_matches_brute_edit_distance(self, scheme):
+        strings = _char_strings(SEED + 2, 80)
+        collection = tokenize_collection(strings, mode="qgram", q=2)
+        index = InvertedIndex(collection, scheme=scheme)
+        queries = _sample_queries(SEED + 3, strings, ["abcd", "dddddddd"])
+        for algorithm in _supported_algorithms(index):
+            searcher = EditDistanceSearcher(index, algorithm=algorithm)
+            for delta in (1, 2):
+                for query in queries:
+                    expected = brute_edit_distance_search(
+                        collection, query, delta
+                    )
+                    got = list(searcher.search(query, delta).ids)
+                    assert got == expected, (scheme, algorithm, delta, query)
+
+
+class TestOnlineSchemesInterleaved:
+    """Dynamic two-region lists: searches between add() rounds must track
+    the growing corpus exactly — with ``cache_admit_after=1`` every decode
+    is cached immediately, so a missing cache invalidation on ingest would
+    surface as a stale (smaller) result set."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("scheme", sorted(ONLINE_SCHEMES))
+    def test_matches_brute_jaccard(self, scheme, algorithm):
+        strings = _word_strings(SEED + 4, 90, vocab=40)
+        engine = SimilarityEngine(
+            index=DynamicInvertedIndex(mode="word", scheme=scheme),
+            algorithm=algorithm,
+            cache_admit_after=1,
+        )
+        collection = engine.index.collection
+        queries = _sample_queries(SEED + 5, strings, ["w0 w1", "w39 w38"])
+        for text in strings[:30]:
+            engine.add(text)
+        cursor = 30
+        while True:
+            for query in queries:
+                for threshold in (0.5, 0.75):
+                    expected = brute_similarity_search(
+                        collection, query, threshold
+                    )
+                    got = list(engine.search(query, threshold).ids)
+                    assert got == expected, (
+                        scheme, algorithm, threshold, query, cursor,
+                    )
+            if cursor >= len(strings):
+                break
+            for text in strings[cursor : cursor + 12]:
+                engine.add(text)
+            cursor += 12
+
+    @pytest.mark.parametrize("scheme", sorted(ONLINE_SCHEMES))
+    def test_matches_brute_edit_distance(self, scheme):
+        strings = _char_strings(SEED + 6, 70)
+        engine = SimilarityEngine(
+            index=DynamicInvertedIndex(mode="qgram", q=2, scheme=scheme),
+            algorithm="mergeskip",
+            metric="ed",
+            cache_admit_after=1,
+        )
+        collection = engine.index.collection
+        queries = _sample_queries(SEED + 7, strings, ["abab", "cccc"])
+        for text in strings[:25]:
+            engine.add(text)
+        cursor = 25
+        while True:
+            for query in queries:
+                expected = brute_edit_distance_search(collection, query, 1)
+                got = list(engine.search(query, 1).ids)
+                assert got == expected, (scheme, query, cursor)
+            if cursor >= len(strings):
+                break
+            for text in strings[cursor : cursor + 15]:
+                engine.add(text)
+            cursor += 15

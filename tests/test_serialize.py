@@ -95,6 +95,29 @@ class TestIndexDumpLoad:
         # (npz adds zlib on top, so it is usually smaller)
         assert path.stat().st_size < 4 * index.size_bits() / 8 + 65536
 
+    def test_dynamic_index_rejected_with_contract_error(self, tmp_path):
+        """Online two-region lists are transient by design — dumping one
+        must fail with the contract explanation, not a codec TypeError."""
+        from repro.search import DynamicInvertedIndex
+
+        index = DynamicInvertedIndex(mode="word", scheme="adapt")
+        for text in ("alpha beta", "beta gamma", "gamma delta"):
+            index.add(text)
+        with pytest.raises(ValueError, match="transient"):
+            dump_index(index, tmp_path / "dynamic.npz")
+
+    def test_empty_collection_roundtrip(self, tmp_path):
+        from repro.similarity import tokenize_collection
+
+        collection = tokenize_collection([], mode="word")
+        index = InvertedIndex(collection, scheme="css")
+        path = tmp_path / "empty.npz"
+        dump_index(index, path)
+        loaded = load_index(path, collection)
+        assert loaded.lists == {}
+        assert loaded.size_bits() == index.size_bits()
+        assert list(JaccardSearcher(loaded).search("anything", 0.5).ids) == []
+
 
 class TestCorruptedLoad:
     """A truncated or bit-flipped file must fail loudly at load time."""
