@@ -22,6 +22,7 @@ import pytest
 from conftest import print_block, search_dataset
 from repro.bench import render_table, sample_queries
 from repro.engine import SimilarityEngine
+from repro.obs import enabled_metrics
 
 DATASET = "aol"
 THRESHOLD = 0.8
@@ -61,6 +62,25 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
 
         benchmark.pedantic(serial, rounds=1, iterations=1)
 
+        # untimed profiled pass: worker-side counters fold into the parent
+        # registry (cross-process aggregation), so the trajectory records
+        # how much work the batch actually did, not just how fast it ran
+        with enabled_metrics() as registry:
+            engine.search_batch(queries, THRESHOLD, workers=WORKERS)
+        obs_counters = {
+            name: registry.counter(name)
+            for name in (
+                "search.queries",
+                "search.candidates",
+                "search.verifications",
+                "search.results",
+                "twolayer.blocks_decoded",
+                "twolayer.elements_decoded",
+                "cursor.seeks",
+                "engine.batch.worker_chunks",
+            )
+        }
+
     # workers > 1 must be invisible in the answers
     assert [list(r) for r in parallel_results] == [
         list(r) for r in serial_results
@@ -81,10 +101,11 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
         "parallel_qps": round(parallel_qps, 1),
         "speedup": round(parallel_qps / serial_qps, 2),
         "cache": engine.cache_stats(),
+        "obs": obs_counters,
     }
     _results.update(record)
     benchmark.extra_info.update(
-        {k: v for k, v in record.items() if k != "cache"}
+        {k: v for k, v in record.items() if k not in ("cache", "obs")}
     )
 
     if BASELINE_PATH.parent.is_dir():
@@ -109,3 +130,5 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
 
     # repeated queries over a shared vocabulary must actually hit the cache
     assert record["cache"]["hits"] > 0
+    # every query must be accounted for in the folded worker metrics
+    assert obs_counters["search.queries"] == len(queries)

@@ -25,6 +25,7 @@ import pytest
 from conftest import print_block, search_dataset
 from repro.bench import render_table, sample_queries
 from repro.engine import ShardedEngine, SimilarityEngine
+from repro.obs import enabled_metrics
 
 DATASET = "aol"
 THRESHOLD = 0.8
@@ -78,6 +79,32 @@ def test_sharded_build_and_parity(benchmark, sharded_queries):
         list(r) for r in mono_results
     ]
 
+    # untimed profiled pass: build + query counters, including the deltas
+    # shipped back by forked shard-build workers where cores allow
+    with enabled_metrics() as registry:
+        with ShardedEngine(
+            dataset.collection,
+            shards=SHARDS,
+            routing="contiguous",
+            scheme="css",
+        ) as profiled:
+            profiled.search_batch(queries, THRESHOLD)
+    obs_counters = {
+        name: registry.counter(name)
+        for name in (
+            "index.lists_built",
+            "engine.shard.builds",
+            "engine.shard.queries",
+            "engine.shard.fanout",
+            "search.queries",
+            "search.candidates",
+            "twolayer.blocks_decoded",
+            "cursor.seeks",
+        )
+    }
+    assert obs_counters["engine.shard.builds"] == SHARDS
+    assert obs_counters["index.lists_built"] > 0
+
     record = {
         "dataset": DATASET,
         "queries": len(queries),
@@ -98,9 +125,10 @@ def test_sharded_build_and_parity(benchmark, sharded_queries):
         "sharded_size_bits": sharded.size_bits(),
         "parity": True,
         "cache": sharded.cache_stats(),
+        "obs": obs_counters,
     }
     benchmark.extra_info.update(
-        {k: v for k, v in record.items() if k not in ("cache",)}
+        {k: v for k, v in record.items() if k not in ("cache", "obs")}
     )
 
     if BASELINE_PATH.parent.is_dir():

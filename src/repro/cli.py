@@ -17,6 +17,7 @@ tool composes with shell pipelines.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -26,7 +27,18 @@ from .compression.serialize import dump_index, load_index
 from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
 from .datasets import dataset_names, load_dataset
 from .engine import ShardedEngine, SimilarityEngine
-from .obs import METRICS, dump_profile, profile_report
+from .obs import (
+    METRICS,
+    TRACER,
+    dump_profile,
+    dump_traces,
+    load_traces,
+    profile_report,
+    profile_to_markdown,
+    render_trace_tree,
+    to_prometheus,
+    validate_profile,
+)
 from .join import (
     CountFilterJoin,
     EDCountFilterJoin,
@@ -114,6 +126,80 @@ def _emit_profile(args, **meta) -> None:
         print(f"profile written to {args.profile}")
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="collect per-query trace trees and dump them to FILE as JSONL "
+        "(render with `repro stats FILE`)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of queries to trace, in [0, 1] (default: 1.0)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="slow-query threshold: traces at least this slow are always "
+        "kept and reported on stderr, regardless of --trace-sample",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        metavar="N",
+        help="in-memory trace ring size; only the most recent N sampled "
+        "traces are retained (default: 256)",
+    )
+
+
+def _start_trace(args) -> bool:
+    """Configure + enable the global tracer when tracing was requested."""
+    if (
+        getattr(args, "trace", None) is None
+        and getattr(args, "slow_ms", None) is None
+    ):
+        return False
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(
+            f"error: --trace-sample must be in [0, 1], got {args.trace_sample}"
+        )
+        return False
+    TRACER.configure(
+        enabled=True,
+        sample_rate=args.trace_sample,
+        slow_ms=args.slow_ms,
+        buffer_size=args.trace_buffer,
+    )
+    TRACER.clear()
+    return True
+
+
+def _emit_trace(args) -> None:
+    """Disable the tracer, dump retained traces, report slow queries."""
+    TRACER.enabled = False
+    for document in TRACER.slow_log:
+        meta = document.get("meta") or {}
+        rendered = ", ".join(f"{k}={v!r}" for k, v in meta.items())
+        print(
+            f"slow query ({1000 * document['seconds']:.1f} ms"
+            f" >= {args.slow_ms} ms): {rendered}",
+            file=sys.stderr,
+        )
+    traces = TRACER.drain()
+    if args.trace:
+        count = dump_traces(traces, args.trace)
+        dropped = TRACER.dropped
+        suffix = f" ({dropped} sampled out)" if dropped else ""
+        print(f"{count} trace(s) written to {args.trace}{suffix}")
+
+
 def _add_tokenize_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mode",
@@ -141,14 +227,36 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--cardinality", type=int, default=0)
 
     stats = commands.add_parser(
-        "stats", help="index sizes per compression scheme for a corpus"
+        "stats",
+        help="index sizes for a corpus, or render a profile/trace dump",
+        description="With a text corpus: per-scheme index sizes and "
+        "compression ratios.  With a --profile JSON document: render it as "
+        "Prometheus text exposition, markdown or JSON.  With a --trace "
+        "JSONL dump: render the per-query span trees.",
     )
-    stats.add_argument("corpus", help="text file, one record per line")
+    stats.add_argument(
+        "corpus",
+        help="text corpus (one record per line), a --profile JSON "
+        "document, or a --trace JSONL dump",
+    )
     _add_tokenize_args(stats)
     stats.add_argument(
         "--schemes",
         default="uncomp,pfordelta,milc,css",
-        help="comma-separated offline schemes",
+        help="comma-separated offline schemes (corpus mode)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("auto", "table", "prometheus", "markdown", "json", "tree"),
+        default="auto",
+        help="rendering: profiles default to prometheus, trace dumps to "
+        "tree, corpora to the size table (default: auto)",
+    )
+    stats.add_argument(
+        "--check",
+        action="store_true",
+        help="validate a profile document against the obs schema before "
+        "rendering (exit 1 on violation)",
     )
     _add_profile_arg(stats)
 
@@ -217,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard routing mode for --shards > 1 (default: contiguous)",
     )
     _add_profile_arg(search)
+    _add_trace_args(search)
 
     join = commands.add_parser("join", help="similarity self-join a corpus")
     join.add_argument("corpus")
@@ -235,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show", type=int, default=10, help="print at most this many pairs"
     )
     _add_profile_arg(join)
+    _add_trace_args(join)
 
     check = commands.add_parser(
         "check", help="validate the integrity of a persisted index"
@@ -269,8 +379,85 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _render_profile_stats(args, document) -> int:
+    """Render a persisted ``--profile`` document (``repro stats`` on JSON)."""
+    if args.check:
+        try:
+            validate_profile(document)
+        except ValueError as error:
+            print(f"error: invalid profile document: {error}")
+            return 1
+        print(f"profile ok: schema {document['schema']}", file=sys.stderr)
+    style = args.format
+    if style in ("auto", "prometheus"):
+        print(to_prometheus(document), end="")
+    elif style == "markdown":
+        print(profile_to_markdown(document), end="")
+    elif style == "json":
+        print(json.dumps(document, indent=2, sort_keys=True, default=float))
+    else:
+        print(f"error: --format {style} does not apply to a profile document")
+        return 2
+    return 0
+
+
+def _render_trace_stats(args, path) -> int:
+    """Render a ``--trace`` JSONL dump (``repro stats`` on trace files)."""
+    try:
+        traces = load_traces(path)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 1
+    style = args.format
+    if style in ("auto", "tree"):
+        for document in traces:
+            print(render_trace_tree(document))
+            print()
+        slow = sum(1 for document in traces if document.get("slow"))
+        print(f"{len(traces)} trace(s), {slow} slow", file=sys.stderr)
+    elif style == "json":
+        print(json.dumps(traces, indent=2, sort_keys=True, default=float))
+    else:
+        print(f"error: --format {style} does not apply to a trace dump")
+        return 2
+    return 0
+
+
 def _cmd_stats(args) -> int:
-    strings = _read_lines(args.corpus)
+    # dispatch on content: a profile document or a trace dump renders the
+    # telemetry; anything else is a corpus (the original size table)
+    text = Path(args.corpus).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and "schema" in document:
+            return _render_profile_stats(args, document)
+        try:
+            probe = json.loads(stripped.splitlines()[0])
+        except json.JSONDecodeError:
+            probe = None
+        if isinstance(probe, dict) and "trace_id" in probe:
+            return _render_trace_stats(args, args.corpus)
+        if document is not None or probe is not None:
+            print(
+                "error: JSON input is neither a profile document (no "
+                "'schema' key) nor a JSONL trace dump (no 'trace_id' key)"
+            )
+            return 2
+    if args.format not in ("auto", "table"):
+        print(f"error: --format {args.format} requires a profile/trace input")
+        return 2
+    strings = text.splitlines()
+    blanks = sum(1 for line in strings if not line.strip())
+    if blanks:
+        print(
+            f"warning: {args.corpus}: {blanks} blank line(s) kept as empty "
+            "records so record ids keep matching line numbers",
+            file=sys.stderr,
+        )
     collection = tokenize_collection(strings, mode=args.mode, q=args.q)
     profiling = _start_profile(args)
     print(
@@ -327,6 +514,7 @@ def _cmd_search(args) -> int:
     q = 2 if args.metric == "ed" and args.mode == "word" else args.q
     collection = tokenize_collection(strings, mode=mode, q=q)
     profiling = _start_profile(args)
+    tracing = _start_trace(args)
     if args.shards > 1:
         engine_factory = lambda: ShardedEngine(  # noqa: E731
             collection,
@@ -372,6 +560,8 @@ def _cmd_search(args) -> int:
             for hit in result:
                 print(f"  [{hit}] {strings[hit]}")
         cache_stats = engine.cache_stats()
+    if tracing:
+        _emit_trace(args)
     if profiling:
         _emit_profile(
             args,
@@ -438,6 +628,7 @@ def _cmd_join(args) -> int:
         join = _JOIN_FILTERS[args.filter](collection, scheme=args.scheme)
         threshold = args.threshold
     profiling = _start_profile(args)
+    tracing = _start_trace(args)
     start = time.perf_counter()
     pairs = join.join(threshold)
     elapsed = time.perf_counter() - start
@@ -453,6 +644,8 @@ def _cmd_join(args) -> int:
         print()
     if len(pairs) > args.show:
         print(f"  ... and {len(pairs) - args.show} more")
+    if tracing:
+        _emit_trace(args)
     if profiling:
         _emit_profile(
             args,

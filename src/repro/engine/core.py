@@ -36,6 +36,7 @@ from concurrent.futures import (
 from typing import Dict, List, Optional, Sequence
 
 from ..obs import METRICS as _METRICS
+from ..obs import TRACER as _TRACER
 from ..search.dynamic import DynamicInvertedIndex
 from ..search.edsearch import EditDistanceSearcher
 from ..search.result import SearchResult
@@ -64,14 +65,58 @@ def _init_worker(engine: "SimilarityEngine") -> None:
     engine._pool = None
     engine._pool_kind = None
     engine._pool_workers = 0
-    # child-side obs records cannot reach the parent registry; the parent
-    # replicates the per-query counters from the returned stats instead
+    # the worker records into its own fork-inherited registry; each chunk
+    # resets it, runs profiled, and ships the delta back (see _run_chunk)
     _METRICS.enabled = False
+    _TRACER.enabled = False
 
 
-def _run_chunk(chunk: List[str], threshold) -> List[SearchResult]:
+def _obs_config():
+    """Telemetry switches to ship with a process-pool chunk, or ``None``.
+
+    ``None`` means nothing is collecting — the worker skips all registry
+    bookkeeping and returns no delta.
+    """
+    if not _METRICS.enabled and not _TRACER.enabled:
+        return None
+    return (
+        _METRICS.enabled,
+        _TRACER.enabled,
+        _TRACER.sample_rate,
+        _TRACER.slow_ms,
+    )
+
+
+def _run_chunk(chunk: List[str], threshold, obs=None):
+    """Answer one chunk in a pool worker; returns ``(results, delta)``.
+
+    With telemetry on, the worker's registry/tracer are reset before the
+    chunk and their delta — the lossless ``snapshot(full=True)`` plus any
+    retained trace documents — rides back with the results, so the parent
+    can fold worker-side metrics in and ``--profile`` under ``--workers``
+    reports exactly what a serial run would.
+    """
     searcher = _WORKER_ENGINE.searcher
-    return [searcher.search(query, threshold) for query in chunk]
+    if obs is None:
+        return [searcher.search(query, threshold) for query in chunk], None
+    metrics_on, traces_on, sample_rate, slow_ms = obs
+    _METRICS.reset()
+    _METRICS.enabled = metrics_on
+    _TRACER.configure(
+        enabled=traces_on, sample_rate=sample_rate, slow_ms=slow_ms
+    )
+    _TRACER.clear()
+    try:
+        results = [searcher.search(query, threshold) for query in chunk]
+        delta = {
+            "metrics": _METRICS.snapshot(full=True) if metrics_on else None,
+            "traces": _TRACER.drain() if traces_on else None,
+        }
+    finally:
+        _METRICS.enabled = False
+        _METRICS.reset()
+        _TRACER.enabled = False
+    return results, delta
 
 
 class SimilarityEngine:
@@ -181,13 +226,11 @@ class SimilarityEngine:
             for i in range(0, len(queries), chunk_size)
         ]
         chunk_results: List[Optional[List[SearchResult]]] = [None] * len(chunks)
-        served_by_pool = [False] * len(chunks)
         pool: Optional[Executor] = None
-        pool_kind: Optional[str] = None
         infrastructure_broken = False
+        worker_chunks = 0
         try:
             pool = self._ensure_pool(workers)
-            pool_kind = self._pool_kind
         except _POOL_FAILURES:
             infrastructure_broken = True
         if pool is not None:
@@ -202,8 +245,7 @@ class SimilarityEngine:
                     infrastructure_broken = True
                 for position, future in enumerate(futures):
                     try:
-                        chunk_results[position] = future.result()
-                        served_by_pool[position] = True
+                        answers, delta = future.result()
                     except _POOL_FAILURES:
                         infrastructure_broken = True
                     except BaseException:
@@ -213,6 +255,15 @@ class SimilarityEngine:
                         for pending in futures[position + 1 :]:
                             pending.cancel()
                         raise
+                    else:
+                        chunk_results[position] = answers
+                        if delta is not None:
+                            # fold the worker's registry delta and traces in:
+                            # worker-side counters (blocks decoded, cursor
+                            # seeks, ...) aggregate exactly as a serial run
+                            _METRICS.merge(delta.get("metrics"))
+                            _TRACER.ingest(delta.get("traces"))
+                            worker_chunks += 1
         if infrastructure_broken:
             # the transport died, not the queries: retire the pool and
             # answer only the chunks it never completed
@@ -231,30 +282,9 @@ class SimilarityEngine:
                     ]
         results = [result for chunk in chunk_results for result in chunk]
         if _METRICS.enabled:
-            if pool_kind == "process":
-                # replicate what the fork workers recorded into their
-                # (discarded) registries so --profile sees the whole batch;
-                # serially-rerun chunks already recorded live in-process
-                pooled = [
-                    result
-                    for position, chunk in enumerate(chunk_results)
-                    if served_by_pool[position]
-                    for result in chunk
-                ]
-                _METRICS.inc("search.queries", len(pooled))
-                _METRICS.inc(
-                    "search.candidates",
-                    sum(r.stats.candidates for r in pooled),
-                )
-                _METRICS.inc(
-                    "search.verifications",
-                    sum(r.stats.verifications for r in pooled),
-                )
-                _METRICS.inc(
-                    "search.results", sum(r.stats.results for r in pooled)
-                )
             _METRICS.inc("engine.batch.queries", len(results))
             _METRICS.inc("engine.batch.chunks", len(chunks))
+            _METRICS.inc("engine.batch.worker_chunks", worker_chunks)
         return results
 
     def _search_serial(
@@ -265,13 +295,16 @@ class SimilarityEngine:
 
     def _chunk_task(self, chunk: List[str], threshold):
         if self._pool_kind == "process":
-            return (_run_chunk, chunk, threshold)
-        # threads share this engine (and its cache) directly; the module
-        # global would collide between engines
+            # workers record telemetry into their own registries and ship
+            # the delta back with the results (see _run_chunk)
+            return (_run_chunk, chunk, threshold, _obs_config())
+        # threads share this engine (and its cache) directly — and the
+        # parent registry/tracer, so there is no delta to ship
         return (
-            lambda c=chunk, t=threshold: [
-                self.searcher.search(query, t) for query in c
-            ],
+            lambda c=chunk, t=threshold: (
+                [self.searcher.search(query, t) for query in c],
+                None,
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import METRICS as _METRICS
+from ..obs import TRACER as _TRACER
 from ..search.dynamic import DynamicInvertedIndex
 from ..search.edsearch import EditDistanceSearcher
 from ..search.result import SearchResult, SearchStats
@@ -105,17 +106,30 @@ def subcollection(
 _BUILD_CONTEXT: Optional[Tuple] = None
 
 
-def _init_build_worker(collection, assignments, scheme, scheme_kwargs) -> None:
+def _init_build_worker(
+    collection, assignments, scheme, scheme_kwargs, profiled
+) -> None:
     global _BUILD_CONTEXT
-    _BUILD_CONTEXT = (collection, assignments, scheme, scheme_kwargs)
-    # child-side records cannot reach the parent registry
+    _BUILD_CONTEXT = (collection, assignments, scheme, scheme_kwargs, profiled)
     _METRICS.enabled = False
 
 
-def _build_one_shard(shard_id: int) -> InvertedIndex:
-    collection, assignments, scheme, scheme_kwargs = _BUILD_CONTEXT
+def _build_one_shard(shard_id: int) -> Tuple[InvertedIndex, Optional[dict]]:
+    """Build one shard's index; with the parent profiled, record the build
+    into this worker's registry and ship the delta back for merging."""
+    collection, assignments, scheme, scheme_kwargs, profiled = _BUILD_CONTEXT
     sub = subcollection(collection, assignments[shard_id])
-    return InvertedIndex(sub, scheme=scheme, **scheme_kwargs)
+    if not profiled:
+        return InvertedIndex(sub, scheme=scheme, **scheme_kwargs), None
+    _METRICS.reset()
+    _METRICS.enabled = True
+    try:
+        index = InvertedIndex(sub, scheme=scheme, **scheme_kwargs)
+        delta = _METRICS.snapshot(full=True)
+    finally:
+        _METRICS.enabled = False
+        _METRICS.reset()
+    return index, delta
 
 
 class _Shard:
@@ -296,9 +310,21 @@ class ShardedEngine:
                     max_workers=min(build_workers, shards),
                     mp_context=context,
                     initializer=_init_build_worker,
-                    initargs=(collection, assignments, scheme, scheme_kwargs),
+                    initargs=(
+                        collection,
+                        assignments,
+                        scheme,
+                        scheme_kwargs,
+                        _METRICS.enabled,
+                    ),
                 ) as pool:
-                    return list(pool.map(_build_one_shard, range(shards)))
+                    built = list(pool.map(_build_one_shard, range(shards)))
+                # fold each build worker's registry delta into the parent,
+                # so --profile sees index.build time and lists-built counts
+                # even though the builds ran in forked children
+                for _, delta in built:
+                    _METRICS.merge(delta)
+                return [index for index, _ in built]
             except (ValueError, ImportError) + _POOL_FAILURES:
                 pass  # fork unavailable or a worker died: build serially
         return [
@@ -317,12 +343,15 @@ class ShardedEngine:
         """Fan one query out to every shard and merge (parity with a
         single-shard engine: same ids, same ascending order)."""
         started = time.perf_counter()
-        with _METRICS.span("engine.shard.search"):
-            shard_results = [
-                shard.searcher.search(query, threshold)
-                for shard in self.shards
-            ]
-            merged = self._merge(query, threshold, shard_results, started)
+        # one trace per query: the per-shard searches nest under it as
+        # child "search" spans instead of starting trees of their own
+        with _TRACER.trace("search.sharded", query=query, shards=self.num_shards):
+            with _METRICS.span("engine.shard.search"):
+                shard_results = [
+                    shard.searcher.search(query, threshold)
+                    for shard in self.shards
+                ]
+                merged = self._merge(query, threshold, shard_results, started)
         if _METRICS.enabled:
             _METRICS.inc("engine.shard.queries")
             _METRICS.inc("engine.shard.fanout", len(self.shards))

@@ -14,6 +14,7 @@ two-region online lists require.  Results are mapped back to original ids.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -22,8 +23,34 @@ import numpy as np
 from ..compression.online import OnlineSortedIDList
 from ..core.framework import online_factory
 from ..obs import METRICS as _METRICS
+from ..obs import TRACER as _TRACER
 
-__all__ = ["JoinStats", "OnlineIndexMixin", "processing_order", "normalize_pairs"]
+__all__ = [
+    "JoinStats",
+    "OnlineIndexMixin",
+    "processing_order",
+    "normalize_pairs",
+    "traced_join",
+]
+
+
+def traced_join(method):
+    """Wrap a ``join(threshold)`` method in a root trace.
+
+    The join phases already instrumented through ``METRICS.span``
+    (``join.index`` / ``join.probe`` / ``join.finalize``) become children
+    of the trace, so one join run yields one span tree tagged with the
+    filter class and threshold.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, threshold, *args, **kwargs):
+        with _TRACER.trace(
+            "join", filter=type(self).__name__, threshold=threshold
+        ):
+            return method(self, threshold, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass

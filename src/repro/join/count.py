@@ -18,7 +18,13 @@ from typing import Dict, List, Tuple
 from ..similarity.measures import required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .base import JoinStats, OnlineIndexMixin, normalize_pairs, processing_order
+from .base import (
+    JoinStats,
+    OnlineIndexMixin,
+    normalize_pairs,
+    processing_order,
+    traced_join,
+)
 
 __all__ = ["CountFilterJoin"]
 
@@ -39,6 +45,7 @@ class CountFilterJoin(OnlineIndexMixin):
         self._scheme_kwargs = scheme_kwargs
         self.last_stats = JoinStats()
 
+    @traced_join
     def join(self, threshold: float) -> List[Tuple[int, int]]:
         """All pairs with ``SIM >= threshold`` as sorted original-id tuples."""
         if not 0 < threshold <= 1:

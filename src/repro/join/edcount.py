@@ -24,7 +24,12 @@ import numpy as np
 
 from ..similarity.edit_distance import within_edit_distance
 from ..similarity.tokenize import TokenDictionary, qgrams
-from .base import JoinStats, OnlineIndexMixin, normalize_pairs
+from .base import (
+    JoinStats,
+    OnlineIndexMixin,
+    normalize_pairs,
+    traced_join,
+)
 
 __all__ = ["EDCountFilterJoin"]
 
@@ -43,6 +48,7 @@ class EDCountFilterJoin(OnlineIndexMixin):
         self._scheme_kwargs = scheme_kwargs
         self.last_stats = JoinStats()
 
+    @traced_join
     def join(self, delta: int) -> List[Tuple[int, int]]:
         """All pairs with ``ed <= delta`` as sorted original-id tuples."""
         if delta < 0:

@@ -26,7 +26,13 @@ from ..similarity.measures import length_bounds, prefix_length, required_overlap
 from ..similarity.suffix_filter import suffix_overlap_bound
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .base import JoinStats, OnlineIndexMixin, normalize_pairs, processing_order
+from .base import (
+    JoinStats,
+    OnlineIndexMixin,
+    normalize_pairs,
+    processing_order,
+    traced_join,
+)
 
 __all__ = ["PositionFilterJoin"]
 
@@ -51,6 +57,7 @@ class PositionFilterJoin(OnlineIndexMixin):
         self._scheme_kwargs = scheme_kwargs
         self.last_stats = JoinStats()
 
+    @traced_join
     def join(self, threshold: float) -> List[Tuple[int, int]]:
         """All pairs with ``SIM >= threshold`` as sorted original-id tuples."""
         if not 0 < threshold <= 1:

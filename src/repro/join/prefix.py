@@ -17,7 +17,13 @@ from ..obs import METRICS as _METRICS
 from ..similarity.measures import length_bounds, prefix_length, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .base import JoinStats, OnlineIndexMixin, normalize_pairs, processing_order
+from .base import (
+    JoinStats,
+    OnlineIndexMixin,
+    normalize_pairs,
+    processing_order,
+    traced_join,
+)
 
 __all__ = ["PrefixFilterJoin"]
 
@@ -38,6 +44,7 @@ class PrefixFilterJoin(OnlineIndexMixin):
         self._scheme_kwargs = scheme_kwargs
         self.last_stats = JoinStats()
 
+    @traced_join
     def join(self, threshold: float) -> List[Tuple[int, int]]:
         """All pairs with ``SIM >= threshold`` as sorted original-id tuples."""
         if not 0 < threshold <= 1:

@@ -21,7 +21,11 @@ from ..obs import METRICS as _METRICS
 from ..similarity.measures import length_bounds, prefix_length, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .base import JoinStats, OnlineIndexMixin
+from .base import (
+    JoinStats,
+    OnlineIndexMixin,
+    traced_join,
+)
 
 __all__ = ["PrefixFilterRSJoin"]
 
@@ -60,6 +64,7 @@ class PrefixFilterRSJoin(OnlineIndexMixin):
         self._scheme_kwargs = scheme_kwargs
         self.last_stats = JoinStats()
 
+    @traced_join
     def join(self, threshold: float) -> List[Tuple[int, int]]:
         """Pairs ``(r, s)`` with ``SIM(left[r], right[s]) >= threshold``."""
         if not 0 < threshold <= 1:

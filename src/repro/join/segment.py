@@ -26,7 +26,12 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..similarity.edit_distance import within_edit_distance
-from .base import JoinStats, OnlineIndexMixin, normalize_pairs
+from .base import (
+    JoinStats,
+    OnlineIndexMixin,
+    normalize_pairs,
+    traced_join,
+)
 
 __all__ = ["SegmentFilterJoin", "even_partition"]
 
@@ -59,6 +64,7 @@ class SegmentFilterJoin(OnlineIndexMixin):
         self._scheme_kwargs = scheme_kwargs
         self.last_stats = JoinStats()
 
+    @traced_join
     def join(self, delta: int) -> List[Tuple[int, int]]:
         """All pairs with ``ed <= delta`` as sorted original-id tuples."""
         if delta < 0:

@@ -7,6 +7,15 @@ the two-layer store, heap pops and skip jumps in the T-occurrence
 algorithms, seal events and buffer occupancy in the online lists, and
 candidates / verifications / per-phase wall time in search and join.
 
+The layer is cross-process: registries snapshot and :meth:`merge
+<repro.obs.registry.MetricsRegistry.merge>` losslessly, so the fork-pool
+workers of :class:`~repro.engine.core.SimilarityEngine` and the shard
+builders of :class:`~repro.engine.sharded.ShardedEngine` ship their deltas
+back and ``--profile`` totals match a serial run exactly.  Per-query trace
+trees (:data:`TRACER`, :mod:`repro.obs.trace`) capture the span structure
+of individual queries under a sampling policy with a slow-query log, and
+:mod:`repro.obs.export` renders everything as Prometheus text or JSONL.
+
 Disabled by default at near-zero cost; the CLI's ``--profile`` flag (and
 :class:`enabled_metrics` in library code) turns it on and dumps the
 :func:`profile_report` JSON document.
@@ -24,7 +33,19 @@ from .report import (
     dump_profile,
     profile_report,
     profile_to_markdown,
+    validate_profile,
 )
+from .trace import TRACER, Tracer, trace_query
+from .export import (
+    dump_traces,
+    load_traces,
+    render_trace_tree,
+    to_prometheus,
+    traces_to_jsonl,
+)
+
+# registry spans feed the active trace tree (one attribute check when idle)
+METRICS.tracer = TRACER
 
 __all__ = [
     "METRICS",
@@ -36,4 +57,13 @@ __all__ = [
     "profile_report",
     "dump_profile",
     "profile_to_markdown",
+    "validate_profile",
+    "TRACER",
+    "Tracer",
+    "trace_query",
+    "to_prometheus",
+    "traces_to_jsonl",
+    "dump_traces",
+    "load_traces",
+    "render_trace_tree",
 ]

@@ -1,0 +1,175 @@
+"""Exporters: Prometheus text exposition and JSONL trace dumps.
+
+Two standard wire shapes for everything :mod:`repro.obs` collects:
+
+* :func:`to_prometheus` renders a registry (or any snapshot / profile
+  document) in the Prometheus text exposition format — counters become
+  ``*_total``, timers become summaries (``_sum`` / ``_count``), histograms
+  become cumulative ``le`` buckets built from the log2 buckets.  Output is
+  sorted by metric name, so two identical runs diff clean.
+* :func:`traces_to_jsonl` / :func:`dump_traces` write trace documents one
+  JSON object per line (a span tree per query), and :func:`load_traces` /
+  :func:`render_trace_tree` read them back and pretty-print the tree —
+  what ``repro stats traces.jsonl`` shows.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "to_prometheus",
+    "traces_to_jsonl",
+    "dump_traces",
+    "load_traces",
+    "render_trace_tree",
+]
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """``twolayer.blocks_decoded`` -> ``repro_twolayer_blocks_decoded``."""
+    return f"{prefix}_{_INVALID_METRIC_CHARS.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(
+    source: Union[MetricsRegistry, Dict], prefix: str = "repro"
+) -> str:
+    """Prometheus text exposition of ``source``.
+
+    ``source`` is a :class:`MetricsRegistry`, a ``snapshot()`` /
+    ``snapshot(full=True)`` dict, or a profile document (they all carry
+    ``counters`` / ``timers`` / ``histograms`` keys).  Histogram ``le``
+    buckets need the lossless state form; from a summary-only snapshot the
+    histogram degrades to a ``_sum`` / ``_count`` summary.
+    """
+    if isinstance(source, MetricsRegistry):
+        source = source.snapshot(full=True)
+    lines: List[str] = []
+
+    for name, value in sorted((source.get("counters") or {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(int(value))}")
+
+    for name, timer in sorted((source.get("timers") or {}).items()):
+        if isinstance(timer, dict):
+            seconds, count = timer["seconds"], timer["count"]
+        else:
+            seconds, count = timer
+        metric = _prom_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {_format_value(float(seconds))}")
+        lines.append(f"{metric}_count {int(count)}")
+
+    for name, state in sorted((source.get("histograms") or {}).items()):
+        metric = _prom_name(name, prefix)
+        count = int(state.get("count", 0))
+        total = float(state.get("total", state.get("mean", 0.0) * count))
+        buckets = state.get("buckets")
+        if buckets is None:
+            # summary-form snapshot: the buckets are gone, export moments
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f"{metric}_sum {_format_value(total)}")
+            lines.append(f"{metric}_count {count}")
+            continue
+        lines.append(f"# TYPE {metric} histogram")
+        running = 0
+        for bucket, occupancy in enumerate(buckets):
+            running += int(occupancy)
+            # log2 bucket b holds int(values) in [2^(b-1), 2^b - 1]
+            lines.append(
+                f'{metric}_bucket{{le="{(1 << bucket) - 1}"}} {running}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(total)}")
+        lines.append(f"{metric}_count {count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------- #
+# JSONL traces
+# ---------------------------------------------------------------------- #
+def traces_to_jsonl(traces: Iterable[Dict]) -> str:
+    """Trace documents as JSON Lines (one span tree per line)."""
+    return "".join(
+        json.dumps(trace, sort_keys=True, default=float) + "\n"
+        for trace in traces
+    )
+
+
+def dump_traces(traces: Iterable[Dict], path: Union[str, Path]) -> int:
+    """Write ``traces`` to ``path`` as JSONL; returns how many were written."""
+    traces = list(traces)
+    Path(path).write_text(traces_to_jsonl(traces), encoding="utf-8")
+    return len(traces)
+
+
+def load_traces(path: Union[str, Path]) -> List[Dict]:
+    """Read a JSONL trace dump back into a list of trace documents."""
+    documents = []
+    for line_number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{line_number}: not a JSONL trace line: {error}"
+            ) from None
+        if not isinstance(document, dict) or "trace_id" not in document:
+            raise ValueError(
+                f"{path}:{line_number}: JSON object is not a trace "
+                "document (no trace_id)"
+            )
+        documents.append(document)
+    return documents
+
+
+def render_trace_tree(trace: Dict) -> str:
+    """One trace document as an indented ascii span tree."""
+    spans = trace.get("spans") or []
+    children: Dict[object, List[Dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+
+    meta = trace.get("meta") or {}
+    rendered = ", ".join(f"{key}={value!r}" for key, value in meta.items())
+    header = (
+        f"{trace.get('trace_id', '?')} {trace.get('name', '?')} "
+        f"({1000 * trace.get('seconds', 0.0):.2f} ms"
+        f"{', SLOW' if trace.get('slow') else ''})"
+    )
+    lines = [header + (f"  [{rendered}]" if rendered else "")]
+
+    def walk(parent_id, depth: int) -> None:
+        for span in sorted(
+            children.get(parent_id, []), key=lambda s: s.get("start_ms", 0.0)
+        ):
+            lines.append(
+                f"{'  ' * depth}└─ {span.get('name', '?')} "
+                f"{span.get('ms', 0.0):.2f} ms"
+            )
+            walk(span.get("id"), depth + 1)
+
+    roots = children.get(None, [])
+    if roots:
+        # the root span mirrors the trace header; render its children
+        for root in roots:
+            walk(root.get("id"), 1)
+    return "\n".join(lines)

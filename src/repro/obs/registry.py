@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "Histogram",
@@ -38,17 +38,22 @@ __all__ = [
 class Histogram:
     """Streaming distribution summary: moments plus log2 buckets.
 
-    Holds running count/total/min/max and 64 power-of-two buckets, which is
-    enough to report a mean and approximate quantiles without retaining the
-    observations (seal-occupancy and candidate-set-size distributions can
-    have millions of samples).
+    Holds running count/total/sum-of-squares/min/max and 64 power-of-two
+    buckets, which is enough to report a mean, a variance and approximate
+    quantiles without retaining the observations (seal-occupancy and
+    candidate-set-size distributions can have millions of samples).
+
+    All state is plain sums, so two histograms recorded independently (for
+    instance in two pool workers) fold together exactly with :meth:`merge`
+    — the operation is associative and commutative.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_buckets")
+    __slots__ = ("count", "total", "sumsq", "min", "max", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
+        self.sumsq = 0.0
         self.min = math.inf
         self.max = -math.inf
         self._buckets = [0] * 64
@@ -56,6 +61,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self.sumsq += value * value
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -66,6 +72,71 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        # clamp: float cancellation can push E[x^2] - E[x]^2 slightly < 0
+        return max(0.0, self.sumsq / self.count - self.mean**2)
+
+    # ------------------------------------------------------------------ #
+    # cross-process state: ship, restore, fold
+    # ------------------------------------------------------------------ #
+    def state(self) -> Dict:
+        """Lossless JSON-ready state (what a pool worker ships back).
+
+        ``buckets`` is trimmed of trailing zeros; ``min``/``max`` are
+        ``None`` while empty (JSON has no infinities).
+        """
+        buckets = self._buckets
+        highest = 0
+        for index, occupancy in enumerate(buckets):
+            if occupancy:
+                highest = index + 1
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sumsq": self.sumsq,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": buckets[:highest],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "Histogram":
+        """Rebuild a histogram from a :meth:`state` dict."""
+        histogram = cls()
+        histogram.merge(state)
+        return histogram
+
+    def merge(self, other: Union["Histogram", Dict]) -> "Histogram":
+        """Fold another histogram (or a :meth:`state` dict) into this one.
+
+        Moments sum, min/max extremize, log2 buckets add element-wise; the
+        result is exactly the histogram that observing both sample streams
+        into one instance would have produced.  Returns ``self``.
+        """
+        if isinstance(other, Histogram):
+            other = other.state()
+        count = int(other["count"])
+        if count == 0:
+            return self
+        self.count += count
+        self.total += float(other["total"])
+        self.sumsq += float(other.get("sumsq", 0.0))
+        self.min = min(self.min, float(other["min"]))
+        self.max = max(self.max, float(other["max"]))
+        buckets = other["buckets"]
+        if len(buckets) > len(self._buckets):
+            raise ValueError(
+                f"histogram state has {len(buckets)} buckets; expected "
+                f"at most {len(self._buckets)}"
+            )
+        for index, occupancy in enumerate(buckets):
+            self._buckets[index] += int(occupancy)
+        return self
 
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile from the log2 buckets (upper bound)."""
@@ -87,6 +158,7 @@ class Histogram:
         return {
             "count": self.count,
             "mean": self.mean,
+            "std": math.sqrt(self.variance),
             "min": self.min,
             "max": self.max,
             "p50": min(self.quantile(0.5), self.max),
@@ -110,22 +182,35 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """Stage-scoped wall-time measurement feeding a registry timer."""
+    """Stage-scoped wall-time measurement feeding a registry timer.
 
-    __slots__ = ("_registry", "_name", "_start")
+    When a per-query trace is active on the registry's tracer, the same
+    enter/exit pair also opens/closes a node of the trace tree — the
+    instrumented code keeps calling plain ``METRICS.span(name)`` and gets
+    trace spans for free.
+    """
 
-    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+    __slots__ = ("_registry", "_name", "_start", "_tracer", "_trace_span")
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, tracer=None
+    ) -> None:
         self._registry = registry
         self._name = name
+        self._tracer = tracer
 
     def __enter__(self) -> "_Span":
         self._start = time.perf_counter()
+        if self._tracer is not None:
+            self._trace_span = self._tracer.open_span(self._name, self._start)
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._registry.record_time(
-            self._name, time.perf_counter() - self._start
-        )
+        ended = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer.close_span(self._trace_span, ended)
+        if self._registry.enabled:
+            self._registry.record_time(self._name, ended - self._start)
 
 
 class MetricsRegistry:
@@ -138,13 +223,16 @@ class MetricsRegistry:
     :attr:`enabled` themselves before even computing what to record.
     """
 
-    __slots__ = ("enabled", "counters", "timers", "histograms")
+    __slots__ = ("enabled", "counters", "timers", "histograms", "tracer")
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(self, enabled: bool = False, tracer=None) -> None:
         self.enabled = enabled
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, List[float]] = {}  # name -> [seconds, count]
         self.histograms: Dict[str, Histogram] = {}
+        #: optional :class:`repro.obs.trace.Tracer`; when a trace is active
+        #: on it, :meth:`span` nodes also land in the trace tree
+        self.tracer = tracer
 
     # ------------------------------------------------------------------ #
     # recording
@@ -173,10 +261,17 @@ class MetricsRegistry:
             histogram.observe(value)
 
     def span(self, name: str):
-        """Context manager timing a pipeline stage into timer ``name``."""
-        if not self.enabled:
+        """Context manager timing a pipeline stage into timer ``name``.
+
+        Live when the registry is enabled *or* a per-query trace is active
+        (so trace trees fill in even without ``--profile``); the fully-off
+        fast path is still one shared no-op object.
+        """
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.is_tracing()
+        if not self.enabled and not tracing:
             return _NULL_SPAN
-        return _Span(self, name)
+        return _Span(self, name, tracer if tracing else None)
 
     # ------------------------------------------------------------------ #
     # lifecycle / reporting
@@ -195,8 +290,15 @@ class MetricsRegistry:
         cell = self.timers.get(name)
         return cell[0] if cell else 0.0
 
-    def snapshot(self) -> Dict[str, Dict]:
-        """Plain-dict view of everything recorded so far (JSON-ready)."""
+    def snapshot(self, full: bool = False) -> Dict[str, Dict]:
+        """Plain-dict view of everything recorded so far (JSON-ready).
+
+        With ``full=True`` histograms are rendered as their lossless
+        :meth:`Histogram.state` instead of the human-oriented summary —
+        the delta form a pool worker ships back for :meth:`merge` (a
+        summary cannot be folded; the buckets are gone).  Keys are sorted
+        either way, so snapshots of identical runs compare equal.
+        """
         return {
             "counters": dict(sorted(self.counters.items())),
             "timers": {
@@ -204,10 +306,52 @@ class MetricsRegistry:
                 for name, cell in sorted(self.timers.items())
             },
             "histograms": {
-                name: histogram.summary()
+                name: histogram.state() if full else histogram.summary()
                 for name, histogram in sorted(self.histograms.items())
             },
         }
+
+    def merge(self, other: Union["MetricsRegistry", Dict, None]) -> None:
+        """Fold another registry — or a ``snapshot(full=True)`` dict — in.
+
+        Counters sum, timers sum seconds and counts, histograms merge
+        moments and log2 buckets (:meth:`Histogram.merge`).  This is the
+        parent-side half of cross-process telemetry: each pool worker
+        records into its own (fork-inherited) registry, ships the full
+        snapshot back with its chunk result, and the parent folds every
+        delta here, so ``--profile`` totals are identical to a serial run.
+
+        An explicit aggregation step, not hot-path recording: it applies
+        even while ``self.enabled`` is False.  ``None`` is a no-op (the
+        shape unprofiled workers ship).
+        """
+        if other is None:
+            return
+        if isinstance(other, MetricsRegistry):
+            other = other.snapshot(full=True)
+        for name, amount in other.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
+        for name, timer in other.get("timers", {}).items():
+            if isinstance(timer, dict):
+                seconds, count = timer["seconds"], timer["count"]
+            else:
+                seconds, count = timer
+            cell = self.timers.get(name)
+            if cell is None:
+                self.timers[name] = [float(seconds), int(count)]
+            else:
+                cell[0] += float(seconds)
+                cell[1] += int(count)
+        for name, state in other.get("histograms", {}).items():
+            if "buckets" not in state:
+                raise ValueError(
+                    f"histogram {name!r} has no bucket state; merge needs "
+                    "a snapshot(full=True) delta, not a summary"
+                )
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.merge(state)
 
 
 #: the process-global registry every instrumentation point records into.

@@ -21,9 +21,13 @@ __all__ = [
     "profile_report",
     "dump_profile",
     "profile_to_markdown",
+    "validate_profile",
 ]
 
-PROFILE_SCHEMA = "repro.obs/v1"
+#: v2: keys at every level are emitted in sorted order (stable diffs),
+#: histogram summaries carry ``std``, and the markdown rendering names the
+#: schema version it was produced from.
+PROFILE_SCHEMA = "repro.obs/v2"
 
 #: counters every profile document reports even when zero, so trajectory
 #: diffs (BENCH_*.json across PRs) never confuse "absent" with "none".
@@ -71,26 +75,35 @@ def profile_to_markdown(report: Dict, title: str = "Instrumentation") -> str:
 
     Counters, timers and histogram summaries become three small tables —
     the shape :func:`repro.bench.report.generate_report` appends when a
-    profiled run is requested.
+    profiled run is requested.  Every table row is emitted in sorted-name
+    order and the section names the obs schema it was rendered from, so
+    two profiled runs of the same workload produce diffable sections.
     """
     lines = [f"## {title}", ""]
+    schema = report.get("schema")
     meta = report.get("meta") or {}
-    if meta:
-        rendered = ", ".join(f"{key}={value}" for key, value in meta.items())
-        lines += [f"_{rendered}_", ""]
+    rendered = ", ".join(
+        f"{key}={meta[key]}" for key in sorted(meta)
+    )
+    tagline = ", ".join(part for part in (f"schema {schema}" if schema else "", rendered) if part)
+    if tagline:
+        lines += [f"_{tagline}_", ""]
 
     counters = report.get("counters") or {}
     if counters:
         lines += ["| counter | value |", "|---|---|"]
-        lines += [f"| {name} | {value:,} |" for name, value in counters.items()]
+        lines += [
+            f"| {name} | {counters[name]:,} |" for name in sorted(counters)
+        ]
         lines.append("")
 
     timers = report.get("timers") or {}
     if timers:
         lines += ["| stage | seconds | count |", "|---|---|---|"]
         lines += [
-            f"| {name} | {cell['seconds']:.4f} | {cell['count']} |"
-            for name, cell in timers.items()
+            f"| {name} | {timers[name]['seconds']:.4f} "
+            f"| {timers[name]['count']} |"
+            for name in sorted(timers)
         ]
         lines.append("")
 
@@ -100,7 +113,8 @@ def profile_to_markdown(report: Dict, title: str = "Instrumentation") -> str:
             "| histogram | count | mean | min | max | p50 |",
             "|---|---|---|---|---|---|",
         ]
-        for name, summary in histograms.items():
+        for name in sorted(histograms):
+            summary = histograms[name]
             if summary.get("count"):
                 lines.append(
                     f"| {name} | {summary['count']} | {summary['mean']:.1f} "
@@ -111,3 +125,58 @@ def profile_to_markdown(report: Dict, title: str = "Instrumentation") -> str:
                 lines.append(f"| {name} | 0 | - | - | - | - |")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def validate_profile(document: Dict) -> Dict:
+    """Check ``document`` against the :data:`PROFILE_SCHEMA` contract.
+
+    Raises :class:`ValueError` naming the first violation; returns the
+    document unchanged when it conforms.  This is what CI runs over the
+    benchmark-smoke ``--profile`` artifact, so a PR that breaks the
+    profile shape fails before it breaks the bench trajectory diffs.
+    """
+    if not isinstance(document, dict):
+        raise ValueError(f"profile must be a JSON object, got {type(document).__name__}")
+    schema = document.get("schema")
+    if schema != PROFILE_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {PROFILE_SCHEMA!r}, got {schema!r}"
+        )
+    if not isinstance(document.get("meta"), dict):
+        raise ValueError("profile 'meta' must be an object")
+    counters = document.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("profile 'counters' must be an object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"counter {name!r} must be an integer, got {value!r}")
+    missing = [name for name in CORE_COUNTERS if name not in counters]
+    if missing:
+        raise ValueError(f"core counters missing: {', '.join(missing)}")
+    names = list(counters)
+    if names != sorted(names):
+        raise ValueError("counters are not in sorted order")
+    timers = document.get("timers")
+    if not isinstance(timers, dict):
+        raise ValueError("profile 'timers' must be an object")
+    for name, cell in timers.items():
+        if (
+            not isinstance(cell, dict)
+            or not isinstance(cell.get("seconds"), (int, float))
+            or not isinstance(cell.get("count"), int)
+        ):
+            raise ValueError(
+                f"timer {name!r} must be {{seconds: number, count: int}}, "
+                f"got {cell!r}"
+            )
+    histograms = document.get("histograms")
+    if not isinstance(histograms, dict):
+        raise ValueError("profile 'histograms' must be an object")
+    for name, summary in histograms.items():
+        if not isinstance(summary, dict) or not isinstance(
+            summary.get("count"), int
+        ):
+            raise ValueError(
+                f"histogram {name!r} must be a summary object with a count"
+            )
+    return document

@@ -22,6 +22,7 @@ import warnings
 from typing import List, Sequence
 
 from ..obs import METRICS as _METRICS
+from ..obs import TRACER as _TRACER
 from .result import SearchResult, SearchStats
 from .toccurrence import ALGORITHMS, run_algorithm
 
@@ -109,6 +110,14 @@ class CountFilterSearcher:
             _METRICS.inc("search.candidates", stats.candidates)
             _METRICS.inc("search.verifications", stats.verifications)
             _METRICS.inc("search.results", stats.results)
+        if _TRACER.enabled:
+            # filtering counters on the trace make the slow-query log
+            # self-explanatory (a slow query is usually a candidate flood)
+            _TRACER.annotate(
+                candidates=stats.candidates,
+                verifications=stats.verifications,
+                results=stats.results,
+            )
         return SearchResult(
             query=query,
             threshold=threshold,

@@ -18,6 +18,7 @@ import time
 from typing import Dict, List
 
 from ..obs import METRICS as _METRICS
+from ..obs import trace_query as _trace_query
 from ..similarity.edit_distance import within_edit_distance
 from .base import CountFilterSearcher
 from .result import SearchResult, SearchStats
@@ -71,6 +72,10 @@ class EditDistanceSearcher(CountFilterSearcher):
         """Record ids with ``ed(query, record) <= delta``, ascending."""
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
+        with _trace_query(query, delta, kind="search.ed"):
+            return self._search_traced(query, delta)
+
+    def _search_traced(self, query: str, delta: int) -> SearchResult:
         started = time.perf_counter()
         stats = SearchStats()
         collection = self.index.collection

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..compression.base import SortedIDList
 from ..core.framework import offline_factory
+from ..obs import trace_query as _trace_query
 from ..similarity.measures import length_bounds, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
@@ -129,6 +130,10 @@ class GroupedJaccardSearcher(CountFilterSearcher):
         searcher, computed with tighter per-group thresholds."""
         if not 0 < threshold <= 1:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        with _trace_query(query, threshold, kind="search.grouped"):
+            return self._search_traced(query, threshold)
+
+    def _search_traced(self, query: str, threshold: float) -> SearchResult:
         started = time.perf_counter()
         stats = SearchStats()
         collection = self.index.collection

@@ -20,6 +20,7 @@ import numpy as np
 from ..compression.base import SortedIDList
 from ..core.framework import offline_factory
 from ..obs import METRICS as _METRICS
+from ..obs import trace_query as _trace_query
 from ..similarity.measures import length_bounds, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
@@ -105,6 +106,10 @@ class JaccardSearcher(CountFilterSearcher):
         """Record ids with ``SIM(query, record) >= threshold``, ascending."""
         if not 0 < threshold <= 1:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        with _trace_query(query, threshold):
+            return self._search_traced(query, threshold)
+
+    def _search_traced(self, query: str, threshold: float) -> SearchResult:
         started = time.perf_counter()
         stats = SearchStats()
         collection = self.index.collection

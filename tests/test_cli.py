@@ -371,7 +371,9 @@ class TestProfile:
         )
         assert "profile written to" in capsys.readouterr().out
         report = json.loads(profile_path.read_text())
-        assert report["schema"] == "repro.obs/v1"
+        from repro.obs import PROFILE_SCHEMA
+
+        assert report["schema"] == PROFILE_SCHEMA
         assert report["meta"]["command"] == "search"
         assert report["meta"]["corpus"] == corpus
         # acceptance-criteria metrics are always present
@@ -437,6 +439,36 @@ class TestProfile:
         )
         assert not METRICS.enabled
 
+    def test_batch_profile_with_workers_reports_worker_counters(
+        self, corpus, tmp_path, word_strings, capsys
+    ):
+        """Regression: worker-side counters used to read 0 under --workers N
+        because the forked workers' registries were never folded back."""
+        import json
+
+        queries_file = tmp_path / "queries.txt"
+        queries_file.write_text("\n".join(word_strings[:12]) + "\n")
+        profile_path = tmp_path / "workers.json"
+        assert (
+            main(
+                [
+                    "search", corpus,
+                    "--queries-file", str(queries_file),
+                    "--threshold", "0.8",
+                    "--workers", "2",
+                    "--profile", str(profile_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        report = json.loads(profile_path.read_text())
+        assert report["meta"]["workers"] == 2
+        # recorded inside the pool workers, visible in the parent profile
+        assert report["counters"]["search.queries"] == 12
+        assert report["counters"]["engine.batch.worker_chunks"] > 0
+        assert report["timers"]["search.filter"]["count"] == 12
+
     def test_report_with_profile_section(self, tmp_path):
         out = tmp_path / "report.md"
         assert (
@@ -487,3 +519,228 @@ class TestJoin:
         out = capsys.readouterr().out
         assert "1 pairs" in out
         assert "cat" in out and "cut" in out
+
+
+class TestTraceFlag:
+    @pytest.fixture
+    def queries_file(self, tmp_path, word_strings):
+        path = tmp_path / "queries.txt"
+        path.write_text("\n".join(word_strings[:12]) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_search_trace_written(
+        self, corpus, word_strings, tmp_path, capsys
+    ):
+        from repro.obs import TRACER, load_traces
+
+        trace_path = tmp_path / "traces.jsonl"
+        assert (
+            main(
+                [
+                    "search", corpus, word_strings[0],
+                    "--threshold", "0.8",
+                    "--trace", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert "1 trace(s) written to" in capsys.readouterr().out
+        (document,) = load_traces(trace_path)
+        assert document["name"] == "search"
+        assert document["meta"]["query"] == word_strings[0]
+        assert len(document["spans"]) > 1
+        assert not TRACER.enabled  # switched back off after the command
+
+    def test_batch_trace_with_workers(
+        self, corpus, queries_file, tmp_path, capsys
+    ):
+        from repro.obs import load_traces
+
+        trace_path = tmp_path / "traces.jsonl"
+        assert (
+            main(
+                [
+                    "search", corpus,
+                    "--queries-file", queries_file,
+                    "--threshold", "0.8",
+                    "--workers", "2",
+                    "--trace", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        traces = load_traces(trace_path)
+        assert len(traces) == 12  # worker traces shipped back with chunks
+        assert all(t["name"] == "search" for t in traces)
+
+    def test_trace_sampling(self, corpus, queries_file, tmp_path, capsys):
+        from repro.obs import load_traces
+
+        trace_path = tmp_path / "traces.jsonl"
+        assert (
+            main(
+                [
+                    "search", corpus,
+                    "--queries-file", queries_file,
+                    "--threshold", "0.8",
+                    "--trace", str(trace_path),
+                    "--trace-sample", "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert len(load_traces(trace_path)) == 6  # exactly 1 in 2
+        assert "6 trace(s) written" in out
+        assert "(6 sampled out)" in out
+
+    def test_invalid_sample_rate_rejected(
+        self, corpus, word_strings, capsys
+    ):
+        assert (
+            main(
+                [
+                    "search", corpus, word_strings[0],
+                    "--threshold", "0.8",
+                    "--trace", "unused.jsonl",
+                    "--trace-sample", "1.5",
+                ]
+            )
+            == 0  # search still runs, tracing is refused with a message
+        )
+        assert "--trace-sample must be in [0, 1]" in capsys.readouterr().out
+
+    def test_slow_queries_reported_on_stderr(
+        self, corpus, word_strings, capsys
+    ):
+        assert (
+            main(
+                [
+                    "search", corpus, word_strings[0],
+                    "--threshold", "0.8",
+                    "--slow-ms", "0",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "slow query (" in err
+        assert ">= 0.0 ms" in err
+
+    def test_join_trace_written(self, corpus, tmp_path, capsys):
+        from repro.obs import load_traces
+
+        trace_path = tmp_path / "join.jsonl"
+        assert (
+            main(
+                [
+                    "join", corpus,
+                    "--filter", "prefix",
+                    "--threshold", "0.9",
+                    "--show", "0",
+                    "--trace", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        (document,) = load_traces(trace_path)
+        assert document["name"] == "join"
+        assert document["meta"]["filter"] == "PrefixFilterJoin"
+
+
+class TestStatsTelemetry:
+    """`repro stats` dispatches on content: profile JSON, trace JSONL, corpus."""
+
+    @pytest.fixture
+    def profile_path(self, corpus, word_strings, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "search", corpus, word_strings[0],
+                    "--threshold", "0.8",
+                    "--profile", str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return str(path)
+
+    @pytest.fixture
+    def trace_path(self, corpus, word_strings, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        assert (
+            main(
+                [
+                    "search", corpus, word_strings[0],
+                    "--threshold", "0.8",
+                    "--trace", str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return str(path)
+
+    def test_profile_renders_prometheus_by_default(
+        self, profile_path, capsys
+    ):
+        assert main(["stats", profile_path]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_search_queries counter" in out
+        assert "repro_search_queries_total 1" in out
+        assert "repro_search_filter_seconds_sum" in out
+
+    def test_profile_check_passes(self, profile_path, capsys):
+        from repro.obs import PROFILE_SCHEMA
+
+        assert main(["stats", profile_path, "--check"]) == 0
+        assert f"profile ok: schema {PROFILE_SCHEMA}" in capsys.readouterr().err
+
+    def test_profile_check_fails_on_stale_schema(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps({"schema": "repro.obs/v0", "meta": {}}))
+        assert main(["stats", str(path), "--check"]) == 1
+        assert "invalid profile document" in capsys.readouterr().out
+
+    def test_profile_markdown_and_json_formats(self, profile_path, capsys):
+        import json
+
+        assert main(["stats", profile_path, "--format", "markdown"]) == 0
+        assert "## Instrumentation" in capsys.readouterr().out
+        assert main(["stats", profile_path, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counters"]["search.queries"] == 1
+
+    def test_trace_renders_tree(self, trace_path, word_strings, capsys):
+        assert main(["stats", trace_path]) == 0
+        captured = capsys.readouterr()
+        assert "search (" in captured.out
+        assert "└─" in captured.out
+        assert "1 trace(s), 0 slow" in captured.err
+
+    def test_trace_json_format(self, trace_path, capsys):
+        import json
+
+        assert main(["stats", trace_path, "--format", "json"]) == 0
+        (document,) = json.loads(capsys.readouterr().out)
+        assert document["name"] == "search"
+
+    def test_unrecognized_json_rejected(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"neither": "profile nor trace"}\n')
+        assert main(["stats", str(path)]) == 2
+        assert "neither a profile document" in capsys.readouterr().out
+
+    def test_telemetry_formats_require_telemetry_input(self, corpus, capsys):
+        assert main(["stats", corpus, "--format", "prometheus"]) == 2
+        assert "requires a profile/trace input" in capsys.readouterr().out
+
+    def test_corpus_table_still_works(self, corpus, capsys):
+        assert main(["stats", corpus, "--schemes", "css"]) == 0
+        assert "css" in capsys.readouterr().out

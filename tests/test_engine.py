@@ -210,6 +210,90 @@ class TestSearchBatch:
                 )
 
 
+class TestWorkerTelemetry:
+    """Cross-process metric aggregation (the worker-delta protocol).
+
+    Before the snapshot/merge layer, pool workers recorded into their own
+    fork-inherited registries and the deltas were silently discarded — a
+    profiled ``--workers N`` run reported 0 for every hot-path counter.
+    """
+
+    def test_parallel_batch_reports_worker_side_counters(
+        self, word_collection
+    ):
+        queries = word_collection.strings[:16]
+        with SimilarityEngine(
+            word_collection, scheme="css", algorithm="scancount"
+        ) as engine:
+            with enabled_metrics() as registry:
+                engine.search_batch(queries, 0.6, workers=2)
+            assert engine._pool_kind == "process"
+        # these are recorded only inside the workers; > 0 proves the
+        # deltas shipped back and folded into the parent registry
+        assert registry.counter("twolayer.blocks_decoded") > 0
+        assert registry.counter("twolayer.elements_decoded") > 0
+        assert registry.counter("search.queries") == len(queries)
+        assert registry.counter("engine.batch.worker_chunks") > 0
+        assert registry.timer_seconds("search.filter") > 0
+
+    def test_worker_aggregation_bit_identical_to_serial(
+        self, word_collection
+    ):
+        """Acceptance criterion: counter totals under workers=2 equal a
+        serial run exactly (the cache is disabled — forked per-worker
+        caches would legitimately change hit/decode counts)."""
+        queries = word_collection.strings[:16]
+
+        def profiled_run(workers):
+            with SimilarityEngine(
+                word_collection, scheme="css", cache_entries=0
+            ) as engine:
+                with enabled_metrics() as registry:
+                    engine.search_batch(queries, 0.6, workers=workers)
+            snapshot = registry.snapshot(full=True)
+            # batch-orchestration counters only exist on parallel runs
+            snapshot["counters"] = {
+                name: value
+                for name, value in snapshot["counters"].items()
+                if not name.startswith("engine.batch.")
+            }
+            # wall time is nondeterministic; event counts are not
+            snapshot["timers"] = {
+                name: cell["count"]
+                for name, cell in snapshot["timers"].items()
+                if not name.startswith("engine.batch.")
+            }
+            return snapshot
+
+        serial = profiled_run(0)
+        parallel = profiled_run(2)
+        assert parallel["counters"] == serial["counters"]
+        assert parallel["timers"] == serial["timers"]
+        assert parallel["histograms"] == serial["histograms"]
+        assert serial["counters"]["search.queries"] == len(queries)
+        assert serial["counters"]["cursor.seeks"] > 0
+
+    def test_worker_traces_ship_back(self, word_collection):
+        from repro.obs import TRACER
+        import os
+
+        queries = word_collection.strings[:16]
+        TRACER.configure(enabled=True, sample_rate=1.0, slow_ms=None)
+        TRACER.clear()
+        try:
+            with SimilarityEngine(word_collection, scheme="css") as engine:
+                engine.search_batch(queries, 0.6, workers=2)
+                assert engine._pool_kind == "process"
+            documents = TRACER.drain()
+        finally:
+            TRACER.configure(enabled=False)
+            TRACER.clear()
+        assert len(documents) == len(queries)
+        pids = {document["trace_id"].split("-")[0] for document in documents}
+        assert f"{os.getpid():x}" not in pids  # traced in the workers
+        assert all(document["spans"] for document in documents)
+
+
 class _PoisonedSearcher:
     """Delegates to a real searcher; raises on one query, counts every call."""
 

@@ -13,9 +13,17 @@ from repro.obs import (
     get_metrics,
     profile_report,
     profile_to_markdown,
+    validate_profile,
     PROFILE_SCHEMA,
 )
 from repro.obs.report import CORE_COUNTERS
+
+
+def _observe_all(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
 
 
 class TestMetricsRegistry:
@@ -110,6 +118,157 @@ class TestHistogram:
             Histogram().quantile(1.5)
 
 
+class TestHistogramEdgeCases:
+    def test_zero_and_negative_samples_land_in_bucket_zero(self):
+        histogram = _observe_all([0, -3, -0.5])
+        state = histogram.state()
+        assert state["buckets"] == [3]  # everything in bucket 0
+        assert histogram.min == -3
+        assert histogram.max == 0
+        assert histogram.count == 3
+
+    def test_fractional_sample_below_one_lands_in_bucket_zero(self):
+        assert _observe_all([0.5]).state()["buckets"] == [1]
+
+    def test_single_sample_variance_is_zero(self):
+        histogram = _observe_all([7])
+        assert histogram.variance == 0.0
+        assert histogram.summary()["std"] == 0.0
+        assert histogram.mean == 7.0
+
+    def test_variance_matches_population_variance(self):
+        values = [2, 4, 4, 4, 5, 5, 7, 9]  # classic example: variance 4
+        histogram = _observe_all(values)
+        assert histogram.variance == pytest.approx(4.0)
+        assert histogram.summary()["std"] == pytest.approx(2.0)
+
+    def test_log2_bucket_boundaries(self):
+        # bucket b holds values v with int(v).bit_length() == b:
+        # 0 -> bucket 0, 1 -> 1, [2,4) -> 2, [4,8) -> 3, [8,16) -> 4 ...
+        histogram = _observe_all([0, 1, 2, 3, 4, 7, 8, 15, 16])
+        assert histogram.state()["buckets"] == [1, 1, 2, 2, 2, 1]
+
+    def test_huge_sample_clamps_to_last_bucket(self):
+        state = _observe_all([2**80]).state()
+        assert len(state["buckets"]) == 64
+        assert state["buckets"][63] == 1
+
+    def test_empty_state_roundtrip(self):
+        state = Histogram().state()
+        assert state == {
+            "count": 0,
+            "total": 0.0,
+            "sumsq": 0.0,
+            "min": None,
+            "max": None,
+            "buckets": [],
+        }
+        restored = Histogram.from_state(state)
+        assert restored.count == 0
+        assert restored.state() == state
+
+
+class TestHistogramMerge:
+    def test_merge_equals_observing_all_samples(self):
+        left = _observe_all([1, 2, 3])
+        right = _observe_all([10, 200])
+        combined = _observe_all([1, 2, 3, 10, 200])
+        assert left.merge(right).state() == combined.state()
+
+    def test_merge_is_associative_and_commutative(self):
+        streams = ([0, 1, 5], [63, 64, -2], [1000])
+        # (a + b) + c
+        left = _observe_all(streams[0])
+        left.merge(_observe_all(streams[1]))
+        left.merge(_observe_all(streams[2]))
+        # a + (b + c)
+        tail = _observe_all(streams[1]).merge(_observe_all(streams[2]))
+        right = _observe_all(streams[0]).merge(tail)
+        # c + b + a
+        backwards = _observe_all(streams[2])
+        backwards.merge(_observe_all(streams[1]))
+        backwards.merge(_observe_all(streams[0]))
+        expected = _observe_all(streams[0] + streams[1] + streams[2]).state()
+        assert left.state() == expected
+        assert right.state() == expected
+        assert backwards.state() == expected
+
+    def test_merge_empty_is_identity(self):
+        histogram = _observe_all([4, 5])
+        before = histogram.state()
+        histogram.merge(Histogram())
+        histogram.merge(Histogram().state())
+        assert histogram.state() == before
+
+    def test_merge_state_survives_json_roundtrip(self):
+        shipped = json.loads(json.dumps(_observe_all([3, 9]).state()))
+        parent = _observe_all([1])
+        parent.merge(shipped)
+        assert parent.state() == _observe_all([1, 3, 9]).state()
+
+    def test_merge_rejects_oversized_bucket_state(self):
+        bad = _observe_all([1]).state()
+        bad["buckets"] = [0] * 65
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram().merge(bad)
+
+
+class TestRegistryMerge:
+    def _worker_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("twolayer.blocks_decoded", 5)
+        registry.record_time("search.filter", 0.25)
+        registry.observe("search.candidates", 12)
+        registry.observe("search.candidates", 40)
+        return registry
+
+    def test_merge_registry_sums_everything(self):
+        parent = self._worker_registry()
+        parent.merge(self._worker_registry())
+        assert parent.counter("twolayer.blocks_decoded") == 10
+        assert parent.timer_seconds("search.filter") == pytest.approx(0.5)
+        assert parent.timers["search.filter"][1] == 2
+        assert parent.histograms["search.candidates"].count == 4
+
+    def test_merge_full_snapshot_after_json_roundtrip(self):
+        delta = json.loads(
+            json.dumps(self._worker_registry().snapshot(full=True))
+        )
+        parent = MetricsRegistry(enabled=True)
+        parent.merge(delta)
+        assert parent.snapshot(full=True) == self._worker_registry().snapshot(
+            full=True
+        )
+
+    def test_merge_applies_even_while_disabled(self):
+        # aggregation is explicit, not hot-path recording: a parent whose
+        # registry was switched off mid-run still folds worker deltas
+        parent = MetricsRegistry(enabled=False)
+        parent.merge(self._worker_registry())
+        assert parent.counter("twolayer.blocks_decoded") == 5
+
+    def test_merge_none_is_noop(self):
+        parent = self._worker_registry()
+        before = parent.snapshot(full=True)
+        parent.merge(None)
+        assert parent.snapshot(full=True) == before
+
+    def test_merge_rejects_summary_histograms(self):
+        summary_snapshot = self._worker_registry().snapshot(full=False)
+        with pytest.raises(ValueError, match="snapshot"):
+            MetricsRegistry(enabled=True).merge(summary_snapshot)
+
+    def test_full_snapshot_is_lossless_and_sorted(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("zeta")
+        registry.inc("alpha")
+        registry.observe("h", 9)
+        snapshot = registry.snapshot(full=True)
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        assert snapshot["histograms"]["h"]["buckets"] == [0, 0, 0, 0, 1]
+        json.dumps(snapshot)  # must not raise
+
+
 class TestEnabledMetrics:
     def test_enables_resets_and_restores(self):
         assert not METRICS.enabled
@@ -173,6 +332,87 @@ class TestProfileReport:
         assert "twolayer.blocks_decoded" in markdown
         assert "search.filter" in markdown
         assert "online.seal_occupancy" in markdown
+
+    def test_markdown_names_schema_and_sorts_rows(self):
+        report = {
+            "schema": PROFILE_SCHEMA,
+            "meta": {"scheme": "css", "command": "search"},
+            "counters": {"zeta.ops": 2, "alpha.ops": 1},
+            "timers": {
+                "z.stage": {"seconds": 0.5, "count": 1},
+                "a.stage": {"seconds": 0.25, "count": 2},
+            },
+            "histograms": {},
+        }
+        markdown = profile_to_markdown(report)
+        assert f"schema {PROFILE_SCHEMA}" in markdown
+        # meta keys and table rows render in sorted order regardless of
+        # insertion order, so identical runs diff clean
+        assert markdown.index("command=search") < markdown.index("scheme=css")
+        assert markdown.index("alpha.ops") < markdown.index("zeta.ops")
+        assert markdown.index("a.stage") < markdown.index("z.stage")
+        shuffled = {
+            **report,
+            "meta": {"command": "search", "scheme": "css"},
+            "counters": {"alpha.ops": 1, "zeta.ops": 2},
+        }
+        assert profile_to_markdown(shuffled) == markdown
+
+
+class TestValidateProfile:
+    def _valid(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("twolayer.blocks_decoded", 3)
+        registry.record_time("search.filter", 0.1)
+        registry.observe("search.candidates", 4)
+        return profile_report(meta={"command": "t"}, registry=registry)
+
+    def test_accepts_real_report_even_after_json_roundtrip(self):
+        report = self._valid()
+        assert validate_profile(report) is report
+        validate_profile(json.loads(json.dumps(report)))
+
+    def test_rejects_schema_mismatch(self):
+        report = self._valid()
+        report["schema"] = "repro.obs/v1"
+        with pytest.raises(ValueError, match="schema mismatch"):
+            validate_profile(report)
+
+    def test_rejects_non_integer_and_boolean_counters(self):
+        report = self._valid()
+        report["counters"]["cursor.seeks"] = 1.5
+        with pytest.raises(ValueError, match="integer"):
+            validate_profile(report)
+        report["counters"]["cursor.seeks"] = True
+        with pytest.raises(ValueError, match="integer"):
+            validate_profile(report)
+
+    def test_rejects_missing_core_counter(self):
+        report = self._valid()
+        del report["counters"]["online.seals"]
+        with pytest.raises(ValueError, match="online.seals"):
+            validate_profile(report)
+
+    def test_rejects_unsorted_counters(self):
+        report = self._valid()
+        items = list(report["counters"].items())
+        report["counters"] = dict(reversed(items))
+        with pytest.raises(ValueError, match="sorted"):
+            validate_profile(report)
+
+    def test_rejects_malformed_timers_and_histograms(self):
+        report = self._valid()
+        report["timers"]["search.filter"] = [0.1, 1]  # legacy list form
+        with pytest.raises(ValueError, match="timer"):
+            validate_profile(report)
+        report = self._valid()
+        report["histograms"]["search.candidates"] = {"mean": 4.0}
+        with pytest.raises(ValueError, match="histogram"):
+            validate_profile(report)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_profile(["not", "a", "profile"])
 
 
 class TestInstrumentationEndToEnd:

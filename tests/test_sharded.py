@@ -298,6 +298,51 @@ class TestObservability:
             engine.add_many(["a b", "c d", "e f"])
         assert registry.counter("engine.shard.adds") == 3
 
+    def test_parallel_build_folds_worker_metrics(self, word_collection):
+        """Shard builds in forked workers ship their registry deltas back;
+        the parent's profile matches a serial build (which records inline).
+        """
+
+        def profiled_build(build_workers):
+            with enabled_metrics() as registry:
+                ShardedEngine(
+                    word_collection,
+                    shards=2,
+                    scheme="css",
+                    build_workers=build_workers,
+                )
+            return registry
+
+        serial = profiled_build(1)
+        parallel = profiled_build(2)
+        assert serial.counter("index.lists_built") > 0
+        assert parallel.counter("index.lists_built") == serial.counter(
+            "index.lists_built"
+        )
+        # one index.build timing per shard, whether built inline or forked
+        assert parallel.timers["index.build"][1] == 2
+        assert parallel.timer_seconds("index.build") > 0
+        assert parallel.counter("engine.shard.builds") == 2
+
+    def test_sharded_search_yields_trace(self, word_collection):
+        from repro.obs import TRACER
+
+        engine = ShardedEngine(word_collection, shards=2, scheme="css")
+        TRACER.configure(enabled=True, sample_rate=1.0, slow_ms=None)
+        TRACER.clear()
+        try:
+            engine.search(word_collection.strings[0], 0.6)
+            (document,) = TRACER.drain()
+        finally:
+            TRACER.configure(enabled=False)
+            TRACER.clear()
+        assert document["name"] == "search.sharded"
+        assert document["meta"]["shards"] == 2
+        names = [span["name"] for span in document["spans"]]
+        # per-shard query traces nest under the fan-out root
+        assert names.count("search") == 2
+        assert "engine.shard.search" in names
+
 
 class TestDumpLoad:
     @pytest.mark.parametrize("routing", ["contiguous", "hash"])

@@ -1,0 +1,386 @@
+"""Tests for per-query trace trees and the obs exporters.
+
+Covers the Tracer in isolation (span trees, sampling policy, slow-query
+log, bounded buffers, drain/ingest), its integration with the registry's
+``span()`` and with the real searchers/joins, and the export surfaces
+(Prometheus text exposition, JSONL trace dumps, ascii tree rendering).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    TRACER,
+    Tracer,
+    dump_traces,
+    load_traces,
+    render_trace_tree,
+    to_prometheus,
+    traces_to_jsonl,
+)
+
+
+@pytest.fixture
+def tracer():
+    """An isolated, enabled tracer (the global one is left alone)."""
+    return Tracer().configure(enabled=True)
+
+
+@pytest.fixture
+def global_tracer():
+    """The module-global TRACER, enabled for one test and fully restored."""
+    TRACER.configure(enabled=True, sample_rate=1.0, slow_ms=None)
+    TRACER.clear()
+    try:
+        yield TRACER
+    finally:
+        TRACER.configure(enabled=False, sample_rate=1.0, slow_ms=None)
+        TRACER.clear()
+
+
+class TestTracerCore:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()  # disabled by default
+        with tracer.trace("query"):
+            with tracer.span("stage"):
+                pass
+        assert list(tracer.buffer) == []
+        assert tracer.dropped == 0
+        assert not tracer.is_tracing()
+
+    def test_root_trace_document_shape(self, tracer):
+        with tracer.trace("search", query="abc", threshold=0.8):
+            pass
+        (document,) = tracer.drain()
+        assert document["name"] == "search"
+        assert document["meta"] == {"query": "abc", "threshold": 0.8}
+        assert document["seconds"] >= 0
+        assert "-" in document["trace_id"]  # "<pid hex>-<sequence>"
+        root = document["spans"][0]
+        assert root["id"] == 1
+        assert root["parent"] is None
+        assert root["name"] == "search"
+
+    def test_span_ids_form_a_tree(self, tracer):
+        with tracer.trace("query"):
+            with tracer.span("filter"):
+                with tracer.span("decode"):
+                    pass
+            with tracer.span("verify"):
+                pass
+        (document,) = tracer.drain()
+        by_name = {span["name"]: span for span in document["spans"]}
+        assert by_name["filter"]["parent"] == 1
+        assert by_name["decode"]["parent"] == by_name["filter"]["id"]
+        assert by_name["verify"]["parent"] == 1
+        ids = [span["id"] for span in document["spans"]]
+        assert len(ids) == len(set(ids))
+
+    def test_nested_trace_becomes_child_span(self, tracer):
+        with tracer.trace("outer"):
+            with tracer.trace("inner", ignored="meta"):
+                pass
+        (document,) = tracer.drain()
+        # one trace, not two; "inner" is a child span of the root
+        assert document["name"] == "outer"
+        by_name = {span["name"]: span for span in document["spans"]}
+        assert by_name["inner"]["parent"] == 1
+
+    def test_annotate_merges_into_active_meta(self, tracer):
+        with tracer.trace("query", threshold=0.8):
+            tracer.annotate(candidates=12, results=3)
+        (document,) = tracer.drain()
+        assert document["meta"] == {
+            "threshold": 0.8,
+            "candidates": 12,
+            "results": 3,
+        }
+
+    def test_annotate_and_span_are_noops_without_active_trace(self, tracer):
+        tracer.annotate(orphan=True)
+        with tracer.span("orphan"):
+            pass
+        assert tracer.drain() == []
+
+    def test_registry_span_feeds_active_trace(self, tracer):
+        registry = MetricsRegistry(enabled=True, tracer=tracer)
+        with tracer.trace("query"):
+            with registry.span("search.filter"):
+                pass
+        (document,) = tracer.drain()
+        names = [span["name"] for span in document["spans"]]
+        assert "search.filter" in names
+        # the same enter/exit also fed the timer
+        assert registry.timers["search.filter"][1] == 1
+
+    def test_registry_span_traces_even_with_metrics_disabled(self, tracer):
+        registry = MetricsRegistry(enabled=False, tracer=tracer)
+        with tracer.trace("query"):
+            with registry.span("search.filter"):
+                pass
+        (document,) = tracer.drain()
+        assert any(
+            span["name"] == "search.filter" for span in document["spans"]
+        )
+        assert registry.timers == {}  # metrics stayed off
+
+
+class TestSamplingPolicy:
+    def _run(self, tracer, count):
+        for _ in range(count):
+            with tracer.trace("query"):
+                pass
+
+    def test_rate_keeps_exact_fraction(self, tracer):
+        tracer.configure(sample_rate=0.5)
+        self._run(tracer, 10)
+        assert len(tracer.buffer) == 5
+        assert tracer.dropped == 5
+
+    def test_rate_one_keeps_everything(self, tracer):
+        self._run(tracer, 7)
+        assert len(tracer.buffer) == 7
+        assert tracer.dropped == 0
+
+    def test_rate_zero_keeps_nothing(self, tracer):
+        tracer.configure(sample_rate=0.0)
+        self._run(tracer, 5)
+        assert len(tracer.buffer) == 0
+        assert tracer.dropped == 5
+
+    def test_tenth_rate_keeps_every_tenth(self, tracer):
+        tracer.configure(sample_rate=0.1)
+        self._run(tracer, 30)
+        assert len(tracer.buffer) == 3
+
+    def test_invalid_rate_rejected(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.configure(sample_rate=1.5)
+
+    def test_slow_trace_sampled_even_at_rate_zero(self, tracer):
+        tracer.configure(sample_rate=0.0, slow_ms=0.0)  # everything is slow
+        self._run(tracer, 3)
+        assert len(tracer.buffer) == 3
+        assert len(tracer.slow_log) == 3
+        assert all(document["slow"] for document in tracer.buffer)
+        assert tracer.dropped == 0
+
+    def test_fast_trace_not_marked_slow(self, tracer):
+        tracer.configure(slow_ms=60_000.0)
+        self._run(tracer, 2)
+        assert len(tracer.slow_log) == 0
+        assert all("slow" not in document for document in tracer.buffer)
+
+    def test_buffer_is_bounded(self, tracer):
+        tracer.configure(buffer_size=4)
+        self._run(tracer, 10)
+        assert len(tracer.buffer) == 4
+        assert tracer.buffer.maxlen == 4
+
+    def test_clear_resets_buffers_and_accumulator(self, tracer):
+        tracer.configure(sample_rate=0.5, slow_ms=0.0)
+        self._run(tracer, 4)
+        tracer.clear()
+        assert len(tracer.buffer) == 0
+        assert len(tracer.slow_log) == 0
+        assert tracer.dropped == 0
+
+
+class TestDrainIngest:
+    def test_drain_clears_buffer_keeps_slow_log(self, tracer):
+        tracer.configure(slow_ms=0.0)
+        with tracer.trace("query"):
+            pass
+        documents = tracer.drain()
+        assert len(documents) == 1
+        assert len(tracer.buffer) == 0
+        assert len(tracer.slow_log) == 1  # slow log survives the drain
+
+    def test_ingest_adopts_worker_documents(self, tracer):
+        worker = Tracer().configure(enabled=True, slow_ms=0.0)
+        with worker.trace("query", worker=True):
+            pass
+        shipped = worker.drain()
+        tracer.ingest(shipped)
+        assert list(tracer.buffer) == shipped
+        assert list(tracer.slow_log) == shipped  # slow docs re-enter the log
+
+    def test_ingest_none_and_empty_are_noops(self, tracer):
+        tracer.ingest(None)
+        tracer.ingest([])
+        assert len(tracer.buffer) == 0
+
+    def test_ingested_documents_survive_json_roundtrip(self, tracer):
+        worker = Tracer().configure(enabled=True)
+        with worker.trace("query"):
+            with worker.span("stage"):
+                pass
+        shipped = json.loads(json.dumps(worker.drain()))
+        tracer.ingest(shipped)
+        (document,) = tracer.drain()
+        assert document["spans"][1]["name"] == "stage"
+
+
+class TestPrometheusExport:
+    def test_counters_timers_histograms(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("twolayer.blocks_decoded", 3)
+        registry.record_time("search.filter", 0.5)
+        for value in (1, 2, 3):
+            registry.observe("search.candidates", value)
+        text = to_prometheus(registry)
+        lines = text.splitlines()
+        assert "# TYPE repro_twolayer_blocks_decoded counter" in lines
+        assert "repro_twolayer_blocks_decoded_total 3" in lines
+        assert "# TYPE repro_search_filter_seconds summary" in lines
+        assert "repro_search_filter_seconds_sum 0.5" in lines
+        assert "repro_search_filter_seconds_count 1" in lines
+        assert "# TYPE repro_search_candidates histogram" in lines
+        # cumulative log2 buckets: nothing <= 0, one <= 1, all three <= 3
+        assert 'repro_search_candidates_bucket{le="0"} 0' in lines
+        assert 'repro_search_candidates_bucket{le="1"} 1' in lines
+        assert 'repro_search_candidates_bucket{le="3"} 3' in lines
+        assert 'repro_search_candidates_bucket{le="+Inf"} 3' in lines
+        assert "repro_search_candidates_sum 6.0" in lines
+        assert "repro_search_candidates_count 3" in lines
+
+    def test_output_is_sorted_and_deterministic(self):
+        first = MetricsRegistry(enabled=True)
+        first.inc("zeta.ops", 1)
+        first.inc("alpha.ops", 2)
+        second = MetricsRegistry(enabled=True)
+        second.inc("alpha.ops", 2)
+        second.inc("zeta.ops", 1)
+        text = to_prometheus(first)
+        assert text == to_prometheus(second)
+        assert text.index("alpha_ops") < text.index("zeta_ops")
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("engine.shard-0.hits/misses", 1)
+        text = to_prometheus(registry)
+        assert "repro_engine_shard_0_hits_misses_total 1" in text
+
+    def test_profile_document_source_degrades_summary_histograms(self):
+        # a profile document carries summary-form histograms (no buckets);
+        # the exporter falls back to a summary metric instead of guessing
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("cursor.seeks", 7)
+        registry.observe("search.candidates", 4)
+        from repro.obs import profile_report
+
+        document = profile_report(registry=registry)
+        text = to_prometheus(document)
+        assert "repro_cursor_seeks_total 7" in text
+        assert "# TYPE repro_search_candidates summary" in text
+        assert "repro_search_candidates_count 1" in text
+        assert "_bucket" not in text
+
+    def test_empty_source_renders_empty(self):
+        assert to_prometheus(MetricsRegistry(enabled=True)) == ""
+
+
+class TestTraceExport:
+    def _trace_document(self, slow=False):
+        tracer = Tracer().configure(
+            enabled=True, slow_ms=0.0 if slow else None
+        )
+        with tracer.trace("search", query="abc"):
+            with tracer.span("search.filter"):
+                pass
+        return tracer.drain()[0]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        documents = [self._trace_document(), self._trace_document(slow=True)]
+        path = tmp_path / "traces.jsonl"
+        assert dump_traces(documents, path) == 2
+        loaded = load_traces(path)
+        assert loaded == json.loads(json.dumps(documents))
+        assert loaded[1]["slow"] is True
+
+    def test_jsonl_is_one_object_per_line_sorted_keys(self):
+        text = traces_to_jsonl([self._trace_document()])
+        (line,) = text.strip().splitlines()
+        document = json.loads(line)
+        assert list(document) == sorted(document)
+
+    def test_load_rejects_bad_json_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_id": "a-1", "spans": []}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_traces(path)
+
+    def test_load_rejects_non_trace_objects(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        path.write_text('{"schema": "repro.obs/v2"}\n')
+        with pytest.raises(ValueError, match="trace_id"):
+            load_traces(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"trace_id": "a-1"}\n\n{"trace_id": "a-2"}\n')
+        assert [t["trace_id"] for t in load_traces(path)] == ["a-1", "a-2"]
+
+    def test_render_trace_tree(self):
+        document = self._trace_document()
+        rendered = render_trace_tree(document)
+        lines = rendered.splitlines()
+        assert document["trace_id"] in lines[0]
+        assert "search (" in lines[0]
+        assert "query='abc'" in lines[0]
+        assert lines[1].startswith("  └─ search.filter")
+
+    def test_render_marks_slow_traces(self):
+        rendered = render_trace_tree(self._trace_document(slow=True))
+        assert "SLOW" in rendered.splitlines()[0]
+
+
+class TestSearchAndJoinIntegration:
+    def test_search_yields_annotated_span_tree(
+        self, word_collection, global_tracer
+    ):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        index = InvertedIndex(word_collection, scheme="css")
+        searcher = JaccardSearcher(index, algorithm="mergeskip")
+        results = searcher.search(word_collection.strings[0], 0.6)
+        assert results  # the query string itself always matches
+        (document,) = global_tracer.drain()
+        assert document["name"] == "search"
+        assert document["meta"]["query"] == word_collection.strings[0]
+        assert document["meta"]["threshold"] == 0.6
+        # base._finish annotated outcome counts onto the trace
+        assert document["meta"]["results"] == len(results)
+        assert document["meta"]["candidates"] >= len(results)
+        names = {span["name"] for span in document["spans"]}
+        assert {"search.filter", "search.verify"} <= names
+
+    def test_search_traces_without_metrics_enabled(
+        self, word_collection, global_tracer
+    ):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        assert not METRICS.enabled
+        counters_before = dict(METRICS.counters)
+        index = InvertedIndex(word_collection, scheme="css")
+        JaccardSearcher(index).search(word_collection.strings[0], 0.6)
+        (document,) = global_tracer.drain()
+        assert len(document["spans"]) > 1
+        # tracing never turned metrics on: nothing new was recorded
+        assert METRICS.counters == counters_before
+
+    def test_join_yields_one_trace_per_run(
+        self, word_collection, global_tracer
+    ):
+        from repro.join import PrefixFilterJoin
+
+        PrefixFilterJoin(word_collection, scheme="adapt").join(0.8)
+        (document,) = global_tracer.drain()
+        assert document["name"] == "join"
+        assert document["meta"]["filter"] == "PrefixFilterJoin"
+        assert document["meta"]["threshold"] == 0.8
+        names = {span["name"] for span in document["spans"]}
+        assert "join.finalize" in names
