@@ -1,0 +1,28 @@
+"""Repo-specific static analysis: the ``repro lint`` engine.
+
+Generic linters cannot know that ``69`` is the two-layer metadata width,
+that ``repro.join`` probes must go through the decode cache, or that a
+lambda handed to the batch pool dies under ``spawn``.  This package
+encodes those repo-specific invariants as AST rules (RA01-RA07, see
+:mod:`repro.analysis.rules`) behind a small engine
+(:mod:`repro.analysis.engine`) with per-line justified suppressions.
+
+The committed baseline is **zero**: ``repro lint`` on the shipped tree
+reports nothing, and CI keeps it that way.
+"""
+
+from .engine import format_violations, lint_file, lint_paths, repo_source_root
+from .rules import RULES, Module, Rule, Violation, register_rule, rule_table
+
+__all__ = [
+    "RULES",
+    "Module",
+    "Rule",
+    "Violation",
+    "register_rule",
+    "rule_table",
+    "lint_file",
+    "lint_paths",
+    "format_violations",
+    "repo_source_root",
+]

@@ -1,0 +1,173 @@
+"""The lint engine: file walking, suppression handling, reporting.
+
+The engine parses each Python file once, derives its dotted module name
+(so rules can scope themselves to packages like ``repro.compression``),
+runs every selected rule from :data:`repro.analysis.rules.RULES`, and
+filters the findings against the file's suppression comments.
+
+Suppression syntax (one rule code per comment)::
+
+    ids = lst.to_array()  # repro: noqa RA01 -- full scan is the contract
+
+    # repro: noqa RA02 -- Silverman rule exponent, not a layout constant
+    bandwidth = 1.06 * spread * n ** (-1 / 5)
+
+An inline comment silences its own line; a standalone comment silences
+exactly the next line.  The ``-- reason`` is mandatory: a suppression
+without one is reported as **RA00** and cannot itself be suppressed —
+the whole point of the tag is the recorded justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import RULES, Module, Violation
+
+__all__ = ["lint_paths", "lint_file", "format_violations", "repo_source_root"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\s+(?P<code>RA\d{2})(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+def repo_source_root() -> Path:
+    """The installed ``repro`` package directory — the default lint target."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` path component.
+
+    Files outside a ``repro`` tree (fixtures, scratch scripts) fall back to
+    their stem, which keeps package-scoped rules quiet for them unless the
+    fixture deliberately mimics the layout (``tmp/repro/search/mod.py``).
+    """
+    parts = list(path.resolve().with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    anchored = [p for p in enumerate(parts) if p[1] == "repro"]
+    if not anchored:
+        return parts[-1] if parts else str(path)
+    start = anchored[-1][0]
+    return ".".join(parts[start:])
+
+
+def _collect_suppressions(
+    lines: Sequence[str], path: Path
+) -> Tuple[Dict[str, Set[int]], List[Violation]]:
+    """Suppressed ``code -> line numbers`` plus RA00 findings for bad tags."""
+    suppressed: Dict[str, Set[int]] = {}
+    problems: List[Violation] = []
+    for number, line in enumerate(lines, start=1):
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        if not match.group("reason"):
+            problems.append(
+                Violation(
+                    rule="RA00",
+                    path=str(path),
+                    line=number,
+                    col=match.start(),
+                    message=(
+                        "suppression without a justification; write "
+                        f"'# repro: noqa {match.group('code')} -- reason'"
+                    ),
+                )
+            )
+            continue
+        target = number + 1 if line.lstrip().startswith("#") else number
+        suppressed.setdefault(match.group("code"), set()).add(target)
+    return suppressed, problems
+
+
+def lint_file(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """All findings for one file (suppressions already applied)."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Violation(
+                rule="RA99",
+                path=str(path),
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    module = Module(path=path, name=_module_name(path), lines=lines, tree=tree)
+    suppressed, findings = _collect_suppressions(lines, path)
+    codes = set(select) if select else set(RULES)
+    unknown = codes - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {sorted(unknown)}; known: {sorted(RULES)}"
+        )
+    for code in sorted(codes):
+        for violation in RULES[code].check(module):
+            if violation.line in suppressed.get(code, ()):
+                continue
+            findings.append(violation)
+    return findings
+
+
+def _iter_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Violation], int]:
+    """Lint files/directories; returns ``(violations, files_checked)``.
+
+    ``paths=None`` lints the installed ``repro`` package itself — the
+    self-lint mode CI and the test suite run.
+    """
+    targets = [Path(p) for p in paths] if paths else [repo_source_root()]
+    files = _iter_files(targets)
+    violations: List[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path, select=select))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations, len(files)
+
+
+def format_violations(
+    violations: Sequence[Violation], fmt: str = "text", files_checked: int = 0
+) -> str:
+    """Render findings as ``text`` (one per line) or a ``json`` array."""
+    if fmt == "json":
+        return json.dumps([asdict(v) for v in violations], indent=2)
+    if fmt != "text":
+        raise ValueError(f"format must be 'text' or 'json', got {fmt!r}")
+    if not violations:
+        return (
+            f"clean: {files_checked} files checked, "
+            f"{len(RULES)} rules, 0 violations"
+        )
+    rendered = [v.render() for v in violations]
+    rendered.append(
+        f"{len(violations)} violation(s) in {files_checked} files"
+    )
+    return "\n".join(rendered)

@@ -349,9 +349,43 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser(
         "check", help="validate the integrity of a persisted index"
     )
-    check.add_argument("index", help=".npz file written by `repro index`")
-    check.add_argument("corpus", help="the corpus the index was built from")
+    check.add_argument(
+        "index",
+        help=".npz file written by `repro index` or a sharded index directory",
+    )
+    check.add_argument(
+        "corpus",
+        nargs="?",
+        default=None,
+        help="optionally, the corpus the index was built from (binds the "
+        "loaded index to it; structural checks run without one)",
+    )
     _add_tokenize_args(check)
+
+    lint = commands.add_parser(
+        "lint", help="run the repo-specific static analysis rules (RA01-RA07)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run, e.g. RA01,RA07 (default all)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings as human-readable lines or a JSON array",
+    )
+    lint.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the rule table and exit",
+    )
 
     report = commands.add_parser(
         "report", help="regenerate the headline paper tables as markdown"
@@ -578,7 +612,19 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    from .compression.validate import check_index
+    from .compression.validate import check_index, check_path
+
+    if args.corpus is None:
+        # structural mode: works on a saved .npz index or a sharded
+        # manifest directory, no corpus required
+        issues = check_path(args.index)
+        if issues:
+            print(f"{len(issues)} integrity violations:")
+            for issue in issues[:50]:
+                print(f"  - {issue}")
+            return 1
+        print(f"ok: {args.index}, no violations")
+        return 0
 
     strings = _read_lines(args.corpus)
     collection = tokenize_collection(strings, mode=args.mode, q=args.q)
@@ -600,6 +646,23 @@ def _cmd_check(args) -> int:
         "no violations"
     )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import format_violations, lint_paths, rule_table
+
+    if args.explain:
+        for code, summary in rule_table():
+            print(f"{code}  {summary}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        violations, files_checked = lint_paths(args.paths or None, select)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_violations(violations, args.format, files_checked))
+    return 1 if violations else 0
 
 
 def _cmd_report(args) -> int:
@@ -665,6 +728,7 @@ _COMMANDS = {
     "join": _cmd_join,
     "report": _cmd_report,
     "check": _cmd_check,
+    "lint": _cmd_lint,
 }
 
 

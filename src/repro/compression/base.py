@@ -28,6 +28,7 @@ from typing import Iterator, Sequence, Union
 import numpy as np
 
 from ..obs import METRICS as _METRICS
+from .constants import ELEMENT_BITS, MAX_ELEMENT, METADATA_BITS
 
 __all__ = [
     "ELEMENT_BITS",
@@ -38,10 +39,6 @@ __all__ = [
     "as_id_array",
     "check_sorted_ids",
 ]
-
-ELEMENT_BITS = 32
-METADATA_BITS = 69
-MAX_ELEMENT = 2**32 - 1
 
 IntArrayLike = Union[Sequence[int], np.ndarray]
 
@@ -61,7 +58,9 @@ def check_sorted_ids(values: np.ndarray) -> None:
     if int(values[0]) < 0:
         raise ValueError(f"ids must be non-negative, got {int(values[0])}")
     if int(values[-1]) > MAX_ELEMENT:
-        raise ValueError(f"ids must fit in 32 bits, got {int(values[-1])}")
+        raise ValueError(
+            f"ids must fit in {ELEMENT_BITS} bits, got {int(values[-1])}"
+        )
     if values.size > 1 and not (np.diff(values) > 0).all():
         raise ValueError("ids must be strictly increasing")
 

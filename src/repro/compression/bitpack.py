@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import METRICS as _METRICS
+from .constants import MAX_DELTA_WIDTH
 
 __all__ = ["width_for", "BitBuffer"]
 
@@ -66,8 +67,10 @@ class BitBuffer:
 
         ``values`` must be non-negative integers strictly below ``2**width``.
         """
-        if not 1 <= width <= 32:
-            raise ValueError(f"width must be in [1, 32], got {width}")
+        if not 1 <= width <= MAX_DELTA_WIDTH:
+            raise ValueError(
+                f"width must be in [1, {MAX_DELTA_WIDTH}], got {width}"
+            )
         values = np.asarray(values, dtype=np.uint64)
         if values.size and int(values.max()) >> width:
             raise ValueError(

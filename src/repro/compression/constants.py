@@ -1,0 +1,59 @@
+"""The paper's structural constants, defined exactly once.
+
+Every number here is load-bearing for the paper's claims (losslessness of
+the two-layer layout, the online seal predicates, the Theorem 1 horizon),
+so it must not be re-derived or re-typed anywhere else in the codebase:
+lint rule **RA02** (``repro lint``) rejects the literals ``69``, ``37`` and
+``138`` everywhere, and ``32`` / ``5`` inside :mod:`repro.compression`,
+unless they are imported from this module.
+
+Derivations (PAPER.md / Chapter 2):
+
+* a metadata block is ``(b, o, n)`` — a 32-bit base, a 32-bit bit offset
+  into the data layer, and a 5-bit per-element delta width — 69 bits total;
+* ``rho = 37`` is the net cost of sealing a one-element block: the 69-bit
+  metadata block minus the 32-bit element it absorbs (Section 5.3's seal
+  threshold);
+* ``138 = 2 * 69`` is Theorem 1's upper bound on the cardinality of an
+  optimal variable-length block, and therefore the online Vari buffer
+  capacity and the Model policy's prediction horizon.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ELEMENT_BITS",
+    "BASE_BITS",
+    "OFFSET_BITS",
+    "WIDTH_FIELD_BITS",
+    "METADATA_BITS",
+    "MAX_ELEMENT",
+    "MAX_DELTA_WIDTH",
+    "SEAL_RHO",
+    "THEOREM_1_BUFFER",
+]
+
+#: bits of one uncompressed posting-list element (record ids are 32-bit).
+ELEMENT_BITS: int = 32
+
+#: metadata-block fields: base value, data-layer bit offset, delta width.
+BASE_BITS: int = ELEMENT_BITS
+OFFSET_BITS: int = 32
+WIDTH_FIELD_BITS: int = 5
+
+#: one metadata block ``(b, o, n)``: 32 + 32 + 5 = 69 bits (Figure 2.1).
+METADATA_BITS: int = BASE_BITS + OFFSET_BITS + WIDTH_FIELD_BITS
+
+#: largest storable id: the 32-bit universe.
+MAX_ELEMENT: int = 2**ELEMENT_BITS - 1
+
+#: a packed delta never needs more bits than an uncompressed element.
+MAX_DELTA_WIDTH: int = ELEMENT_BITS
+
+#: Section 5.3 seal threshold ``rho = 69 - 32 = 37``: the net cost of a
+#: one-element block (its metadata minus the element the base absorbs).
+SEAL_RHO: int = METADATA_BITS - ELEMENT_BITS
+
+#: Theorem 1: an optimal variable-length block holds at most ``2 * |M|``
+#: = 138 elements, so online buffers never need to grow past this.
+THEOREM_1_BUFFER: int = 2 * METADATA_BITS

@@ -13,10 +13,12 @@ from typing import Optional, Sequence
 
 from .partition import DEFAULT_MAX_BLOCK, optimal_partition
 from .twolayer import TwoLayerList
+from .registry import register_scheme
 
 __all__ = ["CSSList"]
 
 
+@register_scheme("css", kind="offline")
 class CSSList(TwoLayerList):
     """Two-layer list with saving-optimal variable-length partitioning."""
 

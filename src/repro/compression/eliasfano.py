@@ -17,10 +17,12 @@ import numpy as np
 
 from .base import METADATA_BITS, SortedIDList, as_id_array, check_sorted_ids
 from .bitpack import BitBuffer
+from .registry import register_scheme
 
 __all__ = ["EliasFanoList"]
 
 
+@register_scheme("eliasfano", kind="offline")
 class EliasFanoList(SortedIDList):
     """Quasi-succinct sorted id list with O(1) random access."""
 

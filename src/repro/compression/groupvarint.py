@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from .base import SortedIDList, as_id_array, check_sorted_ids
+from .registry import register_scheme
 
 __all__ = ["GroupVarintList"]
 
@@ -28,6 +29,7 @@ def _byte_length(value: int) -> int:
     return 4
 
 
+@register_scheme("groupvarint", kind="offline")
 class GroupVarintList(SortedIDList):
     """Gap list in descriptor-byte groups of four."""
 

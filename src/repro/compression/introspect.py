@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from .base import ELEMENT_BITS, METADATA_BITS, SortedIDList
 from .twolayer import TwoLayerList
@@ -100,7 +100,7 @@ def list_layout(lst: SortedIDList) -> LayoutStats:
     return stats
 
 
-def index_layout(index) -> LayoutStats:
+def index_layout(index: Any) -> LayoutStats:
     """Aggregated layout statistics over an inverted index's lists."""
     total = LayoutStats()
     for lst in index.lists.values():

@@ -15,7 +15,7 @@ identical O(log n) touch count with the cache-friendly access pattern.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -35,7 +35,9 @@ class EytzingerIndex:
         self._fill(values, 0, iter(range(self._size)))
         self.touches = 0  # instrumentation: array reads since construction
 
-    def _fill(self, values: np.ndarray, node: int, counter) -> None:
+    def _fill(
+        self, values: np.ndarray, node: int, counter: Iterator[int]
+    ) -> None:
         if node >= self._size:
             return
         self._fill(values, 2 * node + 1, counter)

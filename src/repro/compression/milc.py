@@ -13,12 +13,14 @@ from typing import Sequence
 
 from .base import as_id_array
 from .twolayer import TwoLayerList
+from .registry import register_scheme
 
 __all__ = ["MILCList", "DEFAULT_BLOCK_SIZE"]
 
 DEFAULT_BLOCK_SIZE = 16
 
 
+@register_scheme("milc", kind="offline")
 class MILCList(TwoLayerList):
     """Two-layer list with fixed-length partitioning."""
 

@@ -17,14 +17,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..base import ELEMENT_BITS, METADATA_BITS
 from ..bitpack import width_for
+from ..constants import ELEMENT_BITS, SEAL_RHO
+from ..registry import register_scheme
 from .base import OnlineSortedIDList
 
 __all__ = ["AdaptList", "RHO"]
 
 #: initial benefit of a block: metadata (69) minus the absorbed base (32).
-RHO = METADATA_BITS - ELEMENT_BITS
+RHO = SEAL_RHO
 
 
 def _seal_benefit(count: int, span: int) -> int:
@@ -38,6 +39,7 @@ def _seal_benefit(count: int, span: int) -> int:
     return (count - 1) * (ELEMENT_BITS - width_for(span)) - RHO
 
 
+@register_scheme("adapt", kind="online")
 class AdaptList(OnlineSortedIDList):
     """Online two-region list with the O(1) adaptive seal predicate."""
 

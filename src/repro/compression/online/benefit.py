@@ -19,6 +19,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..constants import THEOREM_1_BUFFER
+
 __all__ = ["EpanechnikovKDE"]
 
 
@@ -31,10 +33,10 @@ class EpanechnikovKDE:
     refreshed lazily when observations change.
     """
 
-    def __init__(self, max_observations: int = 138) -> None:
+    def __init__(self, max_observations: int = THEOREM_1_BUFFER) -> None:
         # footnote to Eq. 5.7: at most M = 138 gaps are ever relevant
         self.max_observations = max_observations
-        self._gaps: list = []
+        self._gaps: list[float] = []
         self._bandwidth: Optional[float] = None
 
     def __len__(self) -> int:
@@ -61,6 +63,7 @@ class EpanechnikovKDE:
             # Silverman's rule of thumb; floor keeps degenerate (constant-gap)
             # buffers sampleable.
             self._bandwidth = max(
+                # repro: noqa RA02 -- Silverman rule exponent n**(-1/5), not a layout constant
                 1.06 * spread * max(gaps.size, 1) ** (-1 / 5), 0.5
             )
         return self._bandwidth

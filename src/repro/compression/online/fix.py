@@ -9,6 +9,7 @@ skew-blindness, hence the lowest compression ratio of the online trio
 
 from __future__ import annotations
 
+from ..registry import register_scheme
 from .base import OnlineSortedIDList
 
 __all__ = ["FixList", "DEFAULT_ONLINE_BLOCK"]
@@ -16,6 +17,7 @@ __all__ = ["FixList", "DEFAULT_ONLINE_BLOCK"]
 DEFAULT_ONLINE_BLOCK = 16
 
 
+@register_scheme("fix", kind="online")
 class FixList(OnlineSortedIDList):
     """Online two-region list sealing full fixed-size buffers."""
 

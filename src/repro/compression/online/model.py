@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..base import METADATA_BITS
+from ..constants import METADATA_BITS, THEOREM_1_BUFFER
+from ..registry import register_scheme
 from .adapt import _seal_benefit
 from .base import OnlineSortedIDList
 from .benefit import EpanechnikovKDE
@@ -29,9 +30,10 @@ from .benefit import EpanechnikovKDE
 __all__ = ["ModelList"]
 
 #: Theorem 1 horizon: an optimal block never exceeds 2 * |M| elements.
-HORIZON = 2 * METADATA_BITS
+HORIZON = THEOREM_1_BUFFER
 
 
+@register_scheme("model", kind="online")
 class ModelList(OnlineSortedIDList):
     """Online two-region list sealed by expected-benefit maximization."""
 

@@ -16,16 +16,15 @@ from __future__ import annotations
 import numpy as np
 
 from ...obs import METRICS as _METRICS
-from ..base import METADATA_BITS
+from ..constants import THEOREM_1_BUFFER
 from ..partition import optimal_partition
+from ..registry import register_scheme
 from .base import OnlineSortedIDList
 
 __all__ = ["VariList", "THEOREM_1_BUFFER"]
 
-#: Theorem 1 upper bound on an optimal block's cardinality: 2 * |M| elements.
-THEOREM_1_BUFFER = 2 * METADATA_BITS
 
-
+@register_scheme("vari", kind="online")
 class VariList(OnlineSortedIDList):
     """Online two-region list sealing DP-optimal leading blocks."""
 

@@ -17,7 +17,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .base import ELEMENT_BITS, METADATA_BITS, as_id_array, check_sorted_ids
+from .base import as_id_array, check_sorted_ids
+from .constants import ELEMENT_BITS, METADATA_BITS
 
 __all__ = ["optimal_partition", "partition_savings", "DEFAULT_MAX_BLOCK"]
 

@@ -26,6 +26,8 @@ import numpy as np
 
 from .base import SortedIDList, as_id_array, check_sorted_ids
 from .bitpack import BitBuffer
+from .constants import ELEMENT_BITS
+from .registry import register_scheme
 
 __all__ = ["PForDeltaList", "PFOR_BLOCK_SIZE"]
 
@@ -33,14 +35,14 @@ PFOR_BLOCK_SIZE = 128
 #: classic rule: exception values live in a 32-bit patch area; their in-block
 #: positions are a linked list threaded through the b-bit slots (original
 #: PFOR), so each exception costs only its patch value.
-CLASSIC_EXCEPTION_BITS = 32
+CLASSIC_EXCEPTION_BITS = ELEMENT_BITS
 #: opt rule: explicit 8-bit position + 32-bit patch value per exception.
 EXCEPTION_BITS = 40
 #: per-block header: width (8) + exception count (8) + first-exception
 #: offset (8) + base (32).
 HEADER_BITS = 56
 #: the original PFOR packs (and decodes) values in groups of this many.
-GROUP_SIZE = 32
+GROUP_SIZE = 32  # repro: noqa RA02 -- PFOR group cardinality, not the element width
 _WIDTH_RULES = ("p90", "opt")
 
 
@@ -110,6 +112,7 @@ def _with_compulsive_exceptions(
     return np.asarray(augmented, dtype=np.int64)
 
 
+@register_scheme("pfordelta", kind="offline")
 class PForDeltaList(SortedIDList):
     """Gap-compressed list with patched exceptions; sequential decode only."""
 

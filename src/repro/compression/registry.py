@@ -1,0 +1,97 @@
+"""The scheme registry: one named catalogue of posting-list codecs.
+
+The paper's framing is that CSS is a *flexible framework* — any filtering
+technique keeps its algorithm and swaps the posting-list representation.
+This module is the storage behind that pluggability: two registries keyed
+by the evaluation-chapter scheme names, populated by the scheme modules
+themselves (each module that defines a codec class registers it with
+:func:`register_scheme`; lint rule **RA05** enforces this, so a new codec
+file cannot silently stay unreachable from the CLI and benches).
+
+This module deliberately imports nothing from the rest of the package —
+scheme modules import :func:`register_scheme` from here at definition
+time, so any dependency from here back into a codec module would be a
+cycle.  :mod:`repro.core.framework` re-exports the registry for callers
+written against the original framework API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "OFFLINE_SCHEMES",
+    "ONLINE_SCHEMES",
+    "register_scheme",
+    "scheme_factory",
+    "offline_scheme_names",
+    "online_scheme_names",
+]
+
+#: the two registries, keyed by evaluation-chapter scheme name.  These dicts
+#: stay importable (and identity-stable) because the CLI and tests enumerate
+#: them directly.
+OFFLINE_SCHEMES: Dict[str, Callable] = {}
+ONLINE_SCHEMES: Dict[str, Callable] = {}
+
+_KINDS: Dict[str, Dict[str, Callable]] = {
+    "offline": OFFLINE_SCHEMES,
+    "online": ONLINE_SCHEMES,
+}
+
+
+def register_scheme(
+    name: str,
+    kind: str,
+    factory: Optional[Callable] = None,
+    *,
+    replace: bool = False,
+) -> Callable:
+    """Register ``factory`` as scheme ``name`` of the given ``kind``.
+
+    ``kind`` is ``"offline"`` (search codecs, ``factory(ids) -> list``) or
+    ``"online"`` (join codecs, ``factory() -> appendable list``).  With no
+    ``factory`` argument this returns a class decorator.  Re-registration
+    requires ``replace=True`` so accidental name collisions fail loudly.
+    """
+    try:
+        registry = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"kind must be one of {sorted(_KINDS)}, got {kind!r}"
+        ) from None
+
+    def _register(target: Callable) -> Callable:
+        if name in registry and not replace:
+            raise ValueError(
+                f"{kind} scheme {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        registry[name] = target
+        return target
+
+    return _register(factory) if factory is not None else _register
+
+
+def scheme_factory(name: str, kind: str) -> Callable:
+    """Factory for a registered scheme by name and kind."""
+    try:
+        registry = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"kind must be one of {sorted(_KINDS)}, got {kind!r}"
+        ) from None
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown {kind} scheme {name!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+def offline_scheme_names() -> List[str]:
+    return sorted(OFFLINE_SCHEMES)
+
+
+def online_scheme_names() -> List[str]:
+    return sorted(ONLINE_SCHEMES)

@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from .base import SortedIDList, as_id_array, check_sorted_ids
+from .registry import register_scheme
 
 __all__ = ["RoaringList", "ARRAY_LIMIT"]
 
@@ -68,6 +69,7 @@ class _Container:
         return int(np.searchsorted(self.decode(), low_value, side="left"))
 
 
+@register_scheme("roaring", kind="offline")
 class RoaringList(SortedIDList):
     """Chunked array/bitmap hybrid with container-level adaptivity."""
 

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from .bitpack import BitBuffer
+from .constants import MAX_DELTA_WIDTH
 from .online import OnlineSortedIDList
 from .twolayer import TwoLayerList, TwoLayerStore
 from .uncompressed import UncompressedList
@@ -119,9 +120,9 @@ def _validate_store_arrays(arrays: Dict[str, np.ndarray], token: int) -> None:
     )
     if bases.size:
         _check(
-            int(widths.min()) >= 1 and int(widths.max()) <= 32,
+            int(widths.min()) >= 1 and int(widths.max()) <= MAX_DELTA_WIDTH,
             token,
-            "delta width outside [1, 32]",
+            f"delta width outside [1, {MAX_DELTA_WIDTH}]",
         )
         _check(int(bases.min()) >= 0, token, "negative base value")
         _check(int(offsets.min()) >= 0, token, "negative data offset")
@@ -143,7 +144,7 @@ class _LoadedTwoLayerList(TwoLayerList):
         self.scheme_name = scheme_name
 
 
-def dump_index(index, path: Union[str, Path]) -> None:
+def dump_index(index: Any, path: Union[str, Path]) -> None:
     """Persist an :class:`InvertedIndex` to ``path`` (``.npz``).
 
     Dynamic indexes are rejected up front: their online two-region lists
@@ -192,7 +193,7 @@ def dump_index(index, path: Union[str, Path]) -> None:
                 "two-layer (MILC/CSS) and uncompressed lists are persistent"
             )
 
-    def _concat(chunks, dtype):
+    def _concat(chunks: List[np.ndarray], dtype: type) -> np.ndarray:
         if not chunks:
             return np.empty(0, dtype=dtype)
         return np.concatenate(chunks).astype(dtype)
@@ -217,7 +218,7 @@ def dump_index(index, path: Union[str, Path]) -> None:
     )
 
 
-def load_index(path: Union[str, Path], collection):
+def load_index(path: Union[str, Path], collection: Any) -> Any:
     """Load an index dumped by :func:`dump_index`, bound to ``collection``.
 
     The caller supplies the (re-tokenized or separately persisted)

@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from .base import SortedIDList, as_id_array, check_sorted_ids
+from .registry import register_scheme
 
 __all__ = ["Simple8bList", "SELECTORS"]
 
@@ -27,6 +28,7 @@ SELECTORS: List = [
 ]
 
 
+@register_scheme("simple8b", kind="offline")
 class Simple8bList(SortedIDList):
     """Gap list packed into selector-tagged 64-bit words."""
 

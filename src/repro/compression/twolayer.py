@@ -22,14 +22,9 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 import numpy as np
 
 from ..obs import METRICS as _METRICS
-from .base import (
-    ELEMENT_BITS,
-    METADATA_BITS,
-    SortedIDList,
-    as_id_array,
-    check_sorted_ids,
-)
+from .base import SortedIDList, as_id_array, check_sorted_ids
 from .bitpack import BitBuffer, width_for
+from .constants import ELEMENT_BITS, METADATA_BITS
 
 __all__ = ["TwoLayerStore", "TwoLayerList", "block_cost_bits", "block_saving_bits"]
 
@@ -356,6 +351,7 @@ class TwoLayerCursor:
         return len(self._store) - self.position
 
 
+# repro: noqa RA05 -- building block, not a scheme: needs explicit boundaries
 class TwoLayerList(SortedIDList):
     """Offline two-layer compressed list built from an explicit partitioning.
 

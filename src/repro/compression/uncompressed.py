@@ -13,10 +13,12 @@ from typing import Sequence
 import numpy as np
 
 from .base import ELEMENT_BITS, SortedIDList, as_id_array, check_sorted_ids
+from .registry import register_scheme
 
 __all__ = ["UncompressedList"]
 
 
+@register_scheme("uncomp", kind="offline")
 class UncompressedList(SortedIDList):
     """Sorted id array without compression."""
 

@@ -13,14 +13,22 @@ fuzzers.
 
 from __future__ import annotations
 
-from typing import List
+from pathlib import Path
+from typing import Any, List, Union
 
 import numpy as np
 
 from .base import MAX_ELEMENT, SortedIDList
+from .constants import MAX_DELTA_WIDTH
 from .twolayer import TwoLayerList
 
-__all__ = ["check_list", "check_index"]
+__all__ = [
+    "check_list",
+    "check_index",
+    "check_file",
+    "check_sharded_dir",
+    "check_path",
+]
 
 
 def check_list(lst: SortedIDList, sample: int = 64) -> List[str]:
@@ -31,7 +39,8 @@ def check_list(lst: SortedIDList, sample: int = 64) -> List[str]:
     """
     try:
         return _check_list(lst, sample)
-    except Exception as error:  # noqa: BLE001 - diagnostics must not crash
+    # repro: noqa RA07 -- diagnostics must not crash; any failure is a finding
+    except Exception as error:
         return [f"checker raised {type(error).__name__}: {error}"]
 
 
@@ -88,15 +97,16 @@ def _check_two_layer_structure(lst: TwoLayerList) -> List[str]:
         issues.append("metadata bases not strictly increasing")
     if offsets.size > 1 and not (np.diff(offsets) >= 0).all():
         issues.append("data-layer offsets not monotone")
-    if widths.size and (widths < 1).any() or (widths > 32).any():
-        issues.append("delta widths outside [1, 32]")
+    if widths.size and (widths < 1).any() or (widths > MAX_DELTA_WIDTH).any():
+        issues.append(f"delta widths outside [1, {MAX_DELTA_WIDTH}]")
     if starts.size > 1 and not (np.diff(starts) > 0).all():
         issues.append("block starts not strictly increasing")
     for block in range(store.num_blocks):
         count = int(starts[block + 1] - starts[block])
         try:
             decoded = store.decode_block(block)
-        except Exception as error:  # noqa: BLE001
+        # repro: noqa RA07 -- undecodable block is a finding, not a crash
+        except Exception as error:
             issues.append(
                 f"block {block} undecodable "
                 f"({type(error).__name__}: {error})"
@@ -107,13 +117,13 @@ def _check_two_layer_structure(lst: TwoLayerList) -> List[str]:
             break
         if count > 1:
             span = int(decoded[-1]) - int(bases[block])
-            if span >= (1 << min(32, int(widths[block]))):
+            if span >= (1 << min(MAX_DELTA_WIDTH, int(widths[block]))):
                 issues.append(f"block {block} span exceeds its delta width")
                 break
     return issues
 
 
-def check_index(index, max_lists: int = 0) -> List[str]:
+def check_index(index: Any, max_lists: int = 0) -> List[str]:
     """Violations across an inverted index's posting lists.
 
     ``max_lists`` bounds the work (0 = check everything); violations are
@@ -126,3 +136,55 @@ def check_index(index, max_lists: int = 0) -> List[str]:
         for issue in check_list(lst):
             issues.append(f"token {token}: {issue}")
     return issues
+
+
+def check_file(path: Union[str, Path], max_lists: int = 0) -> List[str]:
+    """Violations of a serialized ``.npz`` index at ``path``.
+
+    Loads the file (the loader's container/extent validation runs first —
+    any load-time rejection is reported as a violation rather than raised),
+    then runs :func:`check_index` over the reconstituted posting lists.
+    The collection is not needed for list-level integrity, so none is bound.
+    """
+    from .serialize import load_index
+
+    try:
+        index = load_index(path, None)
+    # repro: noqa RA07 -- load failure on untrusted input is the finding itself
+    except Exception as error:
+        return [f"load failed ({type(error).__name__}): {error}"]
+    return check_index(index, max_lists=max_lists)
+
+
+def check_sharded_dir(path: Union[str, Path], max_lists: int = 0) -> List[str]:
+    """Violations of a sharded index directory (manifest + shard files).
+
+    Manifest/assignment cross-checks run via the sharded loader; every
+    shard's posting lists are then checked individually.  Violations are
+    prefixed with the shard file they belong to.
+    """
+    from .serialize import load_sharded
+
+    try:
+        indexes, _assignments, _manifest = load_sharded(
+            path, lambda shard_id, global_ids: None
+        )
+    # repro: noqa RA07 -- load failure on untrusted input is the finding itself
+    except Exception as error:
+        return [f"load failed ({type(error).__name__}): {error}"]
+    issues: List[str] = []
+    for position, index in enumerate(indexes):
+        for issue in check_index(index, max_lists=max_lists):
+            issues.append(f"shard {position}: {issue}")
+    return issues
+
+
+def check_path(path: Union[str, Path], max_lists: int = 0) -> List[str]:
+    """Dispatch: sharded directory → :func:`check_sharded_dir`, file →
+    :func:`check_file`.  A missing path is reported as a violation."""
+    path = Path(path)
+    if path.is_dir():
+        return check_sharded_dir(path, max_lists=max_lists)
+    if path.is_file():
+        return check_file(path, max_lists=max_lists)
+    return [f"no such index file or sharded directory: {path}"]

@@ -13,10 +13,12 @@ from typing import Sequence
 import numpy as np
 
 from .base import SortedIDList, as_id_array, check_sorted_ids
+from .registry import register_scheme
 
 __all__ = ["VByteList"]
 
 
+@register_scheme("vbyte", kind="offline")
 class VByteList(SortedIDList):
     """Gap list encoded with classic 7+1-bit variable bytes."""
 

@@ -24,28 +24,22 @@ parallel-factory API.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..compression import (
-    CSSList,
-    EliasFanoList,
-    MILCList,
-    PForDeltaList,
-    RoaringList,
-    SortedIDList,
-    UncompressedList,
-    VByteList,
-)
-from ..compression.groupvarint import GroupVarintList
-from ..compression.simple8b import Simple8bList
-from ..compression.online import (
-    AdaptList,
-    FixList,
-    ModelList,
-    OnlineSortedIDList,
-    VariList,
+# importing the packages executes every scheme module, which is what fills
+# the registry: each codec registers itself at definition time (rule RA05)
+from .. import compression as _compression  # noqa: F401
+from ..compression import SortedIDList
+from ..compression.online import OnlineSortedIDList
+from ..compression.registry import (
+    OFFLINE_SCHEMES,
+    ONLINE_SCHEMES,
+    offline_scheme_names,
+    online_scheme_names,
+    register_scheme,
+    scheme_factory,
 )
 from ..obs import METRICS as _METRICS
 
@@ -63,6 +57,7 @@ OfflineFactory = Callable[[Sequence[int]], SortedIDList]
 OnlineFactory = Callable[[], OnlineSortedIDList]
 
 
+@register_scheme("uncomp", kind="online")
 class UncompressedOnlineList(OnlineSortedIDList):
     """Appendable plain array: the ``Uncomp`` baseline of the join tables.
 
@@ -86,67 +81,6 @@ class UncompressedOnlineList(OnlineSortedIDList):
         return np.asarray(self._buffer, dtype=np.int64)
 
 
-#: the two registries, keyed by evaluation-chapter scheme name.  These dicts
-#: are the storage behind :func:`register_scheme`; they stay importable (and
-#: identity-stable) because the CLI and tests enumerate them directly.
-OFFLINE_SCHEMES: Dict[str, OfflineFactory] = {}
-ONLINE_SCHEMES: Dict[str, OnlineFactory] = {}
-
-_KINDS: Dict[str, Dict[str, Callable]] = {
-    "offline": OFFLINE_SCHEMES,
-    "online": ONLINE_SCHEMES,
-}
-
-
-def register_scheme(
-    name: str,
-    kind: str,
-    factory: Optional[Callable] = None,
-    *,
-    replace: bool = False,
-):
-    """Register ``factory`` as scheme ``name`` of the given ``kind``.
-
-    ``kind`` is ``"offline"`` (search codecs, ``factory(ids) -> list``) or
-    ``"online"`` (join codecs, ``factory() -> appendable list``).  With no
-    ``factory`` argument this returns a class decorator.  Re-registration
-    requires ``replace=True`` so accidental name collisions fail loudly.
-    """
-    try:
-        registry = _KINDS[kind]
-    except KeyError:
-        raise ValueError(
-            f"kind must be one of {sorted(_KINDS)}, got {kind!r}"
-        ) from None
-
-    def _register(target: Callable) -> Callable:
-        if name in registry and not replace:
-            raise ValueError(
-                f"{kind} scheme {name!r} is already registered; "
-                "pass replace=True to override"
-            )
-        registry[name] = target
-        return target
-
-    return _register(factory) if factory is not None else _register
-
-
-def scheme_factory(name: str, kind: str) -> Callable:
-    """Factory for a registered scheme by name and kind."""
-    try:
-        registry = _KINDS[kind]
-    except KeyError:
-        raise ValueError(
-            f"kind must be one of {sorted(_KINDS)}, got {kind!r}"
-        ) from None
-    try:
-        return registry[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown {kind} scheme {name!r}; choose from {sorted(registry)}"
-        ) from None
-
-
 def offline_factory(scheme: str) -> OfflineFactory:
     """Factory for an offline scheme by its evaluation-chapter name."""
     return scheme_factory(scheme, "offline")
@@ -155,39 +89,3 @@ def offline_factory(scheme: str) -> OfflineFactory:
 def online_factory(scheme: str) -> OnlineFactory:
     """Factory for an online scheme by its evaluation-chapter name."""
     return scheme_factory(scheme, "online")
-
-
-def offline_scheme_names() -> List[str]:
-    return sorted(OFFLINE_SCHEMES)
-
-
-def online_scheme_names() -> List[str]:
-    return sorted(ONLINE_SCHEMES)
-
-
-# ---------------------------------------------------------------------- #
-# built-in schemes, registered through the same path third parties use
-# ---------------------------------------------------------------------- #
-for _name, _factory in (
-    ("uncomp", UncompressedList),
-    ("pfordelta", PForDeltaList),
-    ("milc", MILCList),
-    ("css", CSSList),
-    ("vbyte", VByteList),
-    ("eliasfano", EliasFanoList),
-    ("roaring", RoaringList),
-    ("simple8b", Simple8bList),
-    ("groupvarint", GroupVarintList),
-):
-    register_scheme(_name, "offline", _factory)
-
-for _name, _factory in (
-    ("uncomp", UncompressedOnlineList),
-    ("fix", FixList),
-    ("vari", VariList),
-    ("adapt", AdaptList),
-    ("model", ModelList),
-):
-    register_scheme(_name, "online", _factory)
-
-del _name, _factory

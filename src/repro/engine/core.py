@@ -87,6 +87,16 @@ def _obs_config():
     )
 
 
+def _run_chunk_shared(searcher, chunk: List[str], threshold):
+    """Answer one chunk on the caller's searcher (thread-pool payload).
+
+    Module-level (rule RA04) so the same payload shape works under every
+    executor: threads share the engine's searcher, cache, and registry
+    directly, so there is no telemetry delta to ship back.
+    """
+    return [searcher.search(query, threshold) for query in chunk], None
+
+
 def _run_chunk(chunk: List[str], threshold, obs=None):
     """Answer one chunk in a pool worker; returns ``(results, delta)``.
 
@@ -300,12 +310,7 @@ class SimilarityEngine:
             return (_run_chunk, chunk, threshold, _obs_config())
         # threads share this engine (and its cache) directly — and the
         # parent registry/tracer, so there is no delta to ship
-        return (
-            lambda c=chunk, t=threshold: (
-                [self.searcher.search(query, t) for query in c],
-                None,
-            ),
-        )
+        return (_run_chunk_shared, self.searcher, chunk, threshold)
 
     # ------------------------------------------------------------------ #
     # pool lifecycle
@@ -352,7 +357,8 @@ class SimilarityEngine:
     def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
         try:
             self.close()
-        except Exception:
+        except (RuntimeError, OSError, AttributeError):
+            # interpreter teardown: pool internals may already be reclaimed
             pass
 
     # forked/pickled engine images must not carry the parent's pool

@@ -132,6 +132,16 @@ def _build_one_shard(shard_id: int) -> Tuple[InvertedIndex, Optional[dict]]:
     return index, delta
 
 
+def _shard_batch(searcher, queries: Sequence[str], threshold):
+    """Answer a whole sub-batch on one shard's searcher (pool payload).
+
+    Module-level (rule RA04) so the payload stays executor-agnostic: the
+    fan-out pool is threads today, but nothing here would break under a
+    spawn-based process pool.
+    """
+    return [searcher.search(query, threshold) for query in queries]
+
+
 class _Shard:
     """One partition: index + searcher + decode cache + id remap."""
 
@@ -381,11 +391,7 @@ class ShardedEngine:
             else:
                 pool = self._ensure_pool(min(workers, len(self.shards)))
                 futures = [
-                    pool.submit(
-                        lambda s=shard: [
-                            s.searcher.search(q, threshold) for q in queries
-                        ]
-                    )
+                    pool.submit(_shard_batch, shard.searcher, queries, threshold)
                     for shard in self.shards
                 ]
                 per_shard = [future.result() for future in futures]
@@ -575,7 +581,8 @@ class ShardedEngine:
     def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
         try:
             self.close()
-        except Exception:
+        except (RuntimeError, OSError, AttributeError):
+            # interpreter teardown: pool internals may already be reclaimed
             pass
 
     # ------------------------------------------------------------------ #

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from .registry import MetricsRegistry
 
@@ -157,7 +157,7 @@ def render_trace_tree(trace: Dict) -> str:
     )
     lines = [header + (f"  [{rendered}]" if rendered else "")]
 
-    def walk(parent_id, depth: int) -> None:
+    def walk(parent_id: Optional[str], depth: int) -> None:
         for span in sorted(
             children.get(parent_id, []), key=lambda s: s.get("start_ms", 0.0)
         ):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "Histogram",
@@ -174,7 +174,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
 
@@ -193,7 +193,7 @@ class _Span:
     __slots__ = ("_registry", "_name", "_start", "_tracer", "_trace_span")
 
     def __init__(
-        self, registry: "MetricsRegistry", name: str, tracer=None
+        self, registry: "MetricsRegistry", name: str, tracer: Optional[Any] = None
     ) -> None:
         self._registry = registry
         self._name = name
@@ -205,7 +205,7 @@ class _Span:
             self._trace_span = self._tracer.open_span(self._name, self._start)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         ended = time.perf_counter()
         if self._tracer is not None:
             self._tracer.close_span(self._trace_span, ended)
@@ -225,7 +225,7 @@ class MetricsRegistry:
 
     __slots__ = ("enabled", "counters", "timers", "histograms", "tracer")
 
-    def __init__(self, enabled: bool = False, tracer=None) -> None:
+    def __init__(self, enabled: bool = False, tracer: Optional[Any] = None) -> None:
         self.enabled = enabled
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, List[float]] = {}  # name -> [seconds, count]
@@ -260,7 +260,7 @@ class MetricsRegistry:
                 histogram = self.histograms[name] = Histogram()
             histogram.observe(value)
 
-    def span(self, name: str):
+    def span(self, name: str) -> Union["_Span", "_NullSpan"]:
         """Context manager timing a pipeline stage into timer ``name``.
 
         Live when the registry is enabled *or* a per-query trace is active
@@ -383,5 +383,5 @@ class enabled_metrics:
         self._registry.enabled = True
         return self._registry
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._registry.enabled = self._was_enabled

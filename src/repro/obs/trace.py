@@ -33,7 +33,7 @@ import os
 import threading
 import time
 from collections import deque
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 __all__ = ["Tracer", "TRACER", "trace_query"]
 
@@ -114,7 +114,7 @@ class _NullTrace:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
 
@@ -134,7 +134,7 @@ class _TraceContext:
     def __enter__(self) -> _ActiveTrace:
         return self._tracer._begin(self._name, self._meta)
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._tracer._end()
 
 
@@ -208,7 +208,9 @@ class Tracer:
         """Is a trace active on the current thread?"""
         return getattr(self._local, "trace", None) is not None
 
-    def trace(self, name: str, **meta):
+    def trace(
+        self, name: str, **meta: object
+    ) -> Union["_NullTrace", "_TracerSpan", "_TraceContext"]:
         """Start a root trace (or, nested inside one, just a child span)."""
         if not self.enabled:
             return _NULL_TRACE
@@ -216,14 +218,14 @@ class Tracer:
             return self.span(name)
         return _TraceContext(self, name, meta)
 
-    def span(self, name: str):
+    def span(self, name: str) -> Union["_NullTrace", "_TracerSpan"]:
         """A child span of the current trace (no-op when none is active)."""
         active = getattr(self._local, "trace", None)
         if active is None:
             return _NULL_TRACE
         return _TracerSpan(self, name)
 
-    def annotate(self, **meta) -> None:
+    def annotate(self, **meta: object) -> None:
         """Attach metadata to the active trace (no-op when none is active)."""
         active = getattr(self._local, "trace", None)
         if active is not None:
@@ -313,7 +315,7 @@ class _TracerSpan:
         self._node = self._tracer.open_span(self._name, time.perf_counter())
         return self._node
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._tracer.close_span(self._node, time.perf_counter())
 
 
@@ -322,7 +324,9 @@ class _TracerSpan:
 TRACER = Tracer()
 
 
-def trace_query(query: str, threshold, kind: str = "search"):
+def trace_query(
+    query: str, threshold: float, kind: str = "search"
+) -> Union["_NullTrace", "_TracerSpan", "_TraceContext"]:
     """Root trace for one query (the searchers' entry point)."""
     if not TRACER.enabled:
         return _NULL_TRACE

@@ -47,6 +47,7 @@ def scan_count(
     counts = np.zeros(universe, dtype=np.int32)
     scanned = 0
     for lst in lists:
+        # repro: noqa RA01 -- ScanCount's contract is one full scan per list
         ids = lst.to_array()
         if ids.size:
             counts[ids] += 1

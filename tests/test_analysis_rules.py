@@ -1,0 +1,562 @@
+"""Tests for the repo-specific lint engine (repro.analysis, rules RA01-RA07).
+
+Each rule gets a failing and a passing fixture snippet, written into a
+``tmp/repro/...`` tree so the engine derives the same dotted module names
+it sees on the real source tree.  The suite ends with the self-lint gate:
+the shipped package must be clean.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES, lint_file, lint_paths, rule_table
+from repro.analysis.engine import format_violations
+
+
+def lint_snippet(tmp_path, relpath, source, select=None):
+    """Write ``source`` at ``tmp/<relpath>`` and lint that one file."""
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(path, select=select)
+
+
+def codes(violations):
+    return [v.rule for v in violations]
+
+
+class TestRA01NakedDecode:
+    def test_to_array_on_hot_path_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/join/probe.py",
+            """
+            def probe(posting):
+                return posting.to_array().tolist()
+            """,
+        )
+        assert codes(found) == ["RA01"]
+        assert "DecodeCache" in found[0].message
+
+    def test_decode_block_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/search/merge.py",
+            """
+            def scan(store):
+                return store.decode_block(0)
+            """,
+        )
+        assert codes(found) == ["RA01"]
+
+    def test_cache_fetch_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/join/probe.py",
+            """
+            def probe(cache, posting):
+                return cache.fetch_ids(posting)
+            """,
+        )
+        assert found == []
+
+    def test_whitelisted_build_module_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/search/searcher.py",
+            """
+            def build(lst):
+                return lst.to_array()
+            """,
+        )
+        assert found == []
+
+    def test_outside_hot_packages_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/bench/sizes.py",
+            """
+            def measure(lst):
+                return lst.to_array().size
+            """,
+        )
+        assert found == []
+
+
+class TestRA02MagicConstants:
+    def test_metadata_literal_fires_anywhere_in_compression(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            COST = 69
+            """,
+        )
+        assert codes(found) == ["RA02"]
+        assert "METADATA_BITS" in found[0].message
+
+    def test_rho_and_horizon_fire(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            RHO = 37
+            HORIZON = 138
+            """,
+        )
+        assert codes(found) == ["RA02", "RA02"]
+
+    def test_element_bits_fires_only_in_layout_modules(self, tmp_path):
+        layout = lint_snippet(
+            tmp_path,
+            "repro/compression/online/policy.py",
+            """
+            WIDTH = 32
+            """,
+        )
+        assert codes(layout) == ["RA02"]
+        elsewhere = lint_snippet(
+            tmp_path,
+            "repro/compression/roaring2.py",
+            """
+            CHUNK = 32
+            """,
+        )
+        assert elsewhere == []
+
+    def test_imported_constant_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            from repro.compression.constants import METADATA_BITS
+
+            COST = METADATA_BITS
+            """,
+        )
+        assert found == []
+
+    def test_outside_compression_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/bench/tables.py",
+            """
+            ROWS = 69
+            """,
+        )
+        assert found == []
+
+    def test_constants_module_itself_is_exempt(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/constants.py",
+            """
+            METADATA_BITS = 69
+            """,
+        )
+        assert found == []
+
+
+class TestRA03SpanNaming:
+    def test_undotted_metric_name_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            _METRICS.inc("queries")
+            """,
+        )
+        assert codes(found) == ["RA03"]
+
+    def test_bad_casing_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            METRICS.span("Engine.Search")
+            """,
+        )
+        assert codes(found) == ["RA03"]
+
+    def test_dotted_name_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            _METRICS.span("engine.batch.parallel")
+            _METRICS.inc("join.candidates", 3)
+            """,
+        )
+        assert found == []
+
+    def test_tracer_root_may_be_single_component(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            _TRACER.trace("join", threshold=0.8)
+            _TRACER.trace("search.sharded")
+            """,
+        )
+        assert found == []
+
+    def test_tracer_bad_component_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            _TRACER.trace("Join Run")
+            """,
+        )
+        assert codes(found) == ["RA03"]
+
+    def test_non_constant_names_are_ignored(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            def record(kind):
+                _METRICS.inc(kind)
+            """,
+        )
+        assert found == []
+
+
+class TestRA04PoolPayloads:
+    def test_lambda_submit_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/engine/newpool.py",
+            """
+            def run(pool, shard):
+                return pool.submit(lambda: shard.search("q"))
+            """,
+        )
+        assert codes(found) == ["RA04"]
+        assert "spawn" in found[0].message
+
+    def test_nested_function_submit_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/engine/newpool.py",
+            """
+            def run(pool, shard):
+                def task():
+                    return shard.search("q")
+
+                return pool.submit(task)
+            """,
+        )
+        assert codes(found) == ["RA04"]
+
+    def test_lambda_pool_map_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/engine/newpool.py",
+            """
+            def run(pool, shards):
+                return list(pool.map(lambda s: s.close(), shards))
+            """,
+        )
+        assert codes(found) == ["RA04"]
+
+    def test_module_level_payload_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/engine/newpool.py",
+            """
+            def _task(shard, query):
+                return shard.search(query)
+
+            def run(pool, shard):
+                return pool.submit(_task, shard, "q")
+            """,
+        )
+        assert found == []
+
+    def test_builtin_map_is_not_an_executor(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/engine/newpool.py",
+            """
+            def run(values):
+                return list(map(lambda v: v + 1, values))
+            """,
+        )
+        assert found == []
+
+
+class TestRA05RegistryCompleteness:
+    def test_unregistered_scheme_class_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            class NewList:
+                scheme_name = "newlist"
+            """,
+        )
+        assert codes(found) == ["RA05"]
+        assert "register_scheme" in found[0].message
+
+    def test_decorated_class_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            from repro.compression.registry import register_scheme
+
+            @register_scheme("newlist", kind="offline")
+            class NewList:
+                scheme_name = "newlist"
+            """,
+        )
+        assert found == []
+
+    def test_module_level_registration_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            from repro.compression.registry import register_scheme
+
+            class NewList:
+                scheme_name = "newlist"
+
+            register_scheme("newlist", "offline", NewList)
+            """,
+        )
+        assert found == []
+
+    def test_abstract_bases_are_exempt(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newbase.py",
+            """
+            class Base:
+                scheme_name = "abstract"
+
+            class OnlineBase:
+                scheme_name = "online"
+            """,
+        )
+        assert found == []
+
+    def test_annotated_scheme_name_is_still_caught(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newscheme.py",
+            """
+            class NewList:
+                scheme_name: str = "newlist"
+            """,
+        )
+        assert codes(found) == ["RA05"]
+
+
+class TestRA06NoAsserts:
+    def test_assert_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            def seal(buffer):
+                assert buffer, "buffer must not be empty"
+            """,
+        )
+        assert codes(found) == ["RA06"]
+        assert "-O" in found[0].message
+
+    def test_raise_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            def seal(buffer):
+                if not buffer:
+                    raise ValueError("buffer must not be empty")
+            """,
+        )
+        assert found == []
+
+
+class TestRA07BroadExcept:
+    def test_swallowing_broad_except_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """,
+        )
+        assert codes(found) == ["RA07"]
+
+    def test_bare_except_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+        )
+        assert codes(found) == ["RA07"]
+
+    def test_broad_except_in_tuple_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except (ValueError, Exception):
+                    return None
+            """,
+        )
+        assert codes(found) == ["RA07"]
+
+    def test_reraising_handler_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except BaseException:
+                    cleanup()
+                    raise
+            """,
+        )
+        assert found == []
+
+    def test_narrow_except_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/newmod.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except (OSError, ValueError):
+                    return None
+            """,
+        )
+        assert found == []
+
+
+class TestSuppressions:
+    def test_inline_noqa_silences_its_line(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            GROUPS = 69  # repro: noqa RA02 -- deliberate, for this test
+            """,
+        )
+        assert found == []
+
+    def test_standalone_noqa_silences_the_next_line(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            # repro: noqa RA02 -- deliberate, for this test
+            GROUPS = 69
+            """,
+        )
+        assert found == []
+
+    def test_standalone_noqa_reaches_only_one_line(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            # repro: noqa RA02 -- deliberate, for this test
+            FIRST = 69
+            SECOND = 69
+            """,
+        )
+        assert codes(found) == ["RA02"]
+        assert found[0].line == 4
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            GROUPS = 69  # repro: noqa RA01 -- wrong rule on purpose
+            """,
+        )
+        assert codes(found) == ["RA02"]
+
+    def test_missing_reason_is_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            GROUPS = 69  # repro: noqa RA02
+            """,
+        )
+        assert "RA00" in codes(found)
+        assert "justification" in found[0].message
+
+    def test_selection_restricts_rules(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            COST = 69
+            assert COST
+            """,
+            select=["RA06"],
+        )
+        assert codes(found) == ["RA06"]
+
+    def test_unknown_selection_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_snippet(
+                tmp_path, "repro/newmod.py", "x = 1\n", select=["RA42"]
+            )
+
+
+class TestEngine:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        found = lint_snippet(tmp_path, "repro/broken.py", "def broken(:\n")
+        assert codes(found) == ["RA99"]
+
+    def test_rule_table_covers_all_rules(self):
+        table = dict(rule_table())
+        assert sorted(table) == sorted(RULES)
+        assert all(summary for summary in table.values())
+
+    def test_json_format_roundtrips(self, tmp_path):
+        import json
+
+        found = lint_snippet(
+            tmp_path, "repro/compression/newmod.py", "COST = 69\n"
+        )
+        decoded = json.loads(format_violations(found, "json"))
+        assert decoded[0]["rule"] == "RA02"
+        assert decoded[0]["line"] == 1
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["does/not/exist"])
+
+
+class TestSelfLint:
+    def test_shipped_package_is_clean(self):
+        violations, files_checked = lint_paths()
+        rendered = format_violations(violations, "text", files_checked)
+        assert violations == [], rendered
+        assert files_checked > 50

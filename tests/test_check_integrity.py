@@ -1,0 +1,204 @@
+"""Integrity checking of persisted indexes: `repro check` + bit-flip fuzz.
+
+The paper's losslessness requirement means a corrupted on-disk index must
+never silently serve wrong ids.  These tests corrupt saved ``.npz`` indexes
+and sharded manifest directories — semantically (tampered arrays re-saved
+through the container, always caught) and physically (random byte flips,
+caught for the overwhelming majority of positions; zip containers have a
+few semantically-dead bytes) — and assert the checkers flag them while a
+pristine file stays clean.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.compression.serialize import dump_index, dump_sharded
+from repro.compression.validate import (
+    check_file,
+    check_path,
+    check_sharded_dir,
+)
+from repro.engine.sharded import partition_records, subcollection
+from repro.search.searcher import InvertedIndex
+from repro.similarity.tokenize import tokenize_collection
+
+
+@pytest.fixture(scope="module")
+def collection():
+    rng = np.random.default_rng(7)
+    strings = [
+        "record %04d %s"
+        % (i, "".join(rng.choice(list("abcdefghij"), size=24)))
+        for i in range(300)
+    ]
+    return tokenize_collection(strings)
+
+
+@pytest.fixture()
+def saved_index(collection, tmp_path):
+    path = tmp_path / "index.npz"
+    dump_index(InvertedIndex(collection, scheme="css"), path)
+    return path
+
+
+def resave_with(path, out, **overrides):
+    """Round-trip the ``.npz`` through numpy with some arrays replaced."""
+    with np.load(path) as bundle:
+        arrays = {key: bundle[key] for key in bundle.files}
+    arrays.update(overrides)
+    np.savez_compressed(out, **arrays)
+    return out
+
+
+class TestPristine:
+    def test_clean_file_has_no_violations(self, saved_index):
+        assert check_file(saved_index) == []
+        assert check_path(saved_index) == []
+
+    def test_missing_path_is_a_violation(self, tmp_path):
+        issues = check_path(tmp_path / "nope.npz")
+        assert len(issues) == 1
+        assert "no such index" in issues[0]
+
+
+class TestSemanticCorruption:
+    """Tampered arrays re-saved through a valid container: always caught."""
+
+    def test_out_of_range_widths(self, saved_index, tmp_path):
+        with np.load(saved_index) as bundle:
+            widths = bundle["widths"].copy()
+        widths[:] = 99
+        out = resave_with(saved_index, tmp_path / "bad.npz", widths=widths)
+        issues = check_file(out)
+        assert issues and "delta width" in issues[0]
+
+    def test_broken_starts_ramp(self, saved_index, tmp_path):
+        with np.load(saved_index) as bundle:
+            starts = bundle["starts"].copy()
+        starts[0] = 5
+        out = resave_with(saved_index, tmp_path / "bad.npz", starts=starts)
+        issues = check_file(out)
+        assert issues and "load failed" in issues[0]
+
+    def test_truncated_data_words(self, saved_index, tmp_path):
+        with np.load(saved_index) as bundle:
+            words = bundle["words"].copy()
+        out = resave_with(
+            saved_index, tmp_path / "bad.npz", words=words[: words.size // 2]
+        )
+        issues = check_file(out)
+        assert issues and "load failed" in issues[0]
+
+    def test_disordered_bases(self, saved_index, tmp_path):
+        with np.load(saved_index) as bundle:
+            bases = bundle["bases"].copy()
+            block_counts = bundle["block_counts"]
+        # find a list with >= 2 metadata blocks and swap its first two bases
+        multi = np.nonzero(block_counts >= 2)[0]
+        if multi.size == 0:
+            pytest.skip("corpus produced only single-block lists")
+        offset = int(block_counts[: multi[0]].sum())
+        bases[offset], bases[offset + 1] = bases[offset + 1], bases[offset]
+        out = resave_with(saved_index, tmp_path / "bad.npz", bases=bases)
+        issues = check_file(out)
+        assert issues
+
+
+class TestBitFlipFuzz:
+    """Random single-byte flips across the container: majority caught.
+
+    A compressed ``.npz`` is a zip of deflate streams: flips in payload
+    are caught by CRC/extent checks at load time, but a zip container
+    carries semantically dead bytes (zip64 extra fields, central-directory
+    timestamps) that no checker can see, so the assertion is a majority
+    bound rather than 100%.  Flips guaranteed to matter — the array
+    contents themselves — are covered by :class:`TestSemanticCorruption`.
+    """
+
+    TRIALS = 50
+
+    def test_flips_are_detected(self, saved_index, tmp_path):
+        pristine = saved_index.read_bytes()
+        rng = np.random.default_rng(0xC0FFEE)
+        target = tmp_path / "flipped.npz"
+        detected = 0
+        for trial in range(self.TRIALS):
+            corrupt = bytearray(pristine)
+            position = int(rng.integers(0, len(corrupt)))
+            corrupt[position] ^= 1 << int(rng.integers(0, 8))
+            target.write_bytes(bytes(corrupt))
+            if check_path(target):
+                detected += 1
+        assert detected >= int(0.6 * self.TRIALS), (
+            f"only {detected}/{self.TRIALS} byte flips detected"
+        )
+
+    def test_pristine_still_passes_after_fuzzing(self, saved_index):
+        assert check_file(saved_index) == []
+
+
+@pytest.fixture()
+def saved_sharded(collection, tmp_path):
+    assignments = partition_records(len(collection), 2)
+    indexes = [
+        InvertedIndex(subcollection(collection, a), scheme="css")
+        for a in assignments
+    ]
+    path = tmp_path / "sharded"
+    dump_sharded(indexes, assignments, path)
+    return path
+
+
+class TestShardedChecks:
+    def test_clean_directory_has_no_violations(self, saved_sharded):
+        assert check_sharded_dir(saved_sharded) == []
+        assert check_path(saved_sharded) == []
+
+    def test_tampered_manifest_is_caught(self, saved_sharded):
+        manifest_path = saved_sharded / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["num_records"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        issues = check_path(saved_sharded)
+        assert issues and "load failed" in issues[0]
+
+    def test_missing_shard_file_is_caught(self, saved_sharded):
+        (saved_sharded / "shard-00001.npz").unlink()
+        issues = check_path(saved_sharded)
+        assert issues and "load failed" in issues[0]
+
+    def test_corrupt_shard_payload_is_caught(self, saved_sharded, tmp_path):
+        shard = saved_sharded / "shard-00000.npz"
+        with np.load(shard) as bundle:
+            widths = bundle["widths"].copy()
+        widths[:] = 0
+        resave_with(shard, tmp_path / "bad-shard.npz", widths=widths)
+        shutil.move(str(tmp_path / "bad-shard.npz"), str(shard))
+        issues = check_path(saved_sharded)
+        assert issues
+
+
+class TestCheckCLI:
+    def test_structural_mode_passes_pristine(self, saved_index, capsys):
+        assert cli_main(["check", str(saved_index)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_structural_mode_flags_corruption(
+        self, saved_index, tmp_path, capsys
+    ):
+        with np.load(saved_index) as bundle:
+            widths = bundle["widths"].copy()
+        widths[:] = 99
+        out = resave_with(saved_index, tmp_path / "bad.npz", widths=widths)
+        assert cli_main(["check", str(out)]) == 1
+        assert "integrity violations" in capsys.readouterr().out
+
+    def test_structural_mode_handles_sharded_dirs(
+        self, saved_sharded, capsys
+    ):
+        assert cli_main(["check", str(saved_sharded)]) == 0
+        assert "no violations" in capsys.readouterr().out
