@@ -1,13 +1,18 @@
-"""Batched query throughput — serial vs. ``SimilarityEngine.search_batch``.
+"""Batched query throughput — serial oracle vs. batch kernels vs. workers.
 
-The baseline for the engine PR: answer a batch of queries once serially
-(``workers=1``) and once over the worker pool (``workers=N``), assert the
-answers are identical, and record both throughputs (plus the decode-cache
-counters) to ``BENCH_batch_search.json`` next to the repo root.
+Three timed passes over the same ~1k-query batch:
 
-The recorded speedup is whatever the runner's cores give — a single-core
-container reports ~1x (pool overhead only); the parity assertion is what
-must always hold.
+* ``kernel="serial"`` — the per-query path, kept as the parity oracle;
+* ``kernel="auto"``, ``workers=1`` — the whole-batch T-occurrence kernels
+  (``search.batchkernels``): one ScanCount histogram / one bulk-MergeSkip
+  round-loop for the entire batch;
+* ``workers=N`` — the process pool, each chunk answered by the kernels.
+
+The kernel answers must be bit-identical to the serial oracle — that
+assertion runs at every REPRO_SCALE, so the CI benchmark smoke fails on
+any parity divergence.  At full scale the kernels must also clear a 2x
+throughput gate over the serial path; both numbers land in
+``BENCH_batch_search.json`` next to the repo root.
 """
 
 from __future__ import annotations
@@ -21,12 +26,14 @@ import pytest
 
 from conftest import print_block, search_dataset
 from repro.bench import render_table, sample_queries
+from repro.datasets.loader import repro_scale
 from repro.engine import SimilarityEngine
 from repro.obs import enabled_metrics
 
 DATASET = "aol"
 THRESHOLD = 0.8
 WORKERS = max(2, min(4, multiprocessing.cpu_count()))
+KERNEL_SPEEDUP_GATE = 2.0  # enforced at full scale only
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch_search.json"
 
 _results = {}
@@ -45,13 +52,19 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
     dataset, queries = batch_queries
     engine = SimilarityEngine(dataset.collection, scheme="css")
 
-    def serial():
+    def kernel():
         return engine.search_batch(queries, THRESHOLD, workers=1)
 
     with engine:
         start = time.perf_counter()
-        serial_results = serial()
+        serial_results = engine.search_batch(
+            queries, THRESHOLD, workers=1, kernel="serial"
+        )
         serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        kernel_results = kernel()
+        kernel_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
         parallel_results = engine.search_batch(
@@ -60,7 +73,7 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
         parallel_seconds = time.perf_counter() - start
         pool_kind = engine._pool_kind
 
-        benchmark.pedantic(serial, rounds=1, iterations=1)
+        benchmark.pedantic(kernel, rounds=1, iterations=1)
 
         # untimed profiled pass: worker-side counters fold into the parent
         # registry (cross-process aggregation), so the trajectory records
@@ -76,17 +89,25 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
                 "search.results",
                 "twolayer.blocks_decoded",
                 "twolayer.elements_decoded",
-                "cursor.seeks",
+                "batchkernel.mergeskip_queries",
+                "batchkernel.rounds",
+                "batchkernel.skip_jumps",
                 "engine.batch.worker_chunks",
             )
         }
 
-    # workers > 1 must be invisible in the answers
+    # the batch kernels must be invisible in the answers — this is the
+    # parity gate the CI benchmark smoke enforces at every scale
+    assert [list(r) for r in kernel_results] == [
+        list(r) for r in serial_results
+    ], "batch-kernel answers diverged from the serial oracle"
+    # and workers > 1 must be invisible too
     assert [list(r) for r in parallel_results] == [
         list(r) for r in serial_results
     ]
 
     serial_qps = len(queries) / serial_seconds
+    kernel_qps = len(queries) / kernel_seconds
     parallel_qps = len(queries) / parallel_seconds
     record = {
         "dataset": DATASET,
@@ -98,7 +119,9 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
         "cpu_count": multiprocessing.cpu_count(),
         "pool_kind": pool_kind,
         "serial_qps": round(serial_qps, 1),
+        "kernel_qps": round(kernel_qps, 1),
         "parallel_qps": round(parallel_qps, 1),
+        "kernel_speedup": round(kernel_qps / serial_qps, 2),
         "speedup": round(parallel_qps / serial_qps, 2),
         "cache": engine.cache_stats(),
         "obs": obs_counters,
@@ -117,13 +140,15 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
         render_table(
             ["mode", "q/s"],
             [
-                ["serial", record["serial_qps"]],
+                ["serial oracle", record["serial_qps"]],
+                ["batch kernel", record["kernel_qps"]],
                 [f"workers={WORKERS} ({pool_kind})", record["parallel_qps"]],
             ],
             title=(
                 f"Batch search throughput — {len(queries)} queries on "
                 f"{DATASET}, {multiprocessing.cpu_count()} core(s), "
-                f"speedup {record['speedup']}x"
+                f"kernel {record['kernel_speedup']}x, "
+                f"pool {record['speedup']}x"
             ),
         )
     )
@@ -132,3 +157,10 @@ def test_batch_throughput_and_parity(benchmark, batch_queries):
     assert record["cache"]["hits"] > 0
     # every query must be accounted for in the folded worker metrics
     assert obs_counters["search.queries"] == len(queries)
+    # the vectorized kernels exist to beat the per-query loop; hold them
+    # to it at full scale (tiny smoke slices don't amortize setup)
+    if repro_scale() >= 1.0:
+        assert record["kernel_speedup"] >= KERNEL_SPEEDUP_GATE, (
+            f"batch kernels only {record['kernel_speedup']}x over serial; "
+            f"gate is {KERNEL_SPEEDUP_GATE}x"
+        )

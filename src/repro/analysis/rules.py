@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (RA01-RA07).
+"""The repo-specific lint rules (RA01-RA08).
 
 Each rule encodes an invariant the paper's pipeline depends on but generic
 linters cannot see — which modules are the compressed hot path, which
@@ -454,3 +454,67 @@ def _is_broad(type_node: Optional[ast.expr]) -> bool:
     return any(
         isinstance(c, ast.Name) and c.id in _RA07_BROAD for c in candidates
     )
+
+
+# ---------------------------------------------------------------------- #
+# RA08 — the two-layer storage model's private layout stays private
+# ---------------------------------------------------------------------- #
+#: the storage model's private layout vectors; everything outside the
+#: storage layer must go through the public surface (max_width_bits(),
+#: block_sizes(), decode_blocks(), ...) so the layout can evolve without
+#: breaking distant modules (as estimate_lookup_us once did by reading
+#: store._widths directly).
+_RA08_PRIVATE = {
+    "_bases",
+    "_offsets",
+    "_widths",
+    "_starts",
+    "_bases_np",
+    "_offsets_np",
+    "_widths_np",
+    "_starts_np",
+}
+
+#: the storage layer itself: the layout's home plus its serialization,
+#: integrity-check and introspection companions, which exist precisely to
+#: see the raw vectors.
+_RA08_WHITELIST = (
+    "repro.compression.twolayer",
+    "repro.compression.serialize",
+    "repro.compression.validate",
+    "repro.compression.introspect",
+)
+
+
+@register_rule
+class StorageModelPrivacy(Rule):
+    code = "RA08"
+    summary = (
+        "the two-layer layout vectors (_bases/_offsets/_widths/_starts) are "
+        "private to the storage layer; use the public block-store surface"
+    )
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        if not module.in_package("repro"):
+            return
+        if module.name in _RA08_WHITELIST:
+            return
+        for node in _walk(module):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _RA08_PRIVATE
+                # self._widths inside any class is that class's own state,
+                # not a reach into the storage model
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                )
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"access to the storage model's private {node.attr!r}; "
+                    "use the public surface (max_width_bits(), "
+                    "block_sizes(), decode_blocks(), iter_blocks()) so the "
+                    "layout can evolve",
+                )

@@ -363,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tokenize_args(check)
 
     lint = commands.add_parser(
-        "lint", help="run the repo-specific static analysis rules (RA01-RA07)"
+        "lint", help="run the repo-specific static analysis rules (RA01-RA08)"
     )
     lint.add_argument(
         "paths",

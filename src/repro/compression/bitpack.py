@@ -149,6 +149,37 @@ class BitBuffer:
         masks = (np.uint64(1) << widths) - np.uint64(1)
         return (low | high) & masks
 
+    def gather_runs(
+        self,
+        offsets: np.ndarray,
+        widths: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Read ``counts[i]`` consecutive ``widths[i]``-bit fields starting at
+        ``offsets[i]`` for every run ``i``, concatenated, in one vector pass.
+
+        This is the multi-block batch decode: each run is one block's packed
+        delta region, so a whole set of touched blocks — possibly spanning
+        many posting lists that share this buffer — decodes with a single
+        :meth:`gather` instead of one :meth:`read` per block.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        widths = np.asarray(widths, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if not (offsets.size == widths.size == counts.size):
+            raise ValueError("offsets, widths and counts must align")
+        if counts.size and int(counts.min()) < 0:
+            raise ValueError("run counts must be non-negative")
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.uint64)
+        per_field_width = np.repeat(widths, counts)
+        # index of each field within its run: 0,1,2,... per run
+        run_starts = np.cumsum(counts) - counts
+        intra = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        positions = np.repeat(offsets, counts) + per_field_width * intra
+        return self.gather(positions, per_field_width)
+
     def read_one(self, bit_offset: int, width: int, index: int) -> int:
         """Read the ``index``-th ``width``-bit field starting at ``bit_offset``."""
         position = bit_offset + width * index

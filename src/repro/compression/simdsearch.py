@@ -66,18 +66,39 @@ class KarySearcher:
 
 
 def kary_lower_bound_many(
-    sorted_values: np.ndarray, keys: np.ndarray
+    sorted_values: np.ndarray,
+    keys: np.ndarray,
+    lo: np.ndarray = None,
+    hi: np.ndarray = None,
 ) -> np.ndarray:
     """Resolve many lower bounds in one vectorized pass per level.
 
     Each iteration halves every key's interval simultaneously — a data-
     parallel binary search (``log2 n`` fully vectorized steps), the bulk
     analog of the per-key k-ary search.
+
+    ``lo`` / ``hi`` optionally give a per-key search window ``[lo_i, hi_i)``.
+    The window need only be sorted *internally*: the batch kernels
+    concatenate many posting lists into one arena and bound each key to its
+    own list's segment, so every cursor in a batch advances in one vector
+    pass per level even though the arena is not globally sorted.
     """
     values = np.asarray(sorted_values, dtype=np.int64)
     keys = np.asarray(keys, dtype=np.int64)
-    lo = np.zeros(keys.size, dtype=np.int64)
-    hi = np.full(keys.size, values.size, dtype=np.int64)
+    if lo is None:
+        lo = np.zeros(keys.size, dtype=np.int64)
+    else:
+        lo = np.array(lo, dtype=np.int64, copy=True)
+    if hi is None:
+        hi = np.full(keys.size, values.size, dtype=np.int64)
+    else:
+        hi = np.array(hi, dtype=np.int64, copy=True)
+    if lo.shape != keys.shape or hi.shape != keys.shape:
+        raise ValueError("lo/hi bounds must match the keys' shape")
+    if keys.size == 0 or values.size == 0:
+        return lo
+    if int(lo.min()) < 0 or int(hi.max()) > values.size:
+        raise ValueError("lower-bound window outside the value array")
     while True:
         active = lo < hi
         if not active.any():

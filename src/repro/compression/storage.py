@@ -74,7 +74,7 @@ def estimate_lookup_us(lst: SortedIDList, device: StorageDevice) -> float:
 
         metadata_bytes = METADATA_BITS * store.num_blocks // 8 + 1
         largest_block = max(store.block_sizes())
-        block_bytes = largest_block * max(store._widths) // 8 + 1
+        block_bytes = largest_block * store.max_width_bits() // 8 + 1
         seeks = _page_probes(metadata_bytes, device.page_bytes) + _page_probes(
             block_bytes, device.page_bytes
         )

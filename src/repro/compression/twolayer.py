@@ -70,9 +70,12 @@ class TwoLayerStore:
         self._widths: List[int] = []
         self._starts: List[int] = [0]
         self._data = BitBuffer()
-        # numpy mirrors of the metadata, rebuilt lazily for fast searchsorted.
+        # numpy mirrors of the metadata, rebuilt lazily for fast searchsorted
+        # and batch decodes.
         self._bases_np: np.ndarray = np.empty(0, dtype=np.int64)
         self._starts_np: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._offsets_np: np.ndarray = np.empty(0, dtype=np.int64)
+        self._widths_np: np.ndarray = np.empty(0, dtype=np.int64)
         self._dirty = False
 
     # ------------------------------------------------------------------ #
@@ -103,6 +106,8 @@ class TwoLayerStore:
         if self._dirty:
             self._bases_np = np.asarray(self._bases, dtype=np.int64)
             self._starts_np = np.asarray(self._starts, dtype=np.int64)
+            self._offsets_np = np.asarray(self._offsets, dtype=np.int64)
+            self._widths_np = np.asarray(self._widths, dtype=np.int64)
             self._dirty = False
 
     # ------------------------------------------------------------------ #
@@ -132,6 +137,15 @@ class TwoLayerStore:
         return [
             self._starts[i + 1] - self._starts[i] for i in range(self.num_blocks)
         ]
+
+    def max_width_bits(self) -> int:
+        """Largest per-element delta width over all blocks (0 when empty).
+
+        The public face of the width metadata: cost models and dashboards
+        must come through here instead of reading the private ``_widths``
+        array (lint rule RA08).
+        """
+        return max(self._widths, default=0)
 
     def size_bits(self) -> int:
         """Paper accounting: 69 bits per metadata block + packed data bits."""
@@ -173,41 +187,45 @@ class TwoLayerStore:
             out[1:] = self._bases[block] + deltas.astype(np.int64)
         return out
 
-    def to_array(self) -> np.ndarray:
-        """Decode the whole store in one vectorized pass.
+    def decode_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Decode the given block indices in one vectorized gather pass.
 
         Blocks pack deltas at different widths, so the decode builds one
         (bit position, width) pair per non-base element and gathers them all
-        at once — much faster than per-block decoding when blocks are small
-        (e.g. the online Fix scheme's fixed 16-element blocks).
+        at once (:meth:`BitBuffer.gather_runs`) — decode cost is paid once
+        per touched block, not once per cursor touch, which is what the
+        batch T-occurrence kernels need.
         """
-        if not self._bases:
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size == 0:
             return np.empty(0, dtype=np.int64)
-        if _METRICS.enabled:
-            _METRICS.inc("twolayer.blocks_decoded", self.num_blocks)
-            _METRICS.inc("twolayer.elements_decoded", len(self))
-        self._sync()
-        counts = np.diff(self._starts_np)
-        delta_counts = counts - 1
-        bases = np.repeat(self._bases_np, counts)
-        out = bases.copy()
-        total_deltas = int(delta_counts.sum())
-        if total_deltas:
-            widths = np.asarray(self._widths, dtype=np.int64)
-            offsets = np.asarray(self._offsets, dtype=np.int64)
-            per_elem_width = np.repeat(widths, delta_counts)
-            # index of each delta within its block: 0,1,2,... per block
-            block_starts_in_stream = np.repeat(
-                np.cumsum(delta_counts) - delta_counts, delta_counts
+        if int(blocks.min()) < 0 or int(blocks.max()) >= self.num_blocks:
+            raise IndexError(
+                f"block index out of range for {self.num_blocks} blocks"
             )
-            intra = np.arange(total_deltas, dtype=np.int64) - block_starts_in_stream
-            positions = np.repeat(offsets, delta_counts) + per_elem_width * intra
-            deltas = self._data.gather(positions, per_elem_width)
+        self._sync()
+        counts = self._starts_np[blocks + 1] - self._starts_np[blocks]
+        total = int(counts.sum())
+        if _METRICS.enabled:
+            _METRICS.inc("twolayer.blocks_decoded", int(blocks.size))
+            _METRICS.inc("twolayer.elements_decoded", total)
+        out = np.repeat(self._bases_np[blocks], counts)
+        delta_counts = counts - 1
+        if int(delta_counts.sum()):
+            deltas = self._data.gather_runs(
+                self._offsets_np[blocks], self._widths_np[blocks], delta_counts
+            )
             # non-base slots are everything except each block's first slot
-            mask = np.ones(len(self), dtype=bool)
-            mask[self._starts_np[:-1]] = False
+            mask = np.ones(total, dtype=bool)
+            mask[np.cumsum(counts) - counts] = False
             out[mask] += deltas.astype(np.int64)
         return out
+
+    def to_array(self) -> np.ndarray:
+        """Decode the whole store in one vectorized pass."""
+        if not self._bases:
+            return np.empty(0, dtype=np.int64)
+        return self.decode_blocks(np.arange(self.num_blocks, dtype=np.int64))
 
     def lower_bound(self, key: int) -> int:
         """Global index of the first id ``>= key``.
@@ -386,6 +404,12 @@ class TwoLayerList(SortedIDList):
 
     def block_sizes(self) -> List[int]:
         return self._store.block_sizes()
+
+    def max_width_bits(self) -> int:
+        return self._store.max_width_bits()
+
+    def decode_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        return self._store.decode_blocks(blocks)
 
     def __len__(self) -> int:
         return len(self._store)

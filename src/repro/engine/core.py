@@ -87,17 +87,24 @@ def _obs_config():
     )
 
 
-def _run_chunk_shared(searcher, chunk: List[str], threshold):
+def _answer_chunk(searcher, chunk: List[str], threshold, use_kernel: bool):
+    """One chunk through the batch kernels or the serial per-query loop."""
+    if use_kernel:
+        return searcher.search_many_batched(chunk, threshold)
+    return [searcher.search(query, threshold) for query in chunk]
+
+
+def _run_chunk_shared(searcher, chunk: List[str], threshold, use_kernel=False):
     """Answer one chunk on the caller's searcher (thread-pool payload).
 
     Module-level (rule RA04) so the same payload shape works under every
     executor: threads share the engine's searcher, cache, and registry
     directly, so there is no telemetry delta to ship back.
     """
-    return [searcher.search(query, threshold) for query in chunk], None
+    return _answer_chunk(searcher, chunk, threshold, use_kernel), None
 
 
-def _run_chunk(chunk: List[str], threshold, obs=None):
+def _run_chunk(chunk: List[str], threshold, obs=None, use_kernel=False):
     """Answer one chunk in a pool worker; returns ``(results, delta)``.
 
     With telemetry on, the worker's registry/tracer are reset before the
@@ -108,7 +115,7 @@ def _run_chunk(chunk: List[str], threshold, obs=None):
     """
     searcher = _WORKER_ENGINE.searcher
     if obs is None:
-        return [searcher.search(query, threshold) for query in chunk], None
+        return _answer_chunk(searcher, chunk, threshold, use_kernel), None
     metrics_on, traces_on, sample_rate, slow_ms = obs
     _METRICS.reset()
     _METRICS.enabled = metrics_on
@@ -117,7 +124,7 @@ def _run_chunk(chunk: List[str], threshold, obs=None):
     )
     _TRACER.clear()
     try:
-        results = [searcher.search(query, threshold) for query in chunk]
+        results = _answer_chunk(searcher, chunk, threshold, use_kernel)
         delta = {
             "metrics": _METRICS.snapshot(full=True) if metrics_on else None,
             "traces": _TRACER.drain() if traces_on else None,
@@ -147,6 +154,11 @@ class SimilarityEngine:
     cache_entries / cache_bytes / cache_admit_after:
         Decode-cache capacity knobs; ``cache_entries=0`` disables the
         cache entirely.
+    kernel:
+        ``"auto"`` (default) routes batches through the vectorized
+        :mod:`~repro.search.batchkernels` whenever the searcher/algorithm
+        pair has one; ``"serial"`` pins the per-query path (the parity
+        oracle).  Single-query ``search`` is always per-query.
     """
 
     def __init__(
@@ -160,6 +172,7 @@ class SimilarityEngine:
         cache_entries: Optional[int] = 1024,
         cache_bytes: Optional[int] = 64 << 20,
         cache_admit_after: int = 2,
+        kernel: str = "auto",
         **scheme_kwargs,
     ) -> None:
         if index is None:
@@ -186,9 +199,26 @@ class SimilarityEngine:
             self.searcher = JaccardSearcher(
                 index, algorithm=algorithm, metric=metric, cache=self.cache
             )
+        if kernel not in ("auto", "serial"):
+            raise ValueError(
+                f"kernel must be 'auto' or 'serial', got {kernel!r}"
+            )
+        self.kernel = kernel
         self._pool: Optional[Executor] = None
         self._pool_kind: Optional[str] = None
         self._pool_workers = 0
+
+    def _use_batch_kernel(self, kernel: Optional[str]) -> bool:
+        """Resolve a per-call ``kernel`` override against the engine default."""
+        kernel = kernel or self.kernel
+        if kernel not in ("auto", "serial"):
+            raise ValueError(
+                f"kernel must be 'auto' or 'serial', got {kernel!r}"
+            )
+        # getattr: test doubles and custom searchers may not expose the flag
+        return kernel == "auto" and getattr(
+            self.searcher, "supports_batch_kernel", False
+        )
 
     # ------------------------------------------------------------------ #
     # single-query path
@@ -206,13 +236,17 @@ class SimilarityEngine:
         threshold,
         workers: Optional[int] = 1,
         chunk_size: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> List[SearchResult]:
         """Answer ``queries`` in order; identical results to serial ``search``.
 
         ``workers > 1`` partitions the batch into chunks over a reused
         process (preferred) or thread pool.  Small batches and
         ``workers in (None, 0, 1)`` run serially — pool overhead would
-        dominate.
+        dominate.  ``kernel`` overrides the engine-level setting per call:
+        under ``"auto"`` every chunk (and the single-process path) runs
+        through the batch T-occurrence kernels when available; under
+        ``"serial"`` each query runs the per-query algorithm.
 
         Failure semantics: only *pool-infrastructure* failures (a broken
         worker process, a pickling failure, an ``OSError``) fall back to
@@ -225,9 +259,10 @@ class SimilarityEngine:
         queries = list(queries)
         if not queries:
             return []
+        use_kernel = self._use_batch_kernel(kernel)
         workers = int(workers or 1)
         if workers <= 1 or len(queries) < max(4, 2 * workers):
-            return self._search_serial(queries, threshold)
+            return self._search_serial(queries, threshold, use_kernel)
 
         if chunk_size is None:
             chunk_size = max(1, math.ceil(len(queries) / (workers * 4)))
@@ -249,7 +284,9 @@ class SimilarityEngine:
                 try:
                     for chunk in chunks:
                         futures.append(
-                            pool.submit(*self._chunk_task(chunk, threshold))
+                            pool.submit(
+                                *self._chunk_task(chunk, threshold, use_kernel)
+                            )
                         )
                 except _POOL_FAILURES:
                     infrastructure_broken = True
@@ -286,10 +323,9 @@ class SimilarityEngine:
         if missing:
             with _METRICS.span("engine.batch.serial"):
                 for position in missing:
-                    chunk_results[position] = [
-                        self.searcher.search(query, threshold)
-                        for query in chunks[position]
-                    ]
+                    chunk_results[position] = _answer_chunk(
+                        self.searcher, chunks[position], threshold, use_kernel
+                    )
         results = [result for chunk in chunk_results for result in chunk]
         if _METRICS.enabled:
             _METRICS.inc("engine.batch.queries", len(results))
@@ -298,19 +334,20 @@ class SimilarityEngine:
         return results
 
     def _search_serial(
-        self, queries: List[str], threshold
+        self, queries: List[str], threshold, use_kernel: bool = False
     ) -> List[SearchResult]:
-        with _METRICS.span("engine.batch.serial"):
-            return [self.searcher.search(query, threshold) for query in queries]
+        span = "engine.batch.kernel" if use_kernel else "engine.batch.serial"
+        with _METRICS.span(span):
+            return _answer_chunk(self.searcher, queries, threshold, use_kernel)
 
-    def _chunk_task(self, chunk: List[str], threshold):
+    def _chunk_task(self, chunk: List[str], threshold, use_kernel: bool):
         if self._pool_kind == "process":
             # workers record telemetry into their own registries and ship
             # the delta back with the results (see _run_chunk)
-            return (_run_chunk, chunk, threshold, _obs_config())
+            return (_run_chunk, chunk, threshold, _obs_config(), use_kernel)
         # threads share this engine (and its cache) directly — and the
         # parent registry/tracer, so there is no delta to ship
-        return (_run_chunk_shared, self.searcher, chunk, threshold)
+        return (_run_chunk_shared, self.searcher, chunk, threshold, use_kernel)
 
     # ------------------------------------------------------------------ #
     # pool lifecycle

@@ -132,13 +132,16 @@ def _build_one_shard(shard_id: int) -> Tuple[InvertedIndex, Optional[dict]]:
     return index, delta
 
 
-def _shard_batch(searcher, queries: Sequence[str], threshold):
+def _shard_batch(searcher, queries: Sequence[str], threshold, use_kernel=False):
     """Answer a whole sub-batch on one shard's searcher (pool payload).
 
     Module-level (rule RA04) so the payload stays executor-agnostic: the
     fan-out pool is threads today, but nothing here would break under a
-    spawn-based process pool.
+    spawn-based process pool.  With ``use_kernel`` the shard answers its
+    sub-batch through the batch T-occurrence kernels.
     """
+    if use_kernel:
+        return searcher.search_many_batched(queries, threshold)
     return [searcher.search(query, threshold) for query in queries]
 
 
@@ -205,6 +208,10 @@ class ShardedEngine:
     build_workers:
         Process-pool size for the parallel static build; default
         ``min(shards, cpu_count)``.  ``1`` forces a serial build.
+    kernel:
+        ``"auto"`` routes each shard's sub-batch through the batch
+        T-occurrence kernels when available; ``"serial"`` pins the
+        per-query path (see :class:`~repro.engine.core.SimilarityEngine`).
     """
 
     def __init__(
@@ -223,6 +230,7 @@ class ShardedEngine:
         cache_bytes: Optional[int] = 64 << 20,
         cache_admit_after: int = 2,
         build_workers: Optional[int] = None,
+        kernel: str = "auto",
         **scheme_kwargs,
     ) -> None:
         if shards < 1:
@@ -231,6 +239,11 @@ class ShardedEngine:
             raise ValueError(
                 f"routing must be one of {ROUTINGS}, got {routing!r}"
             )
+        if kernel not in ("auto", "serial"):
+            raise ValueError(
+                f"kernel must be 'auto' or 'serial', got {kernel!r}"
+            )
+        self.kernel = kernel
         self.num_shards = shards
         self.routing = routing
         self.dynamic = dynamic
@@ -372,26 +385,43 @@ class ShardedEngine:
         queries: Sequence[str],
         threshold,
         workers: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> List[SearchResult]:
         """Answer ``queries`` in order, fanning each shard's sub-batch out
         over a reused thread pool (``workers=None`` uses one thread per
         shard; ``workers<=1`` runs serially).  Results are identical to a
-        serial loop of :meth:`search` calls."""
+        serial loop of :meth:`search` calls.  ``kernel`` overrides the
+        engine-level kernel setting for this call."""
         queries = list(queries)
         if not queries:
             return []
+        kernel = kernel or self.kernel
+        if kernel not in ("auto", "serial"):
+            raise ValueError(
+                f"kernel must be 'auto' or 'serial', got {kernel!r}"
+            )
+        use_kernel = kernel == "auto" and all(
+            getattr(shard.searcher, "supports_batch_kernel", False)
+            for shard in self.shards
+        )
         workers = len(self.shards) if workers is None else int(workers)
         started = time.perf_counter()
         with _METRICS.span("engine.shard.batch"):
             if workers <= 1 or len(self.shards) == 1:
                 per_shard = [
-                    [shard.searcher.search(q, threshold) for q in queries]
+                    _shard_batch(shard.searcher, queries, threshold, use_kernel)
                     for shard in self.shards
                 ]
             else:
                 pool = self._ensure_pool(min(workers, len(self.shards)))
                 futures = [
-                    pool.submit(_shard_batch, shard.searcher, queries, threshold)
+                    pool.submit(
+                        _shard_batch,
+                        shard.searcher,
+                        queries,
+                        threshold,
+                        use_kernel,
+                    )
                     for shard in self.shards
                 ]
                 per_shard = [future.result() for future in futures]
@@ -513,6 +543,7 @@ class ShardedEngine:
         cache_entries: Optional[int] = 1024,
         cache_bytes: Optional[int] = 64 << 20,
         cache_admit_after: int = 2,
+        kernel: str = "auto",
     ) -> "ShardedEngine":
         """Reconstitute a dumped sharded engine, bound to ``collection``
         (the corpus the shards were built from)."""
@@ -538,6 +569,7 @@ class ShardedEngine:
         engine.dynamic = False
         engine.metric = metric
         engine.algorithm = algorithm
+        engine.kernel = kernel
         engine.scheme = manifest["scheme"]
         engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
         engine._pool = None

@@ -13,20 +13,61 @@ two pieces the batched engine adds to every searcher:
 * the :class:`~repro.search.result.SearchResult` plumbing — ``search()``
   returns a frozen result and ``last_stats`` survives only as a deprecated
   property.
+
+Queries run in two phases shared by the serial and batched paths:
+:meth:`CountFilterSearcher._plan` reduces a query to a
+:class:`QueryPlan` (which posting lists to probe, at what T-occurrence
+threshold, plus whatever the verifier needs), and
+:meth:`CountFilterSearcher._verify` turns candidate ids into answers.
+Between the two sits candidate generation — per query via
+:func:`~repro.search.toccurrence.run_algorithm`, or for a whole batch at
+once via :mod:`repro.search.batchkernels`.  Because both paths share the
+plan and verify code verbatim, the serial path is the batched kernels'
+parity oracle by construction: any divergence is inside the kernels, where
+the fuzz suite hunts for it.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 from ..obs import METRICS as _METRICS
 from ..obs import TRACER as _TRACER
+from .batchkernels import BATCH_ALGORITHMS, batch_candidates, decode_postings
 from .result import SearchResult, SearchStats
 from .toccurrence import ALGORITHMS, run_algorithm
 
-__all__ = ["CountFilterSearcher"]
+__all__ = ["CountFilterSearcher", "QueryPlan"]
+
+
+@dataclass
+class QueryPlan:
+    """One query reduced to its T-occurrence problem (or lack of one).
+
+    ``mode`` selects how candidates are produced:
+
+    * ``"filter"`` — solve the T-occurrence problem over ``lists`` at
+      ``count_threshold`` (serial algorithm or batch kernel);
+    * ``"direct"`` — ``direct_candidates`` were computed during planning
+      (e.g. the edit-distance length-filter fallback when T degenerates);
+    * ``"empty"`` — the query provably has no answers.
+
+    ``payload`` carries whatever the subclass's verifier needs (query token
+    ids, length window, ...); the base class never looks inside it.
+    """
+
+    query: str
+    threshold: object
+    stats: SearchStats
+    started: float
+    mode: str = "empty"
+    lists: List = field(default_factory=list)
+    count_threshold: int = 1
+    payload: tuple = ()
+    direct_candidates: Optional[List[int]] = None
 
 
 class CountFilterSearcher:
@@ -35,6 +76,10 @@ class CountFilterSearcher:
     ``allowed_algorithms`` lets subclasses restrict the menu (the grouped
     searcher does not implement DivideSkip).
     """
+
+    #: subclasses implementing the ``_plan``/``_verify`` hooks set this;
+    #: only they can route candidate generation through the batch kernels.
+    supports_plan_hooks = False
 
     def __init__(
         self,
@@ -81,6 +126,11 @@ class CountFilterSearcher:
     # ------------------------------------------------------------------ #
     # shared query machinery
     # ------------------------------------------------------------------ #
+    @property
+    def supports_batch_kernel(self) -> bool:
+        """True when batches can run through :mod:`~repro.search.batchkernels`."""
+        return self.supports_plan_hooks and self.algorithm in BATCH_ALGORITHMS
+
     def _probe_lists(self, tokens: Sequence[int]) -> List:
         """Posting lists for ``tokens``, cache-wrapped when a cache is set."""
         lists = self.index.posting_lists(tokens)
@@ -93,6 +143,14 @@ class CountFilterSearcher:
         return run_algorithm(
             self.algorithm, lists, threshold, len(self.index.collection)
         )
+
+    def _plan(self, query: str, threshold) -> QueryPlan:
+        """Reduce one query to a :class:`QueryPlan` (subclass hook)."""
+        raise NotImplementedError
+
+    def _verify(self, plan: QueryPlan, candidates: List[int]) -> List[int]:
+        """Exact-verify candidate ids against ``plan`` (subclass hook)."""
+        raise NotImplementedError
 
     def _finish(
         self,
@@ -126,6 +184,35 @@ class CountFilterSearcher:
             seconds=time.perf_counter() - started,
         )
 
+    def _search_traced(self, query: str, threshold) -> SearchResult:
+        """Serial plan -> filter -> verify flow (the parity oracle)."""
+        plan = self._plan(query, threshold)
+        return self._execute(plan, None)
+
+    def _execute(
+        self, plan: QueryPlan, kernel_candidates
+    ) -> SearchResult:
+        """Finish a plan: candidates (given or computed), verify, freeze."""
+        if plan.mode == "empty":
+            return self._finish(
+                plan.query, plan.threshold, plan.stats, [], plan.started
+            )
+        if kernel_candidates is not None:
+            candidates = [int(i) for i in kernel_candidates]
+        elif plan.mode == "direct":
+            candidates = plan.direct_candidates or []
+        else:
+            with _METRICS.span("search.filter"):
+                candidates = self._candidates(
+                    plan.lists, plan.count_threshold
+                ).tolist()
+        plan.stats.candidates = len(candidates)
+        with _METRICS.span("search.verify"):
+            results = self._verify(plan, candidates)
+        return self._finish(
+            plan.query, plan.threshold, plan.stats, results, plan.started
+        )
+
     def search(self, query: str, threshold) -> SearchResult:
         raise NotImplementedError
 
@@ -135,3 +222,42 @@ class CountFilterSearcher:
         """Serial batch; :meth:`repro.engine.SimilarityEngine.search_batch`
         is the parallel equivalent."""
         return [self.search(query, threshold) for query in queries]
+
+    def search_many_batched(
+        self, queries: Sequence[str], threshold
+    ) -> List[SearchResult]:
+        """Answer a batch through the batch-native T-occurrence kernels.
+
+        Plans every query, solves all the "filter"-mode plans in one
+        :func:`~repro.search.batchkernels.batch_candidates` call (each
+        distinct posting list decoded once for the whole batch), then
+        verifies per query.  Returns exactly :meth:`search_many`'s results;
+        per-result ``seconds`` are batch-attributed rather than per-query.
+        Falls back to the serial path when the searcher or algorithm has no
+        batch kernel (e.g. DivideSkip), or while the tracer is live — the
+        slow-query log wants one trace document per query, which only the
+        per-query path produces.
+        """
+        if not self.supports_batch_kernel or _TRACER.enabled:
+            return self.search_many(queries, threshold)
+        plans = [self._plan(query, threshold) for query in queries]
+        rows = [i for i, plan in enumerate(plans) if plan.mode == "filter"]
+        answers: List = []
+        if rows:
+            memo: dict = {}
+            with _METRICS.span("search.filter"):
+                per_query_arrays = [
+                    decode_postings(plans[i].lists, self.cache, memo)
+                    for i in rows
+                ]
+                answers = batch_candidates(
+                    self.algorithm,
+                    per_query_arrays,
+                    [plans[i].count_threshold for i in rows],
+                    len(self.index.collection),
+                )
+        by_row = dict(zip(rows, answers))
+        return [
+            self._execute(plan, by_row.get(i))
+            for i, plan in enumerate(plans)
+        ]

@@ -1,0 +1,296 @@
+"""Batch-native T-occurrence kernels: whole-query-batch ScanCount/MergeSkip.
+
+The serial algorithms in :mod:`repro.search.toccurrence` run per-query,
+per-cursor Python — heap pops and bit-field reads dominated the profile at
+a few thousand QPS.  This module answers the *whole batch* with a handful
+of numpy passes, the Python analog of the block-wise/SIMD decoding tricks
+surveyed by Pibiri & Venturini and of the paper's §6.2.2 k-ary layout:
+
+* :func:`batch_scan_count` — one concatenated accumulation over every
+  query's posting ids, keyed ``query_idx * universe + record_id`` so a
+  single ``np.bincount`` counts all queries at once, followed by one
+  vectorized per-query threshold test against the length-bound-derived
+  ``T`` values.
+* :func:`batch_merge_skip` — a data-parallel MergeSkip.  All cursors of
+  all queries live in one padded matrix over a shared decoded arena; each
+  round finds every query's T-th-smallest frontier with one sort, emits
+  the rows whose minimum reaches it, and advances **every** lagging cursor
+  in the batch through one :func:`~repro.compression.simdsearch.\
+kary_lower_bound_many` call — one vector pass per binary-search level,
+  exactly the skip structure of Li et al.'s MergeSkip.
+
+Both kernels are exact: for every query they return the same candidate set,
+in the same ascending order, as the serial algorithm — the serial per-query
+path stays in the tree as the parity oracle (``tests/test_parity_fuzz.py``).
+
+Decode discipline: each distinct posting list is decoded **once per batch**
+(:func:`decode_postings`), through the engine's
+:class:`~repro.engine.cache.DecodeCache` when one is configured, and the
+two-layer decode itself batches all touched blocks into a single gather
+(:meth:`~repro.compression.twolayer.TwoLayerStore.decode_blocks`) — decode
+cost is paid once per touched block, never once per cursor touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..compression.simdsearch import kary_lower_bound_many
+from ..obs import METRICS as _METRICS
+
+__all__ = [
+    "BATCH_ALGORITHMS",
+    "decode_postings",
+    "batch_scan_count",
+    "batch_merge_skip",
+    "batch_candidates",
+]
+
+#: algorithms with a batch-native kernel; DivideSkip keeps its per-query
+#: long/short re-verification structure and stays on the serial path.
+BATCH_ALGORITHMS = ("scancount", "mergeskip")
+
+_INF = np.iinfo(np.int64).max
+
+#: cap on the (queries x universe) counter matrix one ScanCount chunk
+#: materializes; larger batches split into query chunks under the same key
+#: scheme, so memory stays bounded while every chunk is one bincount.
+SCANCOUNT_CELL_BUDGET = 1 << 23
+
+
+def decode_postings(
+    lists: Sequence,
+    cache=None,
+    memo: Optional[Dict[int, np.ndarray]] = None,
+) -> List[np.ndarray]:
+    """Decoded id arrays for ``lists``, each distinct list decoded once.
+
+    ``memo`` (shared across the queries of one batch) maps list identity to
+    its decoded array, so a posting list probed by many queries in the
+    batch decodes a single time.  With a
+    :class:`~repro.engine.cache.DecodeCache` supplied the decode goes
+    through ``cache.fetch`` and is shared with later batches too.
+    """
+    if memo is None:
+        memo = {}
+    arrays: List[np.ndarray] = []
+    for lst in lists:
+        inner = getattr(lst, "inner", lst)  # unwrap a CachedListView
+        key = id(inner)
+        array = memo.get(key)
+        if array is None:
+            if getattr(lst, "cached", False):
+                # repro: noqa RA01 -- served from the view's cached decode
+                array = lst.to_array()
+            elif cache is not None:
+                array = cache.fetch(inner)
+            else:
+                # no cache configured: the per-batch memo is the cache
+                # repro: noqa RA01 -- one decode per distinct list per batch
+                array = inner.to_array()
+            memo[key] = array
+        arrays.append(array)
+    return arrays
+
+
+def _validate_thresholds(thresholds: np.ndarray, batch: int) -> None:
+    if thresholds.size != batch:
+        raise ValueError(
+            f"expected {batch} thresholds, got {thresholds.size}"
+        )
+    if thresholds.size and int(thresholds.min()) < 1:
+        raise ValueError("thresholds must be >= 1")
+
+
+def batch_scan_count(
+    per_query_arrays: Sequence[Sequence[np.ndarray]],
+    thresholds: Sequence[int],
+    universe: int,
+) -> List[np.ndarray]:
+    """Whole-batch ScanCount: one id accumulation answers every query.
+
+    ``per_query_arrays[i]`` holds query *i*'s decoded posting lists and
+    ``thresholds[i]`` its T value.  Ids are keyed
+    ``row * width + record_id`` (``width`` covers both ``universe`` and the
+    largest posted id, so an index grown past its build-time universe stays
+    in bounds) and counted by a single ``np.bincount`` per chunk; the
+    threshold test compares each row's counts against its own T in one
+    broadcast.  Returns one ascending candidate array per query.
+    """
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    batch = len(per_query_arrays)
+    _validate_thresholds(thresholds, batch)
+    out: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * batch
+    live: List[int] = []
+    max_id = -1
+    for row in range(batch):
+        arrays = per_query_arrays[row]
+        if not arrays or len(arrays) < int(thresholds[row]):
+            continue
+        populated = False
+        for ids in arrays:
+            if ids.size:
+                populated = True
+                max_id = max(max_id, int(ids[-1]))
+        if populated:
+            live.append(row)
+    if not live:
+        return out
+    width = max(int(universe), max_id + 1)
+    rows_per_chunk = max(1, SCANCOUNT_CELL_BUDGET // max(width, 1))
+    scanned = 0
+    for start in range(0, len(live), rows_per_chunk):
+        chunk = live[start : start + rows_per_chunk]
+        key_parts: List[np.ndarray] = []
+        for local, row in enumerate(chunk):
+            offset = local * width
+            for ids in per_query_arrays[row]:
+                if ids.size:
+                    key_parts.append(ids + offset)
+        keys = np.concatenate(key_parts)
+        scanned += int(keys.size)
+        counts = np.bincount(keys, minlength=len(chunk) * width).reshape(
+            len(chunk), width
+        )
+        chunk_thresholds = thresholds[np.asarray(chunk, dtype=np.int64)]
+        hit_rows, hit_ids = np.nonzero(counts >= chunk_thresholds[:, None])
+        boundaries = np.searchsorted(hit_rows, np.arange(len(chunk) + 1))
+        for local, row in enumerate(chunk):
+            out[row] = hit_ids[boundaries[local] : boundaries[local + 1]]
+    if _METRICS.enabled:
+        _METRICS.inc("batchkernel.scancount_queries", len(live))
+        _METRICS.inc("batchkernel.postings_scanned", scanned)
+    return out
+
+
+def batch_merge_skip(
+    per_query_arrays: Sequence[Sequence[np.ndarray]],
+    thresholds: Sequence[int],
+) -> List[np.ndarray]:
+    """Data-parallel MergeSkip over every query's cursors at once.
+
+    All posting lists of all queries are laid out in one arena; each query
+    row keeps a padded vector of (segment, position) cursors.  Per round:
+
+    1. gather every frontier value with one fancy-index read,
+    2. per-row sort yields the minimum and the T-th smallest (the *pivot*),
+    3. rows whose minimum equals the pivot have >= T cursors parked on it —
+       emit the value (Li et al.'s match case),
+    4. every cursor below its row's skip target (``min+1`` on a match, the
+       pivot otherwise) seeks forward via one
+       :func:`kary_lower_bound_many` call bounded to its own segment — all
+       skip jumps in the batch advance together, one vector pass per
+       binary-search level.
+
+    Rows drop out when fewer than T cursors remain, exactly like the serial
+    heap draining below the threshold.  Returns ascending candidate arrays
+    identical to :func:`repro.search.toccurrence.merge_skip` per query.
+    """
+    thresholds = np.asarray(thresholds, dtype=np.int64)
+    batch = len(per_query_arrays)
+    _validate_thresholds(thresholds, batch)
+    out: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * batch
+    row_ids: List[int] = []
+    row_arrays: List[List[np.ndarray]] = []
+    for row in range(batch):
+        arrays = [ids for ids in per_query_arrays[row] if ids.size]
+        if len(arrays) >= int(thresholds[row]):
+            row_ids.append(row)
+            row_arrays.append(arrays)
+    if not row_ids:
+        return out
+
+    flat = [ids for arrays in row_arrays for ids in arrays]
+    arena = np.concatenate(flat)
+    sizes = np.asarray([ids.size for ids in flat], dtype=np.int64)
+    flat_starts = np.cumsum(sizes) - sizes
+
+    num_rows = len(row_ids)
+    num_cols = max(len(arrays) for arrays in row_arrays)
+    sstart = np.zeros((num_rows, num_cols), dtype=np.int64)
+    slen = np.zeros((num_rows, num_cols), dtype=np.int64)
+    cursor = 0
+    for r, arrays in enumerate(row_arrays):
+        for c, ids in enumerate(arrays):
+            sstart[r, c] = flat_starts[cursor]
+            slen[r, c] = sizes[cursor]
+            cursor += 1
+    pos = np.zeros((num_rows, num_cols), dtype=np.int64)
+    rows = np.asarray(row_ids, dtype=np.int64)
+    T = thresholds[rows]
+
+    emitted_rows: List[np.ndarray] = []
+    emitted_vals: List[np.ndarray] = []
+    rounds = 0
+    seeks = 0
+    while rows.size:
+        active = pos < slen
+        alive = active.sum(axis=1) >= T
+        if not alive.all():
+            # a row below T live cursors can answer nothing further
+            rows, pos, sstart, slen, T = (
+                rows[alive],
+                pos[alive],
+                sstart[alive],
+                slen[alive],
+                T[alive],
+            )
+            continue
+        rounds += 1
+        absidx = sstart + pos
+        val = np.where(active, arena[np.where(active, absidx, 0)], _INF)
+        sorted_vals = np.sort(val, axis=1)
+        minv = sorted_vals[:, 0]
+        pivot = sorted_vals[np.arange(rows.size), T - 1]
+        emit = pivot == minv
+        if emit.any():
+            emitted_rows.append(rows[emit])
+            emitted_vals.append(minv[emit])
+        # match rows advance their parked cursors past the emitted value;
+        # skip rows jump everything below the pivot up to it
+        target = np.where(emit, minv + 1, pivot)
+        move = val < target[:, None]
+        move_rows = np.nonzero(move)[0]
+        keys = target[move_rows]
+        seeks += int(keys.size)
+        landed = kary_lower_bound_many(
+            arena, keys, lo=absidx[move], hi=(sstart + slen)[move]
+        )
+        pos[move] = landed - sstart[move]
+    if _METRICS.enabled:
+        _METRICS.inc("batchkernel.mergeskip_queries", len(row_ids))
+        _METRICS.inc("batchkernel.rounds", rounds)
+        _METRICS.inc("batchkernel.skip_jumps", seeks)
+
+    if emitted_rows:
+        rows_cat = np.concatenate(emitted_rows)
+        vals_cat = np.concatenate(emitted_vals)
+        # stable by row: per-row emit order is ascending by construction
+        # (each round's emitted minimum strictly increases)
+        order = np.argsort(rows_cat, kind="stable")
+        rows_sorted = rows_cat[order]
+        vals_sorted = vals_cat[order]
+        breaks = np.nonzero(np.diff(rows_sorted))[0] + 1
+        for row_chunk, val_chunk in zip(
+            np.split(rows_sorted, breaks), np.split(vals_sorted, breaks)
+        ):
+            out[int(row_chunk[0])] = val_chunk
+    return out
+
+
+def batch_candidates(
+    algorithm: str,
+    per_query_arrays: Sequence[Sequence[np.ndarray]],
+    thresholds: Sequence[int],
+    universe: int,
+) -> List[np.ndarray]:
+    """Dispatch one batch of T-occurrence problems to the named kernel."""
+    if algorithm == "scancount":
+        return batch_scan_count(per_query_arrays, thresholds, universe)
+    if algorithm == "mergeskip":
+        return batch_merge_skip(per_query_arrays, thresholds)
+    raise ValueError(
+        f"algorithm must be one of {BATCH_ALGORITHMS}, got {algorithm!r}"
+    )

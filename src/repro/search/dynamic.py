@@ -110,8 +110,14 @@ class DynamicInvertedIndex:
     # InvertedIndex protocol
     # ------------------------------------------------------------------ #
     def posting_lists(self, tokens: Sequence[int]) -> List[OnlineSortedIDList]:
+        """Posting lists of the query tokens present in the index; duplicate
+        tokens are collapsed (set semantics, as in the offline index)."""
         self._refresh_lengths()
-        return [self.lists[token] for token in tokens if token in self.lists]
+        return [
+            self.lists[token]
+            for token in dict.fromkeys(tokens)
+            if token in self.lists
+        ]
 
     def size_bits(self) -> int:
         return sum(lst.size_bits() for lst in self.lists.values())

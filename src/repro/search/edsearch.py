@@ -20,7 +20,7 @@ from typing import Dict, List
 from ..obs import METRICS as _METRICS
 from ..obs import trace_query as _trace_query
 from ..similarity.edit_distance import within_edit_distance
-from .base import CountFilterSearcher
+from .base import CountFilterSearcher, QueryPlan
 from .result import SearchResult, SearchStats
 from .searcher import InvertedIndex
 
@@ -29,6 +29,8 @@ __all__ = ["EditDistanceSearcher"]
 
 class EditDistanceSearcher(CountFilterSearcher):
     """q-gram count-filter search for ``ed(query, record) <= delta``."""
+
+    supports_plan_hooks = True
 
     def __init__(
         self,
@@ -75,38 +77,49 @@ class EditDistanceSearcher(CountFilterSearcher):
         with _trace_query(query, delta, kind="search.ed"):
             return self._search_traced(query, delta)
 
-    def _search_traced(self, query: str, delta: int) -> SearchResult:
+    def _plan(self, query: str, delta: int) -> QueryPlan:
+        # the batched path enters here directly, bypassing search()
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
         started = time.perf_counter()
         stats = SearchStats()
         collection = self.index.collection
-        strings = collection.strings
         query_ids = collection.encode_query(query)
         signature_size = collection.signature_size(query)
         count_threshold = signature_size - self.q * delta
         stats.count_threshold = count_threshold
-
+        plan = QueryPlan(
+            query=query, threshold=delta, stats=stats, started=started
+        )
         if count_threshold >= 1 and query_ids.size >= count_threshold:
             lists = self._probe_lists(query_ids.tolist())
             stats.lists_probed = len(lists)
             stats.postings_available = sum(len(lst) for lst in lists)
-            with _METRICS.span("search.filter"):
-                candidates = self._candidates(lists, count_threshold).tolist()
+            plan.mode = "filter"
+            plan.lists = lists
+            plan.count_threshold = count_threshold
         elif count_threshold >= 1:
             # more unseen query grams than the bound tolerates: no record can
-            # share count_threshold of the query's grams
-            return self._finish(query, delta, stats, [], started)
+            # share count_threshold of the query's grams — plan stays "empty"
+            pass
         else:
+            # degenerate bound: fall back to the length filter
             with _METRICS.span("search.filter"):
-                candidates = self._length_scan(query, delta)
-        stats.candidates = len(candidates)
+                plan.direct_candidates = self._length_scan(query, delta)
+            plan.mode = "direct"
+        return plan
 
+    def _verify(self, plan: QueryPlan, candidates: List[int]) -> List[int]:
+        strings = self.index.collection.strings
+        query = plan.query
+        delta = plan.threshold
+        stats = plan.stats
         results: List[int] = []
-        with _METRICS.span("search.verify"):
-            for candidate in candidates:
-                text = strings[candidate]
-                if abs(len(text) - len(query)) > delta:
-                    continue
-                stats.verifications += 1
-                if within_edit_distance(query, text, delta):
-                    results.append(candidate)
-        return self._finish(query, delta, stats, results, started)
+        for candidate in candidates:
+            text = strings[candidate]
+            if abs(len(text) - len(query)) > delta:
+                continue
+            stats.verifications += 1
+            if within_edit_distance(query, text, delta):
+                results.append(candidate)
+        return results

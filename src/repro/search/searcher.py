@@ -24,7 +24,7 @@ from ..obs import trace_query as _trace_query
 from ..similarity.measures import length_bounds, required_overlap
 from ..similarity.tokenize import TokenizedCollection
 from ..similarity.verify import verify_overlap_from
-from .base import CountFilterSearcher
+from .base import CountFilterSearcher, QueryPlan
 from .result import SearchResult, SearchStats
 
 __all__ = ["InvertedIndex", "JaccardSearcher", "SearchStats", "SearchResult"]
@@ -67,8 +67,17 @@ class InvertedIndex:
         return len(self.lists)
 
     def posting_lists(self, tokens: Sequence[int]) -> List[SortedIDList]:
-        """Posting lists of the query tokens that exist in the index."""
-        return [self.lists[token] for token in tokens if token in self.lists]
+        """Posting lists of the query tokens that exist in the index.
+
+        Duplicate tokens are collapsed: Definition 1's overlap is set
+        semantics, so a repeated query token must not contribute its posting
+        list twice to the T-occurrence count.
+        """
+        return [
+            self.lists[token]
+            for token in dict.fromkeys(tokens)
+            if token in self.lists
+        ]
 
     def size_bits(self) -> int:
         """Total index size under the paper's accounting (the tables' metric)."""
@@ -92,6 +101,8 @@ class InvertedIndex:
 class JaccardSearcher(CountFilterSearcher):
     """Count-filter similarity search for Jaccard (and Cosine/Dice) metrics."""
 
+    supports_plan_hooks = True
+
     def __init__(
         self,
         index: InvertedIndex,
@@ -109,14 +120,20 @@ class JaccardSearcher(CountFilterSearcher):
         with _trace_query(query, threshold):
             return self._search_traced(query, threshold)
 
-    def _search_traced(self, query: str, threshold: float) -> SearchResult:
+    def _plan(self, query: str, threshold: float) -> QueryPlan:
+        # the batched path enters here directly, bypassing search()
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
         started = time.perf_counter()
         stats = SearchStats()
         collection = self.index.collection
         query_ids = collection.encode_query(query)
         signature_size = collection.signature_size(query)
+        plan = QueryPlan(
+            query=query, threshold=threshold, stats=stats, started=started
+        )
         if signature_size == 0:
-            return self._finish(query, threshold, stats, [], started)
+            return plan
         # minimum count over all admissible candidate lengths: for Jaccard
         # |s| >= tau |r| implies overlap >= ceil(tau |r|)  (Section 3.1.1)
         low, high = length_bounds(signature_size, threshold, self.metric)
@@ -126,27 +143,33 @@ class JaccardSearcher(CountFilterSearcher):
         stats.count_threshold = count_threshold
         if count_threshold > query_ids.size:
             # too many query tokens unseen in the collection
-            return self._finish(query, threshold, stats, [], started)
+            return plan
         lists = self._probe_lists(query_ids.tolist())
         stats.lists_probed = len(lists)
         stats.postings_available = sum(len(lst) for lst in lists)
-        with _METRICS.span("search.filter"):
-            candidates = self._candidates(lists, max(1, count_threshold))
-        stats.candidates = int(candidates.size)
+        plan.mode = "filter"
+        plan.lists = lists
+        plan.count_threshold = max(1, count_threshold)
+        plan.payload = (query_ids, low, high, signature_size)
+        return plan
 
+    def _verify(self, plan: QueryPlan, candidates: List[int]) -> List[int]:
+        query_ids, low, high, signature_size = plan.payload
+        collection = self.index.collection
+        threshold = plan.threshold
+        stats = plan.stats
         results: List[int] = []
-        with _METRICS.span("search.verify"):
-            for candidate in candidates.tolist():
-                record = collection.records[candidate]
-                if not low <= record.size <= high:
-                    continue
-                needed = required_overlap(
-                    signature_size, record.size, threshold, self.metric
-                )
-                stats.verifications += 1
-                if (
-                    verify_overlap_from(query_ids, record, 0, 0, 0, needed)
-                    >= needed
-                ):
-                    results.append(candidate)
-        return self._finish(query, threshold, stats, results, started)
+        for candidate in candidates:
+            record = collection.records[candidate]
+            if not low <= record.size <= high:
+                continue
+            needed = required_overlap(
+                signature_size, record.size, threshold, self.metric
+            )
+            stats.verifications += 1
+            if (
+                verify_overlap_from(query_ids, record, 0, 0, 0, needed)
+                >= needed
+            ):
+                results.append(candidate)
+        return results

@@ -44,14 +44,23 @@ def scan_count(
         raise ValueError(f"threshold must be >= 1, got {threshold}")
     if not lists or len(lists) < threshold:
         return np.empty(0, dtype=np.int64)
-    counts = np.zeros(universe, dtype=np.int32)
-    scanned = 0
+    arrays: List[np.ndarray] = []
+    max_id = -1
     for lst in lists:
         # repro: noqa RA01 -- ScanCount's contract is one full scan per list
         ids = lst.to_array()
         if ids.size:
-            counts[ids] += 1
-            scanned += int(ids.size)
+            arrays.append(ids)
+            max_id = max(max_id, int(ids[-1]))
+    if max_id < 0:
+        return np.empty(0, dtype=np.int64)
+    # a dynamic index may have grown past the build-time universe (sharded
+    # add() after load); the counter must cover every id actually posted
+    counts = np.zeros(max(universe, max_id + 1), dtype=np.int32)
+    scanned = 0
+    for ids in arrays:
+        counts[ids] += 1
+        scanned += int(ids.size)
     if _METRICS.enabled:
         _METRICS.inc("toccurrence.lists_scanned", len(lists))
         _METRICS.inc("toccurrence.postings_scanned", scanned)

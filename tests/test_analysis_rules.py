@@ -1,4 +1,4 @@
-"""Tests for the repo-specific lint engine (repro.analysis, rules RA01-RA07).
+"""Tests for the repo-specific lint engine (repro.analysis, rules RA01-RA08).
 
 Each rule gets a failing and a passing fixture snippet, written into a
 ``tmp/repro/...`` tree so the engine derives the same dotted module names
@@ -449,6 +449,70 @@ class TestRA07BroadExcept:
                     return open(path).read()
                 except (OSError, ValueError):
                     return None
+            """,
+        )
+        assert found == []
+
+
+class TestRA08StorageModelPrivacy:
+    def test_private_width_access_outside_storage_layer_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            def widest(lst):
+                return max(lst.store._widths)
+            """,
+        )
+        assert codes(found) == ["RA08"]
+
+    def test_private_numpy_mirror_access_fires(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/search/newmod.py",
+            """
+            def offsets(store):
+                return store._offsets_np
+            """,
+        )
+        assert codes(found) == ["RA08"]
+
+    def test_public_surface_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            def widest(lst):
+                return lst.store.max_width_bits()
+
+            def sizes(store):
+                return store.block_sizes()
+            """,
+        )
+        assert found == []
+
+    def test_self_state_passes(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            class Layout:
+                def __init__(self):
+                    self._widths = []
+
+                def widest(self):
+                    return max(self._widths, default=0)
+            """,
+        )
+        assert found == []
+
+    def test_storage_layer_modules_are_whitelisted(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/serialize.py",
+            """
+            def dump(store):
+                return list(store._widths)
             """,
         )
         assert found == []

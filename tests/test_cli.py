@@ -467,7 +467,9 @@ class TestProfile:
         # recorded inside the pool workers, visible in the parent profile
         assert report["counters"]["search.queries"] == 12
         assert report["counters"]["engine.batch.worker_chunks"] > 0
-        assert report["timers"]["search.filter"]["count"] == 12
+        # the batch kernels open one search.filter span per chunk (not per
+        # query), so the count lands between 1 and the query count
+        assert 1 <= report["timers"]["search.filter"]["count"] <= 12
 
     def test_report_with_profile_section(self, tmp_path):
         out = tmp_path / "report.md"

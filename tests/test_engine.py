@@ -241,12 +241,15 @@ class TestWorkerTelemetry:
     ):
         """Acceptance criterion: counter totals under workers=2 equal a
         serial run exactly (the cache is disabled — forked per-worker
-        caches would legitimately change hit/decode counts)."""
+        caches would legitimately change hit/decode counts; the kernel is
+        pinned to 'serial' — batch-kernel counters legitimately depend on
+        how the batch is chunked)."""
         queries = word_collection.strings[:16]
 
         def profiled_run(workers):
             with SimilarityEngine(
-                word_collection, scheme="css", cache_entries=0
+                word_collection, scheme="css", cache_entries=0,
+                kernel="serial",
             ) as engine:
                 with enabled_metrics() as registry:
                     engine.search_batch(queries, 0.6, workers=workers)

@@ -124,3 +124,90 @@ class TestVectorizedStoreDecode:
         for value in (5, 100, 10**6):
             store.append_block(np.asarray([value]))
         assert store.to_array().tolist() == [5, 100, 10**6]
+
+
+class TestGatherRuns:
+    def test_matches_per_field_gather(self, rng):
+        buf = BitBuffer()
+        offsets, widths, counts, expected = [], [], [], []
+        for _ in range(30):
+            width = int(rng.integers(1, 33))
+            values = rng.integers(0, 2**width, size=int(rng.integers(1, 25)))
+            offset = buf.append(values.astype(np.uint64), width)
+            offsets.append(offset)
+            widths.append(width)
+            counts.append(values.size)
+            expected.extend(values.tolist())
+        out = buf.gather_runs(
+            np.asarray(offsets), np.asarray(widths), np.asarray(counts)
+        )
+        assert out.tolist() == expected
+
+    def test_zero_length_runs_skipped(self):
+        buf = BitBuffer()
+        offset = buf.append(np.asarray([7, 8], dtype=np.uint64), 4)
+        out = buf.gather_runs(
+            np.asarray([offset, offset]),
+            np.asarray([4, 4]),
+            np.asarray([2, 0]),
+        )
+        assert out.tolist() == [7, 8]
+
+    def test_empty(self):
+        buf = BitBuffer()
+        out = buf.gather_runs(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert out.size == 0
+
+    def test_misaligned_inputs_rejected(self):
+        buf = BitBuffer()
+        with pytest.raises(ValueError):
+            buf.gather_runs(
+                np.asarray([0]), np.asarray([4, 4]), np.asarray([1])
+            )
+
+    def test_negative_count_rejected(self):
+        buf = BitBuffer()
+        buf.append(np.asarray([1], dtype=np.uint64), 4)
+        with pytest.raises(ValueError):
+            buf.gather_runs(np.asarray([0]), np.asarray([4]), np.asarray([-1]))
+
+
+class TestDecodeBlocks:
+    def _store(self, rng, blocks=20):
+        store = TwoLayerStore()
+        base = 0
+        for _ in range(blocks):
+            base += int(rng.integers(1, 10**4))
+            run = base + np.cumsum(
+                rng.integers(1, 500, size=int(rng.integers(1, 40)))
+            )
+            store.append_block(run)
+            base = int(run[-1])
+        return store
+
+    def test_subset_matches_per_block_decode(self, rng):
+        store = self._store(rng)
+        blocks = np.asarray([0, 3, 17, 4])
+        expected = np.concatenate(
+            [store.decode_block(int(b)) for b in blocks]
+        )
+        assert np.array_equal(store.decode_blocks(blocks), expected)
+
+    def test_empty_selection(self, rng):
+        store = self._store(rng, blocks=3)
+        assert store.decode_blocks(np.empty(0, np.int64)).size == 0
+
+    def test_out_of_range_rejected(self, rng):
+        store = self._store(rng, blocks=3)
+        with pytest.raises(IndexError):
+            store.decode_blocks(np.asarray([3]))
+        with pytest.raises(IndexError):
+            store.decode_blocks(np.asarray([-1]))
+
+    def test_max_width_bits(self, rng):
+        store = self._store(rng)
+        # repro: noqa RA08 -- asserting the public accessor against the raw
+        assert store.max_width_bits() == max(store._widths)
+        assert TwoLayerStore().max_width_bits() == 0

@@ -102,7 +102,9 @@ class TestOfflineSchemes:
         collection = tokenize_collection(strings, mode="qgram", q=2)
         index = InvertedIndex(collection, scheme=scheme)
         queries = _sample_queries(SEED + 3, strings, ["abcd", "dddddddd"])
-        for algorithm in _supported_algorithms(index):
+        for algorithm in ("scancount", "mergeskip"):
+            if algorithm not in _supported_algorithms(index):
+                continue
             searcher = EditDistanceSearcher(index, algorithm=algorithm)
             for delta in (1, 2):
                 for query in queries:
@@ -173,3 +175,77 @@ class TestOnlineSchemesInterleaved:
             for text in strings[cursor : cursor + 15]:
                 engine.add(text)
             cursor += 15
+
+
+class TestBatchKernelParity:
+    """The batch kernels' acceptance gate: for every offline scheme and
+    every batch-capable algorithm, ``search_many_batched`` must be
+    bit-identical to the serial per-query path (the parity oracle) — same
+    ids, same candidate and verification counts."""
+
+    @pytest.mark.parametrize("scheme", sorted(OFFLINE_SCHEMES))
+    def test_jaccard_batched_matches_serial(self, scheme):
+        strings = _word_strings(SEED + 8, 80)
+        collection = tokenize_collection(strings, mode="word")
+        index = InvertedIndex(collection, scheme=scheme)
+        queries = _sample_queries(
+            SEED + 9, strings, ["w0 w1 w2", "zzz unseen tokens", "w59", ""]
+        )
+        for algorithm in ("scancount", "mergeskip"):
+            if algorithm not in _supported_algorithms(index):
+                continue
+            searcher = JaccardSearcher(index, algorithm=algorithm)
+            assert searcher.supports_batch_kernel
+            for threshold in (0.45, 0.8):
+                serial = [searcher.search(q, threshold) for q in queries]
+                batched = searcher.search_many_batched(queries, threshold)
+                for a, b in zip(serial, batched):
+                    assert a.ids == b.ids, (scheme, algorithm, threshold, a.query)
+                    assert a.stats.candidates == b.stats.candidates
+                    assert a.stats.verifications == b.stats.verifications
+                    assert a.stats.count_threshold == b.stats.count_threshold
+
+    @pytest.mark.parametrize("scheme", sorted(OFFLINE_SCHEMES))
+    def test_edit_distance_batched_matches_serial(self, scheme):
+        strings = _char_strings(SEED + 10, 80)
+        collection = tokenize_collection(strings, mode="qgram", q=2)
+        index = InvertedIndex(collection, scheme=scheme)
+        # "dddddddd" drives the destruction bound negative: the length-scan
+        # fallback rides inside a kernel batch
+        queries = _sample_queries(SEED + 11, strings, ["abcd", "dddddddd"])
+        for algorithm in ("scancount", "mergeskip"):
+            if algorithm not in _supported_algorithms(index):
+                continue
+            searcher = EditDistanceSearcher(index, algorithm=algorithm)
+            for delta in (1, 2):
+                serial = [searcher.search(q, delta) for q in queries]
+                batched = searcher.search_many_batched(queries, delta)
+                for a, b in zip(serial, batched):
+                    assert a.ids == b.ids, (scheme, algorithm, delta, a.query)
+                    assert a.stats.candidates == b.stats.candidates
+
+    def test_divideskip_falls_back_to_serial(self):
+        strings = _word_strings(SEED + 12, 40)
+        collection = tokenize_collection(strings, mode="word")
+        index = InvertedIndex(collection, scheme="css")
+        searcher = JaccardSearcher(index, algorithm="divideskip")
+        assert not searcher.supports_batch_kernel
+        queries = strings[:8]
+        serial = [searcher.search(q, 0.6) for q in queries]
+        batched = searcher.search_many_batched(queries, 0.6)
+        assert [r.ids for r in serial] == [r.ids for r in batched]
+
+    @pytest.mark.parametrize("algorithm", ("scancount", "mergeskip"))
+    @pytest.mark.parametrize("scheme", sorted(ONLINE_SCHEMES))
+    def test_dynamic_index_batched_matches_serial(self, scheme, algorithm):
+        strings = _word_strings(SEED + 13, 60, vocab=40)
+        engine = SimilarityEngine(
+            index=DynamicInvertedIndex(mode="word", scheme=scheme),
+            algorithm=algorithm,
+            cache_admit_after=1,
+        )
+        engine.add_many(strings)
+        queries = _sample_queries(SEED + 14, strings, ["w0 w1", "w39 w38"])
+        serial = engine.search_batch(queries, 0.5, kernel="serial")
+        batched = engine.search_batch(queries, 0.5, kernel="auto")
+        assert [r.ids for r in serial] == [r.ids for r in batched]

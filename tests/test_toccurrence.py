@@ -103,3 +103,85 @@ class TestAlgorithmSpecifics:
             for i, a in enumerate(arrays)
         ]
         assert merge_skip(lists, 3).tolist() == _expected(arrays, 3)
+
+
+class TestScanCountUniverse:
+    """Regression: the counter array must cover ids past the caller's
+    ``universe`` (a dynamic index grown after the caller computed it)."""
+
+    def test_ids_beyond_universe_are_counted(self):
+        lists = [UncompressedList([2, 17]), UncompressedList([17])]
+        assert scan_count(lists, 2, universe=5).tolist() == [17]
+
+    def test_grown_dynamic_index_serves_scancount(self):
+        from repro.search.dynamic import DynamicInvertedIndex
+        from repro.search.searcher import JaccardSearcher
+
+        index = DynamicInvertedIndex(mode="word", scheme="adapt")
+        index.add_many(["alpha beta", "beta gamma"])
+        searcher = JaccardSearcher(index, algorithm="scancount")
+        before = searcher.search("alpha beta", 0.5)
+        assert before.ids == (0,)
+        index.add("alpha beta gamma")
+        after = searcher.search("alpha beta", 0.5)
+        assert after.ids == (0, 2)
+
+
+class TestDuplicateQueryTokens:
+    """Regression: a repeated query token must not contribute its posting
+    list twice to the T-occurrence count (Definition 1 is set semantics)."""
+
+    def _index(self):
+        from repro.search.searcher import InvertedIndex
+        from repro.similarity.tokenize import tokenize_collection
+
+        collection = tokenize_collection(
+            ["red green blue", "red blue", "green"], mode="word"
+        )
+        return InvertedIndex(collection, scheme="uncomp")
+
+    def test_posting_lists_collapse_duplicates(self):
+        index = self._index()
+        token = int(index.collection.records[0][0])
+        other = int(index.collection.records[0][1])
+        assert len(index.posting_lists([token, token, other, token])) == 2
+
+    def test_dynamic_posting_lists_collapse_duplicates(self):
+        from repro.search.dynamic import DynamicInvertedIndex
+
+        index = DynamicInvertedIndex(mode="word", scheme="adapt")
+        index.add_many(["red green", "red"])
+        token = int(index.collection.records[0][0])
+        assert len(index.posting_lists([token, token])) == 1
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicate_token_cannot_fake_threshold(self, algorithm):
+        index = self._index()
+        token = int(index.collection.records[0][0])
+        lists = index.posting_lists([token, token])
+        # with the duplicate collapsed only one list remains, so no record
+        # can reach a count of 2 from a single repeated token
+        assert algorithm(lists, 2, len(index.collection)).size == 0
+
+
+class TestDivideSkipBoundary:
+    def test_num_long_equals_threshold_minus_one(self, rng):
+        """A near-zero mu drives the long-list count to its ceiling
+        ``threshold - 1``, leaving the short lists a threshold of one."""
+        arrays = [
+            np.unique(rng.integers(0, 500, size=size))
+            for size in (20, 40, 80, 160, 320)
+        ]
+        lists = [UncompressedList(a) for a in arrays]
+        threshold = 3
+        assert divide_skip(lists, threshold, mu=1e-9).tolist() == _expected(
+            arrays, threshold
+        )
+
+    def test_boundary_answers_match_other_algorithms(self, rng):
+        arrays = _make_lists(rng, count=6, universe=400)
+        lists = [CSSList(a) for a in arrays]
+        for threshold in (2, 4, 6):
+            boundary = divide_skip(lists, threshold, mu=1e-9).tolist()
+            assert boundary == merge_skip(lists, threshold).tolist()
+            assert boundary == scan_count(lists, threshold, 400).tolist()
