@@ -1,0 +1,278 @@
+"""Bundle persistence — mmap vs eager opens, fork-pool sharing, compaction.
+
+Saves a CSS index as a bundle directory once, then measures the two costs
+the zero-copy storage layer trades (paper §6.1: the index should be
+servable straight off its storage medium):
+
+* **open latency** — ``mmap=True`` maps the arrays without touching the
+  posting-list bytes, so opening is O(metadata); ``mmap=False``
+  materializes every array eagerly;
+* **resident cost at N workers** — N worker processes each open the same
+  bundle and hold their engines simultaneously; per-worker PSS
+  (proportional set size, which splits file-backed pages among their
+  sharers) is summed.  Eager opens pay N private copies, mmap opens
+  share one page-cache copy.
+
+A third section times online→offline compaction (the DP re-partition
+over every online list) and records postings/second.  Everything lands in
+``BENCH_storage.json`` next to the repo root; mmap-vs-eager answer parity
+is asserted on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import dataset as cached_dataset
+from conftest import print_block, scaled
+from repro import storage
+from repro.bench import render_table, sample_queries
+from repro.engine import SimilarityEngine
+from repro.obs import enabled_metrics
+from repro.search.dynamic import DynamicInvertedIndex
+
+DATASET = "aol"
+#: heavier than the shared search cardinality: the resident-set story
+#: needs posting arrays that dwarf interpreter noise
+CARDINALITY = 30_000
+THRESHOLD = 0.8
+WORKER_COUNTS = (2, 4)
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+
+def _pss_kb() -> int:
+    """Proportional set size of this process in KiB (Linux; 0 elsewhere).
+
+    PSS splits shared pages among their sharers, so N workers mapping one
+    bundle report ~1/N of its file-backed pages each — exactly the
+    sharing the mmap path claims.  RSS would count the shared copy N
+    times and hide it.
+    """
+    try:
+        with open("/proc/self/smaps_rollup", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1])
+    except OSError:
+        return 0
+    return 0
+
+
+def _touch_index(index) -> int:
+    """Fault every posting page in (strided reads, no Python-side copies)."""
+    total = 0
+    for lst in index.lists.values():
+        store = getattr(lst, "store", None)
+        if store is not None:
+            words = store._data._words
+            if words.size:
+                total += int(words[:: max(1, 512)].sum()) & 1
+        else:
+            values = lst.to_array()
+            if values.size:
+                total += int(values[:: max(1, 1024)].sum()) & 1
+    return total
+
+
+def _hold_and_measure(path, mmap, barrier, results):
+    """Worker: open the bundle, fault the postings in, measure PSS while
+    every sibling still holds its engine (so sharing is visible)."""
+    import gc
+
+    gc.collect()
+    before = _pss_kb()
+    engine = SimilarityEngine.open(path, mmap=mmap, cache_entries=0)
+    _touch_index(engine.index)
+    gc.collect()
+    barrier.wait()  # every worker has opened and touched its engine
+    results.put(_pss_kb() - before)
+    barrier.wait()  # stay alive until every sibling has measured
+
+
+def _worker_resident_kb(path, mmap, workers):
+    context = multiprocessing.get_context("fork")
+    barrier = context.Barrier(workers)
+    results = context.SimpleQueue()
+    processes = [
+        context.Process(
+            target=_hold_and_measure, args=(path, mmap, barrier, results)
+        )
+        for _ in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    deltas = [results.get() for _ in range(workers)]
+    for process in processes:
+        process.join()
+    return sum(deltas)
+
+
+def _best_open_seconds(path, mmap, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        SimilarityEngine.open(path, mmap=mmap, cache_entries=0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def saved_bundle(tmp_path_factory):
+    dataset = cached_dataset(DATASET, scaled(CARDINALITY))
+    engine = SimilarityEngine(dataset.collection, scheme="css")
+    path = engine.save(tmp_path_factory.mktemp("storage") / "index.bundle")
+    queries = sample_queries(dataset, count=30, seed=17)
+    return dataset, path, queries
+
+
+def test_bundle_open_latency_and_resident(benchmark, saved_bundle):
+    dataset, path, queries = saved_bundle
+
+    mmap_open_seconds = _best_open_seconds(path, True)
+    eager_open_seconds = _best_open_seconds(path, False)
+
+    eager = SimilarityEngine.open(path, mmap=False)
+    mapped = SimilarityEngine.open(path, mmap=True)
+
+    # zero-copy must be invisible in the answers
+    for query in queries:
+        assert mapped.search(query, THRESHOLD) == eager.search(
+            query, THRESHOLD
+        )
+
+    with enabled_metrics() as registry:
+        storage.open_index(path, mmap=True)
+        bytes_mapped = registry.counter("storage.bytes_mapped")
+    with enabled_metrics() as registry:
+        storage.open_index(path, mmap=False)
+        bytes_resident = registry.counter("storage.bytes_resident")
+
+    resident = {}
+    for workers in WORKER_COUNTS:
+        resident[workers] = {
+            "eager_kb": _worker_resident_kb(path, False, workers),
+            "mmap_kb": _worker_resident_kb(path, True, workers),
+        }
+
+    benchmark.pedantic(
+        lambda: SimilarityEngine.open(path, mmap=True), rounds=1, iterations=1
+    )
+
+    record = {
+        "dataset": DATASET,
+        "records": len(dataset.collection),
+        "scheme": "css",
+        "threshold": THRESHOLD,
+        "eager_open_ms": round(eager_open_seconds * 1000, 2),
+        "mmap_open_ms": round(mmap_open_seconds * 1000, 2),
+        "open_speedup": round(eager_open_seconds / mmap_open_seconds, 2),
+        "bytes_mapped": bytes_mapped,
+        "bytes_resident": bytes_resident,
+        "worker_resident": resident,
+        "parity": True,
+    }
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if k != "worker_resident"}
+    )
+
+    existing = {}
+    if BASELINE_PATH.is_file():
+        existing = json.loads(BASELINE_PATH.read_text())
+    existing["open"] = record
+    if BASELINE_PATH.parent.is_dir():
+        BASELINE_PATH.write_text(
+            json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+        )
+
+    rows = [
+        [
+            "eager",
+            record["eager_open_ms"],
+            record["bytes_resident"],
+            resident[2]["eager_kb"],
+            resident[4]["eager_kb"],
+        ],
+        [
+            "mmap",
+            record["mmap_open_ms"],
+            record["bytes_mapped"],
+            resident[2]["mmap_kb"],
+            resident[4]["mmap_kb"],
+        ],
+    ]
+    print_block(
+        render_table(
+            ["mode", "open ms", "array bytes", "PSS 2w (KiB)", "PSS 4w (KiB)"],
+            rows,
+            title=(
+                f"Bundle opens — {DATASET}, {len(dataset.collection)} "
+                f"records, open speedup {record['open_speedup']}x"
+            ),
+        )
+    )
+
+
+def test_compaction_throughput(benchmark, saved_bundle):
+    dataset, _path, queries = saved_bundle
+    index = DynamicInvertedIndex(mode="word", scheme="adapt")
+    index.add_many(dataset.strings)
+
+    from repro.search import JaccardSearcher
+
+    searcher = JaccardSearcher(index)
+    before = [searcher.search(query, THRESHOLD) for query in queries]
+
+    def compact():
+        return index.compact()
+
+    stats = benchmark.pedantic(compact, rounds=1, iterations=1)
+    assert [
+        searcher.search(query, THRESHOLD) for query in queries
+    ] == before  # compaction must not change a single answer
+
+    throughput = stats.postings / stats.seconds if stats.seconds else 0.0
+    record = {
+        "dataset": DATASET,
+        "records": index.num_records,
+        "scheme": "adapt",
+        "lists_compacted": stats.lists_compacted,
+        "lists_skipped": stats.lists_skipped,
+        "postings": stats.postings,
+        "seconds": round(stats.seconds, 4),
+        "postings_per_second": round(throughput, 1),
+        "bits_before": stats.bits_before,
+        "bits_after": stats.bits_after,
+        "parity": True,
+    }
+    benchmark.extra_info.update(record)
+
+    existing = {}
+    if BASELINE_PATH.is_file():
+        existing = json.loads(BASELINE_PATH.read_text())
+    existing["compaction"] = record
+    if BASELINE_PATH.parent.is_dir():
+        BASELINE_PATH.write_text(
+            json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+        )
+
+    print_block(
+        render_table(
+            ["lists", "postings", "seconds", "postings/s", "KiB before/after"],
+            [
+                [
+                    stats.lists_compacted,
+                    stats.postings,
+                    record["seconds"],
+                    record["postings_per_second"],
+                    f"{stats.bits_before / 8 / 1024:.1f} / "
+                    f"{stats.bits_after / 8 / 1024:.1f}",
+                ]
+            ],
+            title=f"Online→offline compaction — {DATASET}",
+        )
+    )

@@ -5,9 +5,12 @@ per line):
 
 * ``generate`` — write a synthetic dataset (DESIGN.md §2 stand-ins),
 * ``stats``    — per-scheme index sizes and compression ratios for a corpus,
-* ``index``    — build and persist a compressed inverted index (``.npz``),
+* ``index``    — build and persist a compressed inverted index (a
+  directory bundle, or the legacy ``.npz`` for ``.npz`` output paths),
 * ``search``   — query a corpus (Jaccard or edit distance), optionally
-  through a persisted index,
+  through a persisted index (``--mmap`` serves bundles zero-copy),
+* ``compact``  — seal a dynamic bundle's online lists into offline CSS
+  blocks (the DP re-partition),
 * ``join``     — self-join a corpus and print the similar pairs.
 
 Every command prints to stdout and exits non-zero on bad arguments, so the
@@ -23,7 +26,6 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .compression.serialize import dump_index, load_index
 from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
 from .datasets import dataset_names, load_dataset
 from .engine import ShardedEngine, SimilarityEngine
@@ -82,16 +84,20 @@ def _read_lines(path: str) -> List[str]:
 def _integral_threshold(value: float, what: str) -> Optional[int]:
     """``value`` as an edit-distance threshold, or ``None`` after an error.
 
-    ``int(1.9)`` silently meant "1 edit" for years; a non-integral edit
-    distance is always a user mistake, so reject it loudly instead.
+    Delegates to :func:`repro.search.edsearch.normalize_delta` — the same
+    check the searchers run — so the CLI and the engines reject a
+    fractional edit distance identically instead of truncating it.
     """
-    if float(value) != int(value):
+    from .search.edsearch import normalize_delta
+
+    try:
+        return normalize_delta(value)
+    except ValueError:
         print(
             f"error: {what} thresholds are edit distances and must be "
             f"integral; got {value}"
         )
         return None
-    return int(value)
 
 
 def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
@@ -264,7 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
         "index", help="build and persist a compressed inverted index"
     )
     index.add_argument("corpus")
-    index.add_argument("output", help="output .npz path")
+    index.add_argument(
+        "output",
+        help="output path: a bundle directory (mmap-able, self-contained), "
+        "or the legacy monolithic format for paths ending in .npz",
+    )
     _add_tokenize_args(index)
     index.add_argument(
         "--scheme", choices=sorted(OFFLINE_SCHEMES), default="css"
@@ -309,7 +319,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="mergeskip",
     )
     search.add_argument(
-        "--load-index", default=None, help="persisted .npz index to reuse"
+        "--load-index",
+        default=None,
+        help="persisted index to reuse: a bundle directory (saved with "
+        "SimilarityEngine.save / ShardedEngine.save / `repro index OUT`) "
+        "or a legacy .npz file",
+    )
+    search.add_argument(
+        "--mmap",
+        action="store_true",
+        help="serve a --load-index bundle zero-copy off memory-mapped "
+        "arrays (static bundles only; workers share the page cache)",
     )
     search.add_argument(
         "--shards",
@@ -346,12 +366,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_arg(join)
     _add_trace_args(join)
 
+    compact = commands.add_parser(
+        "compact",
+        help="re-partition a dynamic bundle's online lists into offline "
+        "CSS blocks (Algorithm 2's DP), in place or to a new bundle",
+    )
+    compact.add_argument(
+        "index", help="a dynamic index bundle or sharded bundle directory"
+    )
+    compact.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the compacted bundle here instead of in place",
+    )
+
     check = commands.add_parser(
         "check", help="validate the integrity of a persisted index"
     )
     check.add_argument(
         "index",
-        help=".npz file written by `repro index` or a sharded index directory",
+        help="an index bundle / sharded bundle directory, a .npz file "
+        "written by `repro index`, or a legacy sharded .npz directory",
     )
     check.add_argument(
         "corpus",
@@ -363,7 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tokenize_args(check)
 
     lint = commands.add_parser(
-        "lint", help="run the repo-specific static analysis rules (RA01-RA08)"
+        "lint", help="run the repo-specific static analysis rules (RA01-RA09)"
     )
     lint.add_argument(
         "paths",
@@ -515,7 +551,16 @@ def _cmd_index(args) -> int:
     strings = _read_lines(args.corpus)
     collection = tokenize_collection(strings, mode=args.mode, q=args.q)
     index = InvertedIndex(collection, scheme=args.scheme)
-    dump_index(index, args.output)
+    if str(args.output).endswith(".npz"):
+        # the legacy monolithic container: posting lists only, needs the
+        # corpus again at load time, cannot be memory-mapped
+        from .storage.legacy import dump_index_npz
+
+        dump_index_npz(index, args.output)
+    else:
+        from .storage import save_index
+
+        save_index(index, args.output)
     print(
         f"indexed {len(strings)} records under {args.scheme}: "
         f"{len(index)} lists, {index.size_mb():.3f} MB (paper accounting), "
@@ -533,8 +578,9 @@ def _cmd_search(args) -> int:
         return 2
     if args.shards > 1 and args.load_index:
         print(
-            "error: --load-index holds a monolithic index; --shards N "
-            "builds a partitioned one (dump it with ShardedEngine.dump)"
+            "error: --load-index holds a persisted index; --shards N "
+            "builds a partitioned one (save one with ShardedEngine.save "
+            "and point --load-index at the bundle directory)"
         )
         return 2
     if args.metric == "ed":
@@ -543,10 +589,22 @@ def _cmd_search(args) -> int:
             return 2
     else:
         threshold = args.threshold
+    if args.mmap and not (
+        args.load_index and Path(args.load_index).is_dir()
+    ):
+        print(
+            "error: --mmap applies to --load-index bundle directories "
+            "(the legacy .npz is a zip archive and cannot be memory-mapped)"
+        )
+        return 2
     strings = _read_lines(args.corpus)
     mode = "qgram" if args.metric == "ed" else args.mode
     q = 2 if args.metric == "ed" and args.mode == "word" else args.q
-    collection = tokenize_collection(strings, mode=mode, q=q)
+    if args.load_index and Path(args.load_index).is_dir():
+        # self-contained bundle: the collection rides inside it
+        collection = None
+    else:
+        collection = tokenize_collection(strings, mode=mode, q=q)
     profiling = _start_profile(args)
     tracing = _start_trace(args)
     if args.shards > 1:
@@ -558,10 +616,43 @@ def _cmd_search(args) -> int:
             algorithm=args.algorithm,
             metric=args.metric,
         )
+    elif args.load_index and Path(args.load_index).is_dir():
+        from .storage.bundle import BUNDLE_KIND
+        from .storage.legacy import read_manifest
+        from .storage.sharded import SHARDED_BUNDLE_KIND
+
+        kind = (read_manifest(args.load_index) or {}).get("kind")
+        try:
+            if kind == BUNDLE_KIND:
+                engine = SimilarityEngine.open(
+                    args.load_index,
+                    mmap=args.mmap,
+                    algorithm=args.algorithm,
+                    metric=args.metric,
+                )
+            elif kind == SHARDED_BUNDLE_KIND:
+                engine = ShardedEngine.open(
+                    args.load_index,
+                    mmap=args.mmap,
+                    algorithm=args.algorithm,
+                    metric=args.metric,
+                )
+            else:
+                print(
+                    f"error: {args.load_index} is not an index bundle "
+                    f"(manifest kind {kind!r})"
+                )
+                return 1
+        except ValueError as error:
+            print(f"error: {error}")
+            return 1
+        engine_factory = lambda: engine  # noqa: E731
     else:
         if args.load_index:
+            from .storage.legacy import load_index_npz
+
             try:
-                index = load_index(args.load_index, collection)
+                index = load_index_npz(args.load_index, collection)
             except ValueError as error:
                 print(f"error: {error}")
                 return 1
@@ -611,12 +702,61 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    from .storage.bundle import BUNDLE_KIND
+    from .storage.legacy import read_manifest
+    from .storage.sharded import SHARDED_BUNDLE_KIND
+
+    target = Path(args.index)
+    if not target.is_dir():
+        print(
+            f"error: {target} is not a bundle directory (the legacy .npz "
+            "holds offline indexes, which are already optimally partitioned)"
+        )
+        return 2
+    manifest = read_manifest(target)
+    kind = (manifest or {}).get("kind")
+    if kind not in (BUNDLE_KIND, SHARDED_BUNDLE_KIND):
+        print(f"error: {target} is not an index bundle (manifest kind {kind!r})")
+        return 2
+    if not manifest.get("dynamic"):
+        print(
+            f"error: {target} holds a static (offline) index; compaction "
+            "applies to dynamic bundles with online two-region lists"
+        )
+        return 2
+    output = args.output or target
+    try:
+        if kind == BUNDLE_KIND:
+            engine = SimilarityEngine.open(target, mmap=False)
+            all_stats = [engine.compact()]
+        else:
+            engine = ShardedEngine.open(target, mmap=False)
+            all_stats = engine.compact()
+        engine.save(output)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 1
+    lists = sum(stats.lists_compacted for stats in all_stats)
+    skipped = sum(stats.lists_skipped for stats in all_stats)
+    postings = sum(stats.postings for stats in all_stats)
+    bits_before = sum(stats.bits_before for stats in all_stats)
+    bits_after = sum(stats.bits_after for stats in all_stats)
+    seconds = sum(stats.seconds for stats in all_stats)
+    print(
+        f"compacted {lists} lists ({skipped} skipped, {postings} postings) "
+        f"in {seconds:.3f} s: {bits_before / 8 / 1024:.1f} KiB -> "
+        f"{bits_after / 8 / 1024:.1f} KiB, saved to {output}"
+    )
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .compression.validate import check_index, check_path
 
-    if args.corpus is None:
-        # structural mode: works on a saved .npz index or a sharded
-        # manifest directory, no corpus required
+    if args.corpus is None or Path(args.index).is_dir():
+        # structural mode: bundles, sharded directories and saved .npz
+        # files; bundles are self-contained so a corpus adds nothing
         issues = check_path(args.index)
         if issues:
             print(f"{len(issues)} integrity violations:")
@@ -628,8 +768,10 @@ def _cmd_check(args) -> int:
 
     strings = _read_lines(args.corpus)
     collection = tokenize_collection(strings, mode=args.mode, q=args.q)
+    from .storage.legacy import load_index_npz
+
     try:
-        index = load_index(args.index, collection)
+        index = load_index_npz(args.index, collection)
     except ValueError as error:
         # load-time validation rejected the file outright
         print("1 integrity violations:")
@@ -727,6 +869,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "join": _cmd_join,
     "report": _cmd_report,
+    "compact": _cmd_compact,
     "check": _cmd_check,
     "lint": _cmd_lint,
 }

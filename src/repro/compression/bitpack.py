@@ -96,6 +96,9 @@ class BitBuffer:
 
     def read(self, bit_offset: int, width: int, count: int) -> np.ndarray:
         """Read ``count`` consecutive ``width``-bit fields as a uint64 array."""
+        # mmap-backed stores hand in np.int64 scalars; force Python ints so
+        # the uint64 position arithmetic below cannot promote to float64
+        bit_offset, width, count = int(bit_offset), int(width), int(count)
         if count == 0:
             return np.empty(0, dtype=np.uint64)
         if bit_offset + width * count > self._num_bits:
@@ -182,7 +185,10 @@ class BitBuffer:
 
     def read_one(self, bit_offset: int, width: int, index: int) -> int:
         """Read the ``index``-th ``width``-bit field starting at ``bit_offset``."""
-        position = bit_offset + width * index
+        # np.int64 inputs would make `shift` a np.int64, and a >2**63 word
+        # value then overflows numpy's int64 coercion in `int >> shift`
+        position = int(bit_offset) + int(width) * int(index)
+        width = int(width)
         if position + width > self._num_bits:
             raise IndexError("read past end of bit buffer")
         word = position >> 6

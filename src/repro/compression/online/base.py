@@ -34,10 +34,40 @@ class OnlineSortedIDList(SortedIDList):
     """
 
     scheme_name = "online"
+    #: whether the compaction pass may re-partition this list's two regions
+    #: into offline CSS blocks; schemes that are uncompressed *by contract*
+    #: (``uncomp``) opt out.
+    compactable = True
 
     def __init__(self) -> None:
         self._store = TwoLayerStore()
         self._buffer: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # persistence surface (used by repro.storage)
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> TwoLayerStore:
+        """The compressed region (read-only use; appends go through the list)."""
+        return self._store
+
+    def buffer_values(self) -> np.ndarray:
+        """The uncompressed region as an int64 array (snapshot order)."""
+        return np.asarray(self._buffer, dtype=np.int64)
+
+    def load_state(
+        self, store: TwoLayerStore, buffer: Iterable[int]
+    ) -> None:
+        """Adopt a reconstituted two-region state wholesale.
+
+        The persistence layer rebuilds the compressed region verbatim and
+        restores the buffered tail exactly as saved, so a reloaded list is
+        state-identical to the one that was dumped (seal-policy heuristics
+        that only affect *future* partitioning, e.g. Model's KDE
+        observations, are not part of the durable state).
+        """
+        self._store = store
+        self._buffer = [int(value) for value in buffer]
 
     # ------------------------------------------------------------------ #
     # construction

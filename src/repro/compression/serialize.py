@@ -1,35 +1,33 @@
-"""Serialization of compressed lists and inverted indexes.
+"""Array-form (de)serialization of two-layer stores, plus legacy wrappers.
 
 The paper's SSD discussion (§6.1) assumes the offline index is "constructed
 in the offline step and dumped to SSD at once" and later queried in place.
-This module provides that dump/load path: compressed blocks are written
-verbatim (no re-encoding), so a CSS index pays the Algorithm-2 partitioning
-cost exactly once per corpus.
+:func:`store_to_arrays` / :func:`store_from_arrays` are the primitive that
+makes this possible without re-encoding: a store flattens to a handful of
+named numpy arrays (metadata vectors + packed data words) and rebuilds from
+them verbatim.  With ``copy=False`` the rebuild is *zero-copy*: the store's
+layout vectors alias the caller's arrays, which is how
+:mod:`repro.storage` serves memory-mapped bundles — N engines opened from
+one on-disk bundle share a single file-backed copy of the posting-list
+payloads.
 
-On-disk layout (one ``.npz``): the per-token lists are *consolidated* —
-metadata arrays and packed data words of every list are concatenated into a
-handful of global arrays with per-list extents.  This keeps the container
-overhead O(1) instead of O(#lists), which matters because q-gram indexes
-hold tens of thousands of (often short) posting lists.
-
-Only the two-layer offline schemes (MILC/CSS) and the uncompressed baseline
-are supported: those are the layouts a search deployment persists.  Online
-lists are transient by design (they live for the duration of one join).
+The four free functions ``dump_index`` / ``load_index`` / ``dump_sharded``
+/ ``load_sharded`` are the *old* persistence API.  They are deprecated thin
+wrappers around :mod:`repro.storage.legacy` — new code goes through
+``SimilarityEngine.save`` / ``.open`` and ``ShardedEngine.save`` / ``.open``
+(or the :mod:`repro.storage` functions they delegate to).
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from .bitpack import BitBuffer
-from .constants import MAX_DELTA_WIDTH
-from .online import OnlineSortedIDList
-from .twolayer import TwoLayerList, TwoLayerStore
-from .uncompressed import UncompressedList
+from .twolayer import FrozenTwoLayerStore, TwoLayerStore
 
 __all__ = [
     "dump_index",
@@ -39,15 +37,6 @@ __all__ = [
     "store_to_arrays",
     "store_from_arrays",
 ]
-
-FORMAT_VERSION = 2
-_KIND_TWOLAYER = 0
-_KIND_UNCOMP = 1
-
-SHARDED_FORMAT_VERSION = 1
-SHARDED_KIND = "repro.sharded_index"
-_MANIFEST_NAME = "manifest.json"
-_ASSIGNMENTS_NAME = "assignments.npz"
 
 
 def store_to_arrays(store: TwoLayerStore) -> Dict[str, np.ndarray]:
@@ -59,13 +48,24 @@ def store_to_arrays(store: TwoLayerStore) -> Dict[str, np.ndarray]:
         "offsets": np.asarray(store._offsets, dtype=np.int64),
         "widths": np.asarray(store._widths, dtype=np.int64),
         "starts": np.asarray(store._starts, dtype=np.int64),
-        "words": store._data._words[:words_needed].copy(),
+        "words": np.asarray(store._data._words[:words_needed]).copy(),
         "num_bits": np.asarray([store._data.num_bits], dtype=np.int64),
     }
 
 
-def store_from_arrays(arrays: Dict[str, np.ndarray]) -> TwoLayerStore:
-    """Rebuild a two-layer store from :func:`store_to_arrays` output."""
+def store_from_arrays(
+    arrays: Dict[str, np.ndarray], *, copy: bool = True
+) -> TwoLayerStore:
+    """Rebuild a two-layer store from :func:`store_to_arrays` output.
+
+    With ``copy=True`` (the default) the arrays are copied into a fresh,
+    appendable store.  With ``copy=False`` the returned store is a
+    read-only :class:`FrozenTwoLayerStore` whose layout vectors *are* the
+    passed arrays — hand it ``np.load(..., mmap_mode='r')`` slices and
+    every read goes straight to the page cache, shared across processes.
+    """
+    if not copy:
+        return _frozen_store_from_arrays(arrays)
     store = TwoLayerStore()
     store._bases = arrays["bases"].astype(np.int64).tolist()
     store._offsets = arrays["offsets"].astype(np.int64).tolist()
@@ -80,274 +80,63 @@ def store_from_arrays(arrays: Dict[str, np.ndarray]) -> TwoLayerStore:
     return store
 
 
-def _check(condition: bool, token: int, what: str) -> None:
-    if not condition:
-        raise ValueError(
-            f"corrupted index file: list for token {token}: {what}"
-        )
-
-
-def _validate_store_arrays(arrays: Dict[str, np.ndarray], token: int) -> None:
-    """Cheap consistency checks before trusting on-disk extents.
-
-    A truncated or bit-flipped ``.npz`` must fail loudly at load time, not
-    return garbage ids from a later ``gather``: block starts must be a
-    monotone prefix-count ramp, every block's packed deltas must lie inside
-    the data words, and widths must be in the encoder's [1, 32] range.
-    """
-    bases = arrays["bases"]
-    offsets = arrays["offsets"]
-    widths = arrays["widths"]
-    starts = arrays["starts"]
+def _frozen_store_from_arrays(
+    arrays: Dict[str, np.ndarray],
+) -> FrozenTwoLayerStore:
     num_bits = int(arrays["num_bits"][0])
-    _check(
-        bases.size == offsets.size == widths.size,
-        token,
-        "metadata arrays disagree on block count",
-    )
-    _check(starts.size == bases.size + 1, token, "starts/blocks mismatch")
-    _check(starts.size >= 1 and int(starts[0]) == 0, token, "starts[0] != 0")
-    counts = np.diff(starts)
-    _check(
-        counts.size == 0 or int(counts.min()) >= 1,
-        token,
-        "non-positive block size",
-    )
-    _check(
-        0 <= num_bits <= 64 * int(arrays["words"].size),
-        token,
-        "num_bits exceeds stored data words",
-    )
-    if bases.size:
-        _check(
-            int(widths.min()) >= 1 and int(widths.max()) <= MAX_DELTA_WIDTH,
-            token,
-            f"delta width outside [1, {MAX_DELTA_WIDTH}]",
+    for key in ("bases", "offsets", "widths", "starts"):
+        if arrays[key].dtype != np.int64:
+            raise ValueError(
+                f"zero-copy store needs int64 {key!r}, got "
+                f"{arrays[key].dtype} (re-save the bundle or pass copy=True)"
+            )
+    words = arrays["words"]
+    if words.dtype != np.uint64:
+        raise ValueError(
+            f"zero-copy store needs uint64 'words', got {words.dtype}"
         )
-        _check(int(bases.min()) >= 0, token, "negative base value")
-        _check(int(offsets.min()) >= 0, token, "negative data offset")
-        # every block's packed deltas must end within the data region
-        ends = offsets + widths * (counts - 1)
-        _check(
-            int(ends.max()) <= num_bits,
-            token,
-            "block data extends past num_bits",
+    # the bit-reader's one-past-end invariant: reads may touch the word
+    # after the last data bit, so the saved region must extend past it
+    if int(words.size) < num_bits // 64 + 2:
+        raise ValueError(
+            f"'words' holds {int(words.size)} words, fewer than the "
+            f"{num_bits // 64 + 2} the bit reader needs for "
+            f"num_bits={num_bits}"
         )
+    return FrozenTwoLayerStore(
+        bases=arrays["bases"],
+        offsets=arrays["offsets"],
+        widths=arrays["widths"],
+        starts=arrays["starts"],
+        words=words,
+        num_bits=num_bits,
+    )
 
 
-class _LoadedTwoLayerList(TwoLayerList):
-    """A two-layer list reconstituted from disk (partitioning preserved)."""
-
-    def __init__(self, store: TwoLayerStore, scheme_name: str) -> None:
-        # bypass TwoLayerList.__init__: the store is already built
-        self._store = store
-        self.scheme_name = scheme_name
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def dump_index(index: Any, path: Union[str, Path]) -> None:
-    """Persist an :class:`InvertedIndex` to ``path`` (``.npz``).
+    """Deprecated: use ``SimilarityEngine.save`` (or
+    :func:`repro.storage.save_index`) instead."""
+    from ..storage import legacy
 
-    Dynamic indexes are rejected up front: their online two-region lists
-    are transient by design (they live for the duration of one join or
-    ingest session), so there is nothing durable to persist.  Rebuild the
-    corpus as an offline :class:`InvertedIndex` and dump that.
-    """
-    if any(
-        isinstance(lst, OnlineSortedIDList) for lst in index.lists.values()
-    ):
-        raise ValueError(
-            "cannot dump a dynamic index: online (two-region) lists are "
-            "transient by design; rebuild the corpus as an offline "
-            "InvertedIndex under a persistent scheme (uncomp/milc/css) "
-            "and dump that instead"
-        )
-    tokens: List[int] = []
-    kinds: List[int] = []
-    bases, offsets, widths, starts = [], [], [], []
-    block_counts, start_counts = [], []
-    word_chunks, word_counts, bit_counts = [], [], []
-    uncomp_values, uncomp_counts = [], []
-
-    for token, lst in index.lists.items():
-        tokens.append(int(token))
-        if isinstance(lst, TwoLayerList):
-            kinds.append(_KIND_TWOLAYER)
-            arrays = store_to_arrays(lst.store)
-            bases.append(arrays["bases"])
-            offsets.append(arrays["offsets"])
-            widths.append(arrays["widths"])
-            starts.append(arrays["starts"])
-            block_counts.append(arrays["bases"].size)
-            start_counts.append(arrays["starts"].size)
-            word_chunks.append(arrays["words"])
-            word_counts.append(arrays["words"].size)
-            bit_counts.append(int(arrays["num_bits"][0]))
-        elif isinstance(lst, UncompressedList):
-            kinds.append(_KIND_UNCOMP)
-            values = lst.to_array()
-            uncomp_values.append(values)
-            uncomp_counts.append(values.size)
-        else:
-            raise TypeError(
-                f"cannot serialize scheme {type(lst).__name__}; only "
-                "two-layer (MILC/CSS) and uncompressed lists are persistent"
-            )
-
-    def _concat(chunks: List[np.ndarray], dtype: type) -> np.ndarray:
-        if not chunks:
-            return np.empty(0, dtype=dtype)
-        return np.concatenate(chunks).astype(dtype)
-
-    manifest = {"version": FORMAT_VERSION, "scheme": index.scheme}
-    np.savez_compressed(
-        Path(path),
-        manifest=np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8),
-        tokens=np.asarray(tokens, dtype=np.int64),
-        kinds=np.asarray(kinds, dtype=np.uint8),
-        block_counts=np.asarray(block_counts, dtype=np.int64),
-        start_counts=np.asarray(start_counts, dtype=np.int64),
-        word_counts=np.asarray(word_counts, dtype=np.int64),
-        bit_counts=np.asarray(bit_counts, dtype=np.int64),
-        uncomp_counts=np.asarray(uncomp_counts, dtype=np.int64),
-        bases=_concat(bases, np.int64),
-        offsets=_concat(offsets, np.int64),
-        widths=_concat(widths, np.int64),
-        starts=_concat(starts, np.int64),
-        words=_concat(word_chunks, np.uint64),
-        uncomp_values=_concat(uncomp_values, np.int64),
-    )
+    _deprecated("dump_index", "SimilarityEngine.save / repro.storage")
+    legacy.dump_index_npz(index, path)
 
 
 def load_index(path: Union[str, Path], collection: Any) -> Any:
-    """Load an index dumped by :func:`dump_index`, bound to ``collection``.
+    """Deprecated: use ``SimilarityEngine.open`` (or
+    :func:`repro.storage.open_index`) instead."""
+    from ..storage import legacy
 
-    The caller supplies the (re-tokenized or separately persisted)
-    collection the index was built from; posting-list contents come from
-    the file verbatim.
-    """
-    from ..search.searcher import InvertedIndex
-
-    with np.load(Path(path)) as bundle:
-        manifest = json.loads(bytes(bundle["manifest"]).decode())
-        if manifest["version"] != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index format version {manifest['version']}"
-            )
-        index = InvertedIndex.__new__(InvertedIndex)
-        index.collection = collection
-        index.scheme = manifest["scheme"]
-        index.build_seconds = 0.0
-        index.lists = {}
-
-        tokens = bundle["tokens"]
-        kinds = bundle["kinds"]
-        block_counts = bundle["block_counts"]
-        start_counts = bundle["start_counts"]
-        word_counts = bundle["word_counts"]
-        bit_counts = bundle["bit_counts"]
-        uncomp_counts = bundle["uncomp_counts"]
-        bases, offsets = bundle["bases"], bundle["offsets"]
-        widths, starts = bundle["widths"], bundle["starts"]
-        words, uncomp_values = bundle["words"], bundle["uncomp_values"]
-
-        # container-level extent consistency: the per-kind count arrays must
-        # line up with the token/kind listing and the consolidated arrays
-        num_twolayer = int((kinds == _KIND_TWOLAYER).sum())
-        num_uncomp = int(kinds.size - num_twolayer)
-        if tokens.size != kinds.size:
-            raise ValueError("corrupted index file: tokens/kinds mismatch")
-        if (
-            block_counts.size != num_twolayer
-            or start_counts.size != num_twolayer
-            or word_counts.size != num_twolayer
-            or bit_counts.size != num_twolayer
-            or uncomp_counts.size != num_uncomp
-        ):
-            raise ValueError(
-                "corrupted index file: per-list count arrays disagree with "
-                "the token listing"
-            )
-        if (
-            int(block_counts.sum()) != bases.size
-            or bases.size != offsets.size
-            or bases.size != widths.size
-            or int(start_counts.sum()) != starts.size
-            or int(word_counts.sum()) != words.size
-            or int(uncomp_counts.sum()) != uncomp_values.size
-        ):
-            raise ValueError(
-                "corrupted index file: consolidated array extents disagree "
-                "with the per-list counts"
-            )
-
-        b = s = w = u = 0  # running extents into the consolidated arrays
-        twolayer_seen = 0
-        for position, token in enumerate(tokens.tolist()):
-            if kinds[position] == _KIND_TWOLAYER:
-                nb = int(block_counts[twolayer_seen])
-                ns = int(start_counts[twolayer_seen])
-                nw = int(word_counts[twolayer_seen])
-                arrays = {
-                    "bases": bases[b : b + nb],
-                    "offsets": offsets[b : b + nb],
-                    "widths": widths[b : b + nb],
-                    "starts": starts[s : s + ns],
-                    "words": words[w : w + nw],
-                    "num_bits": np.asarray(
-                        [bit_counts[twolayer_seen]], dtype=np.int64
-                    ),
-                }
-                _validate_store_arrays(arrays, token)
-                index.lists[token] = _LoadedTwoLayerList(
-                    store_from_arrays(arrays), manifest["scheme"]
-                )
-                b += nb
-                s += ns
-                w += nw
-                twolayer_seen += 1
-            else:
-                count = int(uncomp_counts[position - twolayer_seen])
-                if count < 0 or u + count > uncomp_values.size:
-                    raise ValueError(
-                        f"corrupted index file: list for token {token}: "
-                        "uncompressed extent out of range"
-                    )
-                index.lists[token] = UncompressedList(
-                    uncomp_values[u : u + count]
-                )
-                u += count
-        # random access depends on what was actually loaded, not on trust
-        index.supports_random_access = all(
-            lst.supports_random_access for lst in index.lists.values()
-        )
-        return index
-
-
-# ---------------------------------------------------------------------- #
-# sharded persistence: one manifest + one validated .npz per shard
-# ---------------------------------------------------------------------- #
-def _validate_assignments(assignments: List[np.ndarray]) -> int:
-    """Check the shard assignment is a partition of ``0..N-1``; returns N."""
-    total = sum(int(a.size) for a in assignments)
-    if total == 0:
-        return 0
-    flat = np.concatenate(assignments)
-    if flat.size and not np.array_equal(
-        np.sort(flat), np.arange(total, dtype=np.int64)
-    ):
-        raise ValueError(
-            "shard assignments must cover record ids 0..N-1 exactly once"
-        )
-    for position, assignment in enumerate(assignments):
-        if assignment.size > 1 and not np.all(np.diff(assignment) > 0):
-            raise ValueError(
-                f"shard {position} assignment is not strictly ascending"
-            )
-    return total
-
-
-def _shard_file(position: int) -> str:
-    return f"shard-{position:05d}.npz"
+    _deprecated("load_index", "SimilarityEngine.open / repro.storage")
+    return legacy.load_index_npz(path, collection)
 
 
 def dump_sharded(
@@ -356,116 +145,21 @@ def dump_sharded(
     path: Union[str, Path],
     routing: str = "contiguous",
 ) -> None:
-    """Persist a sharded index to directory ``path``.
+    """Deprecated: use ``ShardedEngine.save`` (or
+    :func:`repro.storage.save_sharded`) instead."""
+    from ..storage import legacy
 
-    Layout: ``manifest.json`` (version, routing, shard count, per-shard
-    record counts, scheme), ``assignments.npz`` (one local→global int64
-    array per shard) and one :func:`dump_index` ``.npz`` per shard — each
-    shard file reuses the consolidated, load-validated store arrays of the
-    monolithic format, so a corrupted shard fails loudly at load time.
-    """
-    if not indexes:
-        raise ValueError("dump_sharded needs at least one shard")
-    if len(indexes) != len(assignments):
-        raise ValueError(
-            f"{len(indexes)} shard indexes but {len(assignments)} assignments"
-        )
-    arrays = [np.asarray(a, dtype=np.int64) for a in assignments]
-    total = _validate_assignments(arrays)
-    for position, (index, assignment) in enumerate(zip(indexes, arrays)):
-        if len(index.collection) != assignment.size:
-            raise ValueError(
-                f"shard {position} indexes {len(index.collection)} records "
-                f"but its assignment lists {assignment.size}"
-            )
-    schemes = {index.scheme for index in indexes}
-    if len(schemes) != 1:
-        raise ValueError(f"shards disagree on the scheme: {sorted(schemes)}")
-
-    path = Path(path)
-    if path.exists() and not path.is_dir():
-        raise ValueError(f"{path} exists and is not a directory")
-    path.mkdir(parents=True, exist_ok=True)
-    for position, index in enumerate(indexes):
-        dump_index(index, path / _shard_file(position))
-    np.savez_compressed(
-        path / _ASSIGNMENTS_NAME,
-        **{f"shard_{i}": a for i, a in enumerate(arrays)},
-    )
-    manifest = {
-        "version": SHARDED_FORMAT_VERSION,
-        "kind": SHARDED_KIND,
-        "shards": len(indexes),
-        "routing": routing,
-        "scheme": next(iter(schemes)),
-        "num_records": total,
-        "shard_records": [int(a.size) for a in arrays],
-    }
-    (path / _MANIFEST_NAME).write_text(
-        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
-    )
+    _deprecated("dump_sharded", "ShardedEngine.save / repro.storage")
+    legacy.dump_sharded_npz(indexes, assignments, path, routing)
 
 
 def load_sharded(
     path: Union[str, Path],
     collection_for_shard: Callable[[int, np.ndarray], object],
 ) -> Tuple[List, List[np.ndarray], Dict]:
-    """Load a :func:`dump_sharded` directory.
+    """Deprecated: use ``ShardedEngine.open`` (or
+    :func:`repro.storage.open_sharded`) instead."""
+    from ..storage import legacy
 
-    ``collection_for_shard(shard_id, global_ids)`` supplies the tokenized
-    sub-collection each shard index binds to (the serializer stores posting
-    lists and the id remap, never the strings).  Returns
-    ``(indexes, assignments, manifest)``.
-    """
-    path = Path(path)
-    manifest_path = path / _MANIFEST_NAME
-    if not manifest_path.is_file():
-        raise ValueError(f"{path} is not a sharded index (no {_MANIFEST_NAME})")
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    if manifest.get("kind") != SHARDED_KIND:
-        raise ValueError(
-            f"{manifest_path} is not a {SHARDED_KIND} manifest"
-        )
-    if manifest.get("version") != SHARDED_FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported sharded index version {manifest.get('version')}"
-        )
-    shards = int(manifest["shards"])
-    shard_records = [int(n) for n in manifest["shard_records"]]
-    if shards < 1 or len(shard_records) != shards:
-        raise ValueError(
-            "corrupted sharded manifest: shard count disagrees with the "
-            "per-shard record listing"
-        )
-
-    with np.load(path / _ASSIGNMENTS_NAME) as bundle:
-        assignments = [
-            bundle[f"shard_{position}"].astype(np.int64)
-            for position in range(shards)
-        ]
-    for position, (assignment, expected) in enumerate(
-        zip(assignments, shard_records)
-    ):
-        if assignment.size != expected:
-            raise ValueError(
-                f"corrupted sharded index: shard {position} assignment "
-                f"holds {assignment.size} ids, manifest says {expected}"
-            )
-    if _validate_assignments(assignments) != int(manifest["num_records"]):
-        raise ValueError(
-            "corrupted sharded index: assignments disagree with the "
-            "manifest record count"
-        )
-
-    indexes = []
-    for position in range(shards):
-        shard_path = path / _shard_file(position)
-        if not shard_path.is_file():
-            raise ValueError(f"missing shard file {shard_path}")
-        indexes.append(
-            load_index(
-                shard_path,
-                collection_for_shard(position, assignments[position]),
-            )
-        )
-    return indexes, assignments, manifest
+    _deprecated("load_sharded", "ShardedEngine.open / repro.storage")
+    return legacy.load_sharded_npz(path, collection_for_shard)

@@ -26,7 +26,13 @@ from .base import SortedIDList, as_id_array, check_sorted_ids
 from .bitpack import BitBuffer, width_for
 from .constants import ELEMENT_BITS, METADATA_BITS
 
-__all__ = ["TwoLayerStore", "TwoLayerList", "block_cost_bits", "block_saving_bits"]
+__all__ = [
+    "TwoLayerStore",
+    "FrozenTwoLayerStore",
+    "TwoLayerList",
+    "block_cost_bits",
+    "block_saving_bits",
+]
 
 
 def block_cost_bits(count: int, max_delta: int) -> int:
@@ -87,7 +93,7 @@ class TwoLayerStore:
         if values.size == 0:
             raise ValueError("cannot append an empty block")
         check_sorted_ids(values)
-        if self._bases and int(values[0]) <= self.last_value():
+        if self.num_blocks and int(values[0]) <= self.last_value():
             raise ValueError(
                 "blocks must be appended in ascending id order "
                 f"({int(values[0])} <= {self.last_value()})"
@@ -118,24 +124,25 @@ class TwoLayerStore:
         return len(self._bases)
 
     def __len__(self) -> int:
-        return self._starts[-1]
+        return int(self._starts[-1])
 
     def last_value(self) -> int:
         """Largest id stored; raises ``IndexError`` when empty."""
-        if not self._bases:
+        if not self.num_blocks:
             raise IndexError("store is empty")
         block = self.num_blocks - 1
-        count = self._starts[block + 1] - self._starts[block]
+        count = int(self._starts[block + 1]) - int(self._starts[block])
         if count == 1:
-            return self._bases[block]
-        return self._bases[block] + self._data.read_one(
+            return int(self._bases[block])
+        return int(self._bases[block]) + self._data.read_one(
             self._offsets[block], self._widths[block], count - 2
         )
 
     def block_sizes(self) -> List[int]:
         """Element count of every block (used by tests and ablations)."""
         return [
-            self._starts[i + 1] - self._starts[i] for i in range(self.num_blocks)
+            int(self._starts[i + 1]) - int(self._starts[i])
+            for i in range(self.num_blocks)
         ]
 
     def max_width_bits(self) -> int:
@@ -145,7 +152,7 @@ class TwoLayerStore:
         must come through here instead of reading the private ``_widths``
         array (lint rule RA08).
         """
-        return max(self._widths, default=0)
+        return int(max(self._widths, default=0))
 
     def size_bits(self) -> int:
         """Paper accounting: 69 bits per metadata block + packed data bits."""
@@ -165,10 +172,10 @@ class TwoLayerStore:
         if _METRICS.enabled:
             _METRICS.inc("twolayer.random_accesses")
         block = self._block_of(index)
-        within = index - self._starts[block]
+        within = index - int(self._starts[block])
         if within == 0:
-            return self._bases[block]
-        return self._bases[block] + self._data.read_one(
+            return int(self._bases[block])
+        return int(self._bases[block]) + self._data.read_one(
             self._offsets[block], self._widths[block], within - 1
         )
 
@@ -223,7 +230,7 @@ class TwoLayerStore:
 
     def to_array(self) -> np.ndarray:
         """Decode the whole store in one vectorized pass."""
-        if not self._bases:
+        if not self.num_blocks:
             return np.empty(0, dtype=np.int64)
         return self.decode_blocks(np.arange(self.num_blocks, dtype=np.int64))
 
@@ -234,7 +241,7 @@ class TwoLayerStore:
         bases to locate the candidate block, then over the packed deltas
         inside it (the paper's *metadata lookup* / *data lookup*).
         """
-        if not self._bases:
+        if not self.num_blocks:
             return 0
         if _METRICS.enabled:
             _METRICS.inc("twolayer.lookups")
@@ -242,9 +249,9 @@ class TwoLayerStore:
         block = int(np.searchsorted(self._bases_np, key, side="right")) - 1
         if block < 0:
             return 0
-        base = self._bases[block]
-        start = self._starts[block]
-        count = self._starts[block + 1] - start
+        base = int(self._bases[block])
+        start = int(self._starts[block])
+        count = int(self._starts[block + 1]) - start
         if key <= base:
             return start
         target = key - base
@@ -271,6 +278,53 @@ class TwoLayerStore:
             yield self.decode_block(block)
 
 
+class FrozenTwoLayerStore(TwoLayerStore):
+    """A read-only store whose layout vectors alias caller-owned arrays.
+
+    The persistence layer (:mod:`repro.storage`) reconstitutes stores
+    directly over ``np.load(..., mmap_mode='r')`` slices: the metadata
+    vectors and the packed data words *are* the on-disk buffers, so N
+    engines (or fork-pool workers) opened from one bundle share a single
+    file-backed resident copy instead of N eager replicas.  Every read
+    path is inherited unchanged — only appending is forbidden.
+
+    The caller is responsible for dtypes (``int64`` metadata, ``uint64``
+    words) and for ``words`` extending at least one word past ``num_bits``
+    (the bit-reader's one-past-end invariant);
+    :func:`repro.compression.serialize.store_from_arrays` with
+    ``copy=False`` is the validated front door.
+    """
+
+    def __init__(
+        self,
+        bases: np.ndarray,
+        offsets: np.ndarray,
+        widths: np.ndarray,
+        starts: np.ndarray,
+        words: np.ndarray,
+        num_bits: int,
+    ) -> None:
+        self._bases = bases  # type: ignore[assignment]
+        self._offsets = offsets  # type: ignore[assignment]
+        self._widths = widths  # type: ignore[assignment]
+        self._starts = starts  # type: ignore[assignment]
+        data = BitBuffer()
+        data._words = words
+        data._num_bits = int(num_bits)
+        self._data = data
+        self._bases_np = bases
+        self._offsets_np = offsets
+        self._widths_np = widths
+        self._starts_np = starts
+        self._dirty = False
+
+    def append_block(self, values: np.ndarray) -> None:
+        raise ValueError(
+            "this store is frozen (opened zero-copy over on-disk arrays); "
+            "reopen with mmap=False to get an appendable in-memory copy"
+        )
+
+
 class TwoLayerCursor:
     """Block-local forward cursor over a :class:`TwoLayerStore`.
 
@@ -287,7 +341,9 @@ class TwoLayerCursor:
         self._block = 0
         self._within = 0
         self._count = (
-            store._starts[1] - store._starts[0] if store.num_blocks else 0
+            int(store._starts[1]) - int(store._starts[0])
+            if store.num_blocks
+            else 0
         )
 
     @property
@@ -298,15 +354,15 @@ class TwoLayerCursor:
     def position(self) -> int:
         if self.exhausted:
             return len(self._store)
-        return self._store._starts[self._block] + self._within
+        return int(self._store._starts[self._block]) + self._within
 
     def value(self) -> int:
         if self.exhausted:
             raise IndexError("cursor exhausted")
         store = self._store
         if self._within == 0:
-            return store._bases[self._block]
-        return store._bases[self._block] + store._data.read_one(
+            return int(store._bases[self._block])
+        return int(store._bases[self._block]) + store._data.read_one(
             store._offsets[self._block],
             store._widths[self._block],
             self._within - 1,
@@ -317,7 +373,9 @@ class TwoLayerCursor:
         self._within = 0
         store = self._store
         if block < store.num_blocks:
-            self._count = store._starts[block + 1] - store._starts[block]
+            self._count = int(store._starts[block + 1]) - int(
+                store._starts[block]
+            )
 
     def advance(self) -> None:
         self._within += 1
@@ -344,7 +402,7 @@ class TwoLayerCursor:
             self._enter_block(block)
         if self.exhausted:
             return
-        base = store._bases[block]
+        base = int(store._bases[block])
         if key <= base:
             return
         target = key - base

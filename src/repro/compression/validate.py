@@ -146,10 +146,10 @@ def check_file(path: Union[str, Path], max_lists: int = 0) -> List[str]:
     then runs :func:`check_index` over the reconstituted posting lists.
     The collection is not needed for list-level integrity, so none is bound.
     """
-    from .serialize import load_index
+    from ..storage.legacy import load_index_npz
 
     try:
-        index = load_index(path, None)
+        index = load_index_npz(path, None)
     # repro: noqa RA07 -- load failure on untrusted input is the finding itself
     except Exception as error:
         return [f"load failed ({type(error).__name__}): {error}"]
@@ -163,10 +163,10 @@ def check_sharded_dir(path: Union[str, Path], max_lists: int = 0) -> List[str]:
     shard's posting lists are then checked individually.  Violations are
     prefixed with the shard file they belong to.
     """
-    from .serialize import load_sharded
+    from ..storage.legacy import load_sharded_npz
 
     try:
-        indexes, _assignments, _manifest = load_sharded(
+        indexes, _assignments, _manifest = load_sharded_npz(
             path, lambda shard_id, global_ids: None
         )
     # repro: noqa RA07 -- load failure on untrusted input is the finding itself
@@ -180,11 +180,35 @@ def check_sharded_dir(path: Union[str, Path], max_lists: int = 0) -> List[str]:
 
 
 def check_path(path: Union[str, Path], max_lists: int = 0) -> List[str]:
-    """Dispatch: sharded directory → :func:`check_sharded_dir`, file →
-    :func:`check_file`.  A missing path is reported as a violation."""
+    """Dispatch on what lives at ``path``: a directory is routed by its
+    ``manifest.json`` kind (legacy sharded ``.npz`` layout, index bundle,
+    or sharded bundle), a file is checked as a monolithic ``.npz``.  A
+    missing path or unrecognizable directory is reported as a violation.
+    """
     path = Path(path)
     if path.is_dir():
-        return check_sharded_dir(path, max_lists=max_lists)
+        from ..storage import check_bundle, check_sharded_bundle
+        from ..storage.bundle import BUNDLE_KIND
+        from ..storage.legacy import SHARDED_KIND, read_manifest
+        from ..storage.sharded import SHARDED_BUNDLE_KIND
+
+        try:
+            manifest = read_manifest(path)
+        # repro: noqa RA07 -- an unparseable manifest is the finding itself
+        except Exception as error:
+            return [
+                f"load failed ({type(error).__name__}): manifest.json: {error}"
+            ]
+        kind = (manifest or {}).get("kind")
+        if kind == BUNDLE_KIND:
+            return check_bundle(path, max_lists=max_lists)
+        if kind == SHARDED_BUNDLE_KIND:
+            return check_sharded_bundle(path, max_lists=max_lists)
+        if kind == SHARDED_KIND:
+            return check_sharded_dir(path, max_lists=max_lists)
+        if manifest is None:
+            return [f"{path} has no manifest.json; not an index directory"]
+        return [f"{path}: unrecognized manifest kind {kind!r}"]
     if path.is_file():
         return check_file(path, max_lists=max_lists)
     return [f"no such index file or sharded directory: {path}"]

@@ -67,6 +67,7 @@ class UncompressedOnlineList(OnlineSortedIDList):
     """
 
     scheme_name = "uncomp"
+    compactable = False  # uncompressed by contract: compaction skips it
 
     def _should_seal(self, incoming: int) -> bool:
         return False

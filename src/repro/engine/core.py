@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
+from pathlib import Path
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -431,6 +432,77 @@ class SimilarityEngine:
 
     def add_many(self, texts: Sequence[str]) -> List[int]:
         return [self.add(text) for text in texts]
+
+    # ------------------------------------------------------------------ #
+    # persistence (the unified save / open / compact API)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> "Path":
+        """Persist this engine's index as a bundle directory at ``path``.
+
+        Static indexes produce an mmap-able bundle; dynamic indexes a
+        state-exact snapshot plus an append log that this engine keeps
+        journaling into (every later :meth:`add` lands in the bundle).
+        Returns the bundle path.  See :mod:`repro.storage`.
+        """
+        from .. import storage
+
+        return storage.save_index(self.index, path)
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        mmap: bool = True,
+        algorithm: str = "mergeskip",
+        metric: str = "jaccard",
+        cache_entries: Optional[int] = 1024,
+        cache_bytes: Optional[int] = 64 << 20,
+        cache_admit_after: int = 2,
+        kernel: str = "auto",
+    ) -> "SimilarityEngine":
+        """Reconstitute an engine from a bundle saved with :meth:`save`.
+
+        ``mmap=True`` (the default, static bundles only) serves the
+        posting-list payloads zero-copy off memory-mapped files — N
+        engines opened from one bundle (or N fork workers of one engine)
+        share a single on-disk copy through the page cache.  ``mmap=False``
+        materializes an appendable in-memory copy; dynamic bundles are
+        always materialized and replay their append log.
+        """
+        from .. import storage
+
+        return cls(
+            index=storage.open_index(path, mmap=mmap),
+            algorithm=algorithm,
+            metric=metric,
+            cache_entries=cache_entries,
+            cache_bytes=cache_bytes,
+            cache_admit_after=cache_admit_after,
+            kernel=kernel,
+        )
+
+    def compact(self):
+        """Seal a dynamic index's online lists into offline CSS blocks.
+
+        Runs the DP re-partition over every compactable posting list (see
+        :mod:`repro.storage.compaction`), drops the decode cache (every
+        list's store was rebuilt, so cached decodes are stale even though
+        the decoded ids are unchanged) and retires the worker pool (forked
+        workers hold the pre-compaction image).  The engine keeps
+        answering bit-identically, and dynamic ingest keeps working.
+        Returns the :class:`~repro.storage.compaction.CompactionStats`.
+        """
+        if not hasattr(self.index, "compact"):
+            raise TypeError(
+                "compaction applies to dynamic indexes; this engine serves "
+                "a static InvertedIndex (already optimally partitioned)"
+            )
+        stats = self.index.compact()
+        if self.cache is not None:
+            self.cache.clear()
+        self.close()
+        return stats
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -49,6 +49,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -518,14 +519,106 @@ class ShardedEngine:
         return [self.add(text) for text in texts]
 
     # ------------------------------------------------------------------ #
-    # persistence
+    # persistence (the unified save / open / compact API)
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> "Path":
+        """Persist every shard as a self-contained bundle under ``path``.
+
+        Unlike the legacy :meth:`dump`, the bundles carry their shard
+        collections, so :meth:`open` needs no corpus argument.  Dynamic
+        engines snapshot every shard and keep journaling into the
+        per-shard append logs.  Returns the bundle path.
+        """
+        from .. import storage
+
+        return storage.save_sharded(
+            [shard.index for shard in self.shards],
+            [shard.local_to_global for shard in self.shards],
+            path,
+            routing=self.routing,
+            dynamic=self.dynamic,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        mmap: bool = True,
+        algorithm: str = "mergeskip",
+        metric: str = "jaccard",
+        cache_entries: Optional[int] = 1024,
+        cache_bytes: Optional[int] = 64 << 20,
+        cache_admit_after: int = 2,
+        kernel: str = "auto",
+    ) -> "ShardedEngine":
+        """Reconstitute a sharded engine from a :meth:`save` directory.
+
+        ``mmap=True`` serves every static shard's posting lists zero-copy
+        off the memory-mapped bundles — N shards (and the fan-out workers
+        querying them) share the page cache instead of N eager copies.
+        Dynamic shards replay their append logs and resume journaling.
+        """
+        from .. import storage
+
+        indexes, assignments, manifest = storage.open_sharded(
+            path, mmap=mmap
+        )
+        engine = cls.__new__(cls)
+        engine.num_shards = int(manifest["shards"])
+        engine.routing = manifest["routing"]
+        engine.dynamic = bool(manifest.get("dynamic"))
+        engine.metric = metric
+        engine.algorithm = algorithm
+        engine.kernel = kernel
+        engine.scheme = manifest["scheme"]
+        engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
+        engine._pool = None
+        engine._pool_workers = 0
+        engine._num_records = sum(int(a.size) for a in assignments)
+        engine.build_seconds = 0.0
+        engine.shards = [
+            engine._make_shard(shard_id, index, assignment.tolist())
+            for shard_id, (index, assignment) in enumerate(
+                zip(indexes, assignments)
+            )
+        ]
+        return engine
+
+    def compact(self):
+        """Compact every dynamic shard (see ``SimilarityEngine.compact``).
+
+        Returns the per-shard
+        :class:`~repro.storage.compaction.CompactionStats` list.
+        """
+        if not self.dynamic:
+            raise TypeError(
+                "compaction applies to dynamic shards; this engine serves "
+                "static InvertedIndex shards (already optimally partitioned)"
+            )
+        stats = []
+        for shard in self.shards:
+            stats.append(shard.index.compact())
+            if shard.cache is not None:
+                shard.cache.clear()
+        self.close()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # legacy persistence (deprecated wrappers)
     # ------------------------------------------------------------------ #
     def dump(self, path) -> None:
-        """Persist every shard + the routing manifest to directory ``path``
-        (see :func:`repro.compression.serialize.dump_sharded`)."""
-        from ..compression.serialize import dump_sharded
+        """Deprecated: use :meth:`save` (self-contained bundles) instead."""
+        import warnings
 
-        dump_sharded(
+        from ..storage import legacy
+
+        warnings.warn(
+            "ShardedEngine.dump is deprecated; use ShardedEngine.save",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        legacy.dump_sharded_npz(
             [shard.index for shard in self.shards],
             [shard.local_to_global for shard in self.shards],
             path,
@@ -545,9 +638,20 @@ class ShardedEngine:
         cache_admit_after: int = 2,
         kernel: str = "auto",
     ) -> "ShardedEngine":
-        """Reconstitute a dumped sharded engine, bound to ``collection``
-        (the corpus the shards were built from)."""
-        from ..compression.serialize import load_sharded
+        """Deprecated: use :meth:`open` (no collection argument) instead.
+
+        Reconstitutes a :meth:`dump` directory, bound to ``collection``
+        (the corpus the shards were built from).
+        """
+        import warnings
+
+        from ..storage import legacy
+
+        warnings.warn(
+            "ShardedEngine.load is deprecated; use ShardedEngine.open",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
         def shard_collection(shard_id: int, ids: np.ndarray):
             if ids.size and int(ids[-1]) >= len(collection):
@@ -557,7 +661,9 @@ class ShardedEngine:
                 )
             return subcollection(collection, ids)
 
-        indexes, assignments, manifest = load_sharded(path, shard_collection)
+        indexes, assignments, manifest = legacy.load_sharded_npz(
+            path, shard_collection
+        )
         if manifest["num_records"] != len(collection):
             raise ValueError(
                 f"sharded index holds {manifest['num_records']} records but "

@@ -11,8 +11,7 @@ two pieces the batched engine adds to every searcher:
   probed posting lists are wrapped so hot lists are served from their
   cached decoded form instead of being re-decoded per query;
 * the :class:`~repro.search.result.SearchResult` plumbing — ``search()``
-  returns a frozen result and ``last_stats`` survives only as a deprecated
-  property.
+  returns a frozen result carrying its own :class:`SearchStats`.
 
 Queries run in two phases shared by the serial and batched paths:
 :meth:`CountFilterSearcher._plan` reduces a query to a
@@ -30,7 +29,6 @@ the fuzz suite hunts for it.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -102,26 +100,6 @@ class CountFilterSearcher:
         self.index = index
         self.algorithm = algorithm
         self.cache = cache
-        self._last_stats = SearchStats()
-
-    # ------------------------------------------------------------------ #
-    # deprecated mutable-stats surface
-    # ------------------------------------------------------------------ #
-    @property
-    def last_stats(self) -> SearchStats:
-        """Stats of the most recent query (deprecated).
-
-        Use the :class:`SearchResult` returned by :meth:`search` instead:
-        under the concurrent batch path "the last query" is not a
-        well-defined notion.
-        """
-        warnings.warn(
-            "searcher.last_stats is deprecated; use the stats attribute of "
-            "the SearchResult returned by search()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._last_stats
 
     # ------------------------------------------------------------------ #
     # shared query machinery
@@ -162,7 +140,6 @@ class CountFilterSearcher:
     ) -> SearchResult:
         """Freeze one query's outcome and record the per-query counters."""
         stats.results = len(ids)
-        self._last_stats = stats
         if _METRICS.enabled:
             _METRICS.inc("search.queries")
             _METRICS.inc("search.candidates", stats.candidates)

@@ -16,7 +16,9 @@ Tables 7.2/7.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
@@ -70,6 +72,10 @@ class DynamicInvertedIndex:
         # for prefix-filter joins, which require the frequency order.
         self._lengths: List[int] = []
         self._lengths_dirty = False
+        # durability hook: once a snapshot has been saved, every later
+        # add() is journaled here so open() can replay it (repro.storage)
+        self._append_log: Optional[TextIO] = None
+        self._append_log_path: Optional[Path] = None
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -96,10 +102,50 @@ class DynamicInvertedIndex:
                 posting = self._factory(**self._scheme_kwargs)
                 self.lists[token] = posting
             posting.append(record_id)
+        if self._append_log is not None:
+            self._append_log.write(
+                json.dumps({"seq": record_id, "text": text}) + "\n"
+            )
+            self._append_log.flush()
         return record_id
 
     def add_many(self, texts: Sequence[str]) -> List[int]:
         return [self.add(text) for text in texts]
+
+    # ------------------------------------------------------------------ #
+    # durability (snapshot + append log, managed by repro.storage)
+    # ------------------------------------------------------------------ #
+    @property
+    def append_log_path(self) -> Optional[Path]:
+        """Where post-snapshot ``add()``s are journaled (``None`` = not armed)."""
+        return self._append_log_path
+
+    def attach_append_log(self, path: Union[str, Path]) -> None:
+        """Journal every subsequent ``add()`` to ``path`` (JSONL, appended).
+
+        Called by the storage layer right after a snapshot is written (or
+        replayed): the snapshot plus the log reconstructs the exact current
+        state, so the pair stays loadable without re-snapshotting on every
+        ingest.
+        """
+        self.detach_append_log()
+        self._append_log_path = Path(path)
+        self._append_log = open(path, "a", encoding="utf-8")
+
+    def detach_append_log(self) -> None:
+        """Stop journaling (e.g. before the bundle is rewritten in place)."""
+        if self._append_log is not None:
+            self._append_log.close()
+        self._append_log = None
+        self._append_log_path = None
+
+    def __getstate__(self):
+        # fork/spawn workers get a read-only replica: journaling stays with
+        # the parent process (an inherited file handle cannot be pickled)
+        state = self.__dict__.copy()
+        state["_append_log"] = None
+        state["_append_log_path"] = None
+        return state
 
     def _refresh_lengths(self) -> None:
         if self._lengths_dirty:
@@ -136,7 +182,16 @@ class DynamicInvertedIndex:
 
         return ELEMENT_BITS * self.num_postings() / compressed
 
-    def compact(self) -> None:
-        """Seal every list's buffer (e.g. before a read-heavy phase)."""
-        for lst in self.lists.values():
-            lst.finalize()
+    def compact(self):
+        """Seal every online list into offline CSS blocks (DP re-partition).
+
+        Each compactable list is decoded once and re-partitioned with the
+        paper's Algorithm-2 dynamic program, replacing whatever block
+        boundaries the online seal policy happened to produce with the
+        space-optimal offline ones — the index stays appendable and
+        answers queries bit-identically.  Returns the
+        :class:`~repro.storage.compaction.CompactionStats`.
+        """
+        from ..storage.compaction import compact_index
+
+        return compact_index(self)

@@ -15,7 +15,7 @@ handle T <= 0.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from ..obs import METRICS as _METRICS
 from ..obs import trace_query as _trace_query
@@ -24,7 +24,26 @@ from .base import CountFilterSearcher, QueryPlan
 from .result import SearchResult, SearchStats
 from .searcher import InvertedIndex
 
-__all__ = ["EditDistanceSearcher"]
+__all__ = ["EditDistanceSearcher", "normalize_delta"]
+
+
+def normalize_delta(value: Union[int, float]) -> int:
+    """An edit-distance threshold as a non-negative ``int``, strictly.
+
+    Thresholds arrive as ``float | int`` everywhere (the CLI parses
+    ``--ed 2`` as a float, engine callers pass either), and ``int(1.9)``
+    silently meaning "1 edit" is always a user mistake — so a fractional
+    value is rejected, never truncated.  Shared by the searchers and the
+    CLI so both reject ``1.5`` identically.
+    """
+    if float(value) != int(value):
+        raise ValueError(
+            f"edit-distance thresholds must be integral, got {value}"
+        )
+    delta = int(value)
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    return delta
 
 
 class EditDistanceSearcher(CountFilterSearcher):
@@ -70,17 +89,17 @@ class EditDistanceSearcher(CountFilterSearcher):
             candidates.extend(by_length.get(length, []))
         return sorted(candidates)
 
-    def search(self, query: str, delta: int) -> SearchResult:
+    def search(
+        self, query: str, delta: Union[int, float]
+    ) -> SearchResult:
         """Record ids with ``ed(query, record) <= delta``, ascending."""
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
+        delta = normalize_delta(delta)
         with _trace_query(query, delta, kind="search.ed"):
             return self._search_traced(query, delta)
 
-    def _plan(self, query: str, delta: int) -> QueryPlan:
+    def _plan(self, query: str, delta: Union[int, float]) -> QueryPlan:
         # the batched path enters here directly, bypassing search()
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
+        delta = normalize_delta(delta)
         started = time.perf_counter()
         stats = SearchStats()
         collection = self.index.collection

@@ -1,7 +1,8 @@
 """Frozen search outcomes: :class:`SearchStats` and :class:`SearchResult`.
 
-The original searchers reported their filtering counters by mutating
-``self.last_stats`` after every query — fine for a single-threaded loop,
+The original searchers reported their filtering counters by mutating a
+``last_stats`` attribute after every query (a surface since removed) —
+fine for a single-threaded loop,
 racy the moment queries run concurrently (the batched engine interleaves
 queries over one searcher).  The redesigned API returns everything about a
 query in one immutable :class:`SearchResult`; nothing the caller receives

@@ -66,6 +66,31 @@ class TokenDictionary:
         self._id_to_token: List[str] = [token for token, _ in ranked]
         self._frequencies: List[int] = [count for _, count in ranked]
 
+    @classmethod
+    def from_id_order(
+        cls, tokens: Sequence[str], frequencies: Sequence[int]
+    ) -> "TokenDictionary":
+        """Rebuild a dictionary whose id order is already decided.
+
+        The persistence layer (:mod:`repro.storage`) saves the token list
+        in id order; re-deriving ids from re-counted frequencies could
+        break ties differently and silently renumber every posting list,
+        so a loaded dictionary restores the saved order verbatim.
+        """
+        if len(tokens) != len(frequencies):
+            raise ValueError(
+                f"{len(tokens)} tokens but {len(frequencies)} frequencies"
+            )
+        dictionary = cls([])
+        dictionary._token_to_id = {
+            token: index for index, token in enumerate(tokens)
+        }
+        dictionary._id_to_token = list(tokens)
+        dictionary._frequencies = [int(count) for count in frequencies]
+        if len(dictionary._token_to_id) != len(dictionary._id_to_token):
+            raise ValueError("duplicate token in saved dictionary")
+        return dictionary
+
     def __len__(self) -> int:
         return len(self._id_to_token)
 

@@ -1,0 +1,667 @@
+"""The directory-bundle index format: mmap-able, self-contained, appendable.
+
+One bundle directory holds everything an engine needs to come back up —
+``manifest.json``, the consolidated posting-list arrays as *plain* ``.npy``
+files (the legacy ``.npz`` is a zip archive, which numpy cannot
+memory-map), and the tokenized collection (strings, dictionary in id
+order, per-record token arrays).  Two layouts share the container:
+
+* **static** (``"dynamic": false``) — an offline
+  :class:`~repro.search.searcher.InvertedIndex`.  Opened with
+  ``mmap=True`` every array is ``np.load(..., mmap_mode='r')`` and the
+  per-list stores are zero-copy
+  :class:`~repro.compression.twolayer.FrozenTwoLayerStore` views, so N
+  fork workers (or N processes opening the same bundle) share one on-disk
+  copy of the posting-list payloads through the page cache.
+* **dynamic** (``"dynamic": true``) — a snapshot of a
+  :class:`~repro.search.dynamic.DynamicInvertedIndex` (compressed region
+  *and* uncompressed buffer per list, saved state-exactly) plus a JSONL
+  **append log**: every ``add()`` after the snapshot is journaled, and
+  ``open()`` replays the log before re-arming it, so an ingesting service
+  survives restarts without re-snapshotting per record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from ..compression.online import OnlineSortedIDList
+from ..compression.serialize import store_from_arrays, store_to_arrays
+from ..compression.twolayer import TwoLayerList
+from ..compression.uncompressed import UncompressedList
+from ..obs import METRICS as _METRICS
+from ..similarity.tokenize import TokenDictionary, TokenizedCollection
+from .arrays import (
+    LoadedTwoLayerList,
+    LoadedUncompressedList,
+    corruption_error,
+    require,
+    validate_store_arrays,
+)
+
+__all__ = [
+    "BUNDLE_KIND",
+    "BUNDLE_VERSION",
+    "LOG_NAME",
+    "save_index",
+    "open_index",
+    "read_bundle_manifest",
+]
+
+BUNDLE_KIND = "repro.index_bundle"
+BUNDLE_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+LOG_NAME = "log.jsonl"
+
+_KIND_TWOLAYER = 0
+_KIND_UNCOMP = 1
+
+# every consolidated array in the bundle, with its required dtype
+_ARRAY_DTYPES = {
+    "tokens": np.int64,
+    "kinds": np.uint8,
+    "block_counts": np.int64,
+    "start_counts": np.int64,
+    "word_counts": np.int64,
+    "bit_counts": np.int64,
+    "uncomp_counts": np.int64,
+    "bases": np.int64,
+    "offsets": np.int64,
+    "widths": np.int64,
+    "starts": np.int64,
+    "words": np.uint64,
+    "uncomp_values": np.int64,
+    "records_values": np.int64,
+    "records_offsets": np.int64,
+}
+_DYNAMIC_ARRAY_DTYPES = {
+    "buffer_counts": np.int64,
+    "buffer_values": np.int64,
+}
+
+
+def read_bundle_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and sanity-check ``manifest.json`` of an index bundle."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} is not an index bundle (no {MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("kind") != BUNDLE_KIND:
+        raise ValueError(
+            f"{manifest_path} is not a {BUNDLE_KIND} manifest "
+            f"(kind={manifest.get('kind')!r})"
+        )
+    if manifest.get("version") != BUNDLE_VERSION:
+        raise ValueError(
+            f"unsupported index bundle version {manifest.get('version')} "
+            f"in {manifest_path}"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------- #
+# save
+# ---------------------------------------------------------------------- #
+def _collect_store_arrays(
+    items: List,
+) -> Dict[str, np.ndarray]:
+    """Consolidate (token, kind, store-or-values[, buffer]) rows into the
+    bundle's flat arrays."""
+    tokens: List[int] = []
+    kinds: List[int] = []
+    bases, offsets, widths, starts = [], [], [], []
+    block_counts, start_counts = [], []
+    word_chunks, word_counts, bit_counts = [], [], []
+    uncomp_values, uncomp_counts = [], []
+    for token, kind, payload in items:
+        tokens.append(int(token))
+        kinds.append(kind)
+        if kind == _KIND_TWOLAYER:
+            arrays = store_to_arrays(payload)
+            bases.append(arrays["bases"])
+            offsets.append(arrays["offsets"])
+            widths.append(arrays["widths"])
+            starts.append(arrays["starts"])
+            block_counts.append(arrays["bases"].size)
+            start_counts.append(arrays["starts"].size)
+            word_chunks.append(arrays["words"])
+            word_counts.append(arrays["words"].size)
+            bit_counts.append(int(arrays["num_bits"][0]))
+        else:
+            values = np.asarray(payload, dtype=np.int64)
+            uncomp_values.append(values)
+            uncomp_counts.append(values.size)
+
+    def _concat(chunks: List[np.ndarray], dtype: type) -> np.ndarray:
+        if not chunks:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(chunks).astype(dtype)
+
+    return {
+        "tokens": np.asarray(tokens, dtype=np.int64),
+        "kinds": np.asarray(kinds, dtype=np.uint8),
+        "block_counts": np.asarray(block_counts, dtype=np.int64),
+        "start_counts": np.asarray(start_counts, dtype=np.int64),
+        "word_counts": np.asarray(word_counts, dtype=np.int64),
+        "bit_counts": np.asarray(bit_counts, dtype=np.int64),
+        "uncomp_counts": np.asarray(uncomp_counts, dtype=np.int64),
+        "bases": _concat(bases, np.int64),
+        "offsets": _concat(offsets, np.int64),
+        "widths": _concat(widths, np.int64),
+        "starts": _concat(starts, np.int64),
+        "words": _concat(word_chunks, np.uint64),
+        "uncomp_values": _concat(uncomp_values, np.int64),
+    }
+
+
+def _collection_arrays(collection: Any) -> Dict[str, np.ndarray]:
+    offsets = np.zeros(len(collection.records) + 1, dtype=np.int64)
+    if collection.records:
+        offsets[1:] = np.cumsum(
+            [record.size for record in collection.records], dtype=np.int64
+        )
+        values = np.concatenate(
+            [np.asarray(r, dtype=np.int64) for r in collection.records]
+        )
+    else:
+        values = np.empty(0, dtype=np.int64)
+    return {"records_values": values, "records_offsets": offsets}
+
+
+def _write_collection_json(path: Path, collection: Any) -> None:
+    (path / "strings.json").write_text(
+        json.dumps(collection.strings), encoding="utf-8"
+    )
+    dictionary = collection.dictionary
+    (path / "dictionary.json").write_text(
+        json.dumps(
+            {
+                "tokens": [
+                    dictionary.token_of(i) for i in range(len(dictionary))
+                ],
+                "frequencies": [
+                    dictionary.frequency_of(i) for i in range(len(dictionary))
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+
+
+def _prepare_directory(path: Union[str, Path]) -> Path:
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise ValueError(
+            f"{path} exists and is not a directory (bundles are directories; "
+            "use a .npz path for the legacy monolithic format)"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_index(index: Any, path: Union[str, Path]) -> Path:
+    """Persist any supported index to a bundle directory at ``path``.
+
+    Dispatches on the index's nature: offline
+    :class:`~repro.search.searcher.InvertedIndex` objects produce a static
+    bundle, :class:`~repro.search.dynamic.DynamicInvertedIndex` objects a
+    dynamic snapshot with a fresh (empty) append log, armed on the live
+    index so subsequent ``add()``s land in the bundle.  Returns ``path``.
+    """
+    from ..search.dynamic import DynamicInvertedIndex
+
+    with _METRICS.span("storage.save"):
+        if isinstance(index, DynamicInvertedIndex):
+            result = _save_dynamic(index, path)
+        else:
+            result = _save_static(index, path)
+    if _METRICS.enabled:
+        _METRICS.inc("storage.saves")
+    return result
+
+
+def _save_arrays(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    for key, array in arrays.items():
+        np.save(path / f"{key}.npy", array)
+
+
+def _save_static(index: Any, path: Union[str, Path]) -> Path:
+    if any(
+        isinstance(lst, OnlineSortedIDList) for lst in index.lists.values()
+    ):
+        raise ValueError(
+            "index has online (two-region) lists but is not a "
+            "DynamicInvertedIndex; cannot choose a bundle layout for it"
+        )
+    items = []
+    for token, lst in index.lists.items():
+        if isinstance(lst, TwoLayerList):
+            items.append((token, _KIND_TWOLAYER, lst.store))
+        elif isinstance(lst, UncompressedList):
+            items.append((token, _KIND_UNCOMP, lst.to_array()))
+        else:
+            raise TypeError(
+                f"cannot serialize scheme {type(lst).__name__}; only "
+                "two-layer (MILC/CSS) and uncompressed lists are persistent"
+            )
+    path = _prepare_directory(path)
+    collection = index.collection
+    manifest = {
+        "kind": BUNDLE_KIND,
+        "version": BUNDLE_VERSION,
+        "dynamic": False,
+        "scheme": index.scheme,
+        "mode": collection.mode,
+        "q": int(collection.q),
+        "num_records": len(collection),
+        "num_lists": len(index.lists),
+    }
+    _save_arrays(path, _collect_store_arrays(items))
+    _save_arrays(path, _collection_arrays(collection))
+    _write_collection_json(path, collection)
+    # stale logs from an earlier dynamic bundle at this path must not be
+    # replayed into a static index
+    (path / LOG_NAME).unlink(missing_ok=True)
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def _save_dynamic(index: Any, path: Union[str, Path]) -> Path:
+    # a live log pointing into this bundle must be released before the
+    # snapshot overwrites it
+    index.detach_append_log()
+    items = []
+    buffer_counts: List[int] = []
+    buffer_chunks: List[np.ndarray] = []
+    for token, lst in index.lists.items():
+        items.append((token, _KIND_TWOLAYER, lst.store))
+        tail = lst.buffer_values()
+        buffer_counts.append(int(tail.size))
+        buffer_chunks.append(tail)
+    path = _prepare_directory(path)
+    collection = index.collection
+    index._refresh_lengths()
+    manifest = {
+        "kind": BUNDLE_KIND,
+        "version": BUNDLE_VERSION,
+        "dynamic": True,
+        "scheme": index.scheme,
+        "scheme_kwargs": index._scheme_kwargs,
+        "mode": index.mode,
+        "q": int(index.q),
+        "num_records": len(collection),
+        "num_lists": len(index.lists),
+    }
+    _save_arrays(path, _collect_store_arrays(items))
+    _save_arrays(
+        path,
+        {
+            "buffer_counts": np.asarray(buffer_counts, dtype=np.int64),
+            "buffer_values": (
+                np.concatenate(buffer_chunks).astype(np.int64)
+                if buffer_chunks
+                else np.empty(0, dtype=np.int64)
+            ),
+        },
+    )
+    _save_arrays(path, _collection_arrays(collection))
+    _write_collection_json(path, collection)
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    # fresh snapshot: the log restarts empty, journaling from here on
+    log_path = path / LOG_NAME
+    log_path.write_text("", encoding="utf-8")
+    index.attach_append_log(log_path)
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# open
+# ---------------------------------------------------------------------- #
+def _load_arrays(
+    path: Path, names: Dict[str, type], *, mmap: bool
+) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    total_bytes = 0
+    for key, dtype in names.items():
+        file = path / f"{key}.npy"
+        if not file.is_file():
+            raise corruption_error("array file is missing", file=file, key=key)
+        try:
+            array = np.load(file, mmap_mode="r" if mmap else None)
+        except Exception as error:  # repro: noqa RA07 -- numpy raises a
+            # zoo of types for bad .npy headers; re-raise with the file named
+            raise corruption_error(
+                f"unreadable .npy file ({error})", file=file, key=key
+            ) from error
+        require(
+            array.dtype == dtype,
+            f"expected dtype {np.dtype(dtype).name}, found {array.dtype}",
+            file=file,
+            key=key,
+        )
+        require(
+            array.ndim == 1,
+            f"expected a 1-d array, found shape {array.shape}",
+            file=file,
+            key=key,
+        )
+        # downcast np.memmap to a plain ndarray view over the same mapping:
+        # every per-list/per-record slice below would otherwise run memmap's
+        # __array_finalize__ and allocate a heavyweight memmap instance —
+        # tens of thousands of them cost more memory than the index itself.
+        # The view's .base keeps the mapping (and the file) alive.
+        arrays[key] = array.view(np.ndarray) if mmap else array
+        total_bytes += int(array.nbytes)
+    if _METRICS.enabled:
+        _METRICS.inc(
+            "storage.bytes_mapped" if mmap else "storage.bytes_resident",
+            total_bytes,
+        )
+    return arrays
+
+
+def _load_collection(
+    path: Path, manifest: Dict[str, Any], arrays: Dict[str, np.ndarray]
+) -> TokenizedCollection:
+    strings_path = path / "strings.json"
+    dictionary_path = path / "dictionary.json"
+    for file in (strings_path, dictionary_path):
+        if not file.is_file():
+            raise corruption_error("collection file is missing", file=file)
+    strings = json.loads(strings_path.read_text(encoding="utf-8"))
+    saved = json.loads(dictionary_path.read_text(encoding="utf-8"))
+    dictionary = TokenDictionary.from_id_order(
+        saved["tokens"], saved["frequencies"]
+    )
+    values = arrays["records_values"]
+    offsets = arrays["records_offsets"]
+    require(
+        offsets.size == len(strings) + 1,
+        f"{offsets.size} record offsets for {len(strings)} strings",
+        file=path / "records_offsets.npy",
+        key="records_offsets",
+    )
+    require(
+        offsets.size >= 1
+        and int(offsets[0]) == 0
+        and int(offsets[-1]) == values.size
+        and (offsets.size < 2 or bool(np.all(np.diff(offsets) >= 0))),
+        "record offsets are not a monotone ramp over records_values",
+        file=path / "records_offsets.npy",
+        key="records_offsets",
+    )
+    records = [
+        values[int(offsets[i]) : int(offsets[i + 1])]
+        for i in range(len(strings))
+    ]
+    return TokenizedCollection(
+        strings=strings,
+        records=records,
+        dictionary=dictionary,
+        mode=manifest["mode"],
+        q=int(manifest["q"]),
+    )
+
+
+def _iter_list_arrays(path: Path, arrays: Dict[str, np.ndarray]):
+    """Yield ``(position, token, kind, store_arrays_or_values)`` per list,
+    validating the consolidated extents exactly like the legacy loader."""
+    tokens = arrays["tokens"]
+    kinds = arrays["kinds"]
+    block_counts = arrays["block_counts"]
+    start_counts = arrays["start_counts"]
+    word_counts = arrays["word_counts"]
+    bit_counts = arrays["bit_counts"]
+    uncomp_counts = arrays["uncomp_counts"]
+    bases, offsets = arrays["bases"], arrays["offsets"]
+    widths, starts = arrays["widths"], arrays["starts"]
+    words, uncomp_values = arrays["words"], arrays["uncomp_values"]
+
+    num_twolayer = int((kinds == _KIND_TWOLAYER).sum())
+    num_uncomp = int(kinds.size - num_twolayer)
+    require(
+        tokens.size == kinds.size,
+        "tokens/kinds mismatch",
+        file=path / "kinds.npy",
+        key="kinds",
+    )
+    require(
+        block_counts.size == num_twolayer
+        and start_counts.size == num_twolayer
+        and word_counts.size == num_twolayer
+        and bit_counts.size == num_twolayer
+        and uncomp_counts.size == num_uncomp,
+        "per-list count arrays disagree with the token listing",
+        file=path / "block_counts.npy",
+        key="block_counts/start_counts/word_counts/bit_counts",
+    )
+    # each consolidated array must be exactly as long as the per-list
+    # counts claim; a mismatch names the one file that disagrees
+    for key, array, expected in (
+        ("bases", bases, int(block_counts.sum())),
+        ("offsets", offsets, int(block_counts.sum())),
+        ("widths", widths, int(block_counts.sum())),
+        ("starts", starts, int(start_counts.sum())),
+        ("words", words, int(word_counts.sum())),
+        ("uncomp_values", uncomp_values, int(uncomp_counts.sum())),
+    ):
+        require(
+            array.size == expected,
+            "consolidated array extent disagrees with the per-list counts",
+            file=path / f"{key}.npy",
+            key=key,
+        )
+
+    b = s = w = u = 0
+    twolayer_seen = 0
+    for position, token in enumerate(tokens.tolist()):
+        if kinds[position] == _KIND_TWOLAYER:
+            nb = int(block_counts[twolayer_seen])
+            ns = int(start_counts[twolayer_seen])
+            nw = int(word_counts[twolayer_seen])
+            store_arrays = {
+                "bases": bases[b : b + nb],
+                "offsets": offsets[b : b + nb],
+                "widths": widths[b : b + nb],
+                "starts": starts[s : s + ns],
+                "words": words[w : w + nw],
+                "num_bits": np.asarray(
+                    [bit_counts[twolayer_seen]], dtype=np.int64
+                ),
+            }
+            validate_store_arrays(store_arrays, token, directory=path)
+            yield position, token, _KIND_TWOLAYER, store_arrays
+            b += nb
+            s += ns
+            w += nw
+            twolayer_seen += 1
+        else:
+            count = int(uncomp_counts[position - twolayer_seen])
+            require(
+                count >= 0 and u + count <= uncomp_values.size,
+                "uncompressed extent out of range",
+                file=path / "uncomp_values.npy",
+                key="uncomp_values",
+                token=token,
+            )
+            yield position, token, _KIND_UNCOMP, uncomp_values[u : u + count]
+            u += count
+
+
+def open_index(path: Union[str, Path], *, mmap: bool = True) -> Any:
+    """Reconstitute the index saved in the bundle at ``path``.
+
+    Static bundles honor ``mmap``: ``True`` (the default) serves every
+    posting-list payload zero-copy off the memory-mapped files; ``False``
+    materializes an appendable in-memory copy.  Dynamic bundles are always
+    eager — an appendable index cannot alias read-only pages — and replay
+    the append log before re-arming it.
+    """
+    path = Path(path)
+    manifest = read_bundle_manifest(path)
+    with _METRICS.span("storage.open"):
+        if manifest.get("dynamic"):
+            index = _open_dynamic(path, manifest)
+        else:
+            index = _open_static(path, manifest, mmap=mmap)
+    if _METRICS.enabled:
+        _METRICS.inc("storage.opens")
+    return index
+
+
+def _open_static(path: Path, manifest: Dict[str, Any], *, mmap: bool) -> Any:
+    from ..search.searcher import InvertedIndex
+
+    arrays = _load_arrays(path, _ARRAY_DTYPES, mmap=mmap)
+    collection = _load_collection(path, manifest, arrays)
+    require(
+        len(collection) == int(manifest["num_records"]),
+        f"manifest says {manifest['num_records']} records, bundle holds "
+        f"{len(collection)}",
+        file=path / MANIFEST_NAME,
+    )
+    index = InvertedIndex.__new__(InvertedIndex)
+    index.collection = collection
+    index.scheme = manifest["scheme"]
+    index.build_seconds = 0.0
+    index.lists = {}
+    for _, token, kind, payload in _iter_list_arrays(path, arrays):
+        if kind == _KIND_TWOLAYER:
+            index.lists[token] = LoadedTwoLayerList(
+                store_from_arrays(payload, copy=not mmap), manifest["scheme"]
+            )
+        elif mmap:
+            index.lists[token] = LoadedUncompressedList(payload)
+        else:
+            index.lists[token] = UncompressedList(payload)
+    index.supports_random_access = all(
+        lst.supports_random_access for lst in index.lists.values()
+    )
+    return index
+
+
+def _replay_log(path: Path, index: Any, snapshot_records: int) -> int:
+    """Replay (and validate) the append log; returns replayed record count.
+
+    Every line must parse as ``{"seq": int, "text": str}`` with ``seq``
+    exactly continuing the snapshot's record ids — a truncated or
+    corrupted log fails here, naming the file and line number, instead of
+    silently resurrecting a partial corpus.
+    """
+    log_path = path / LOG_NAME
+    if not log_path.is_file():
+        raise corruption_error(
+            "dynamic bundle has no append log "
+            "(expected at least an empty one)",
+            file=log_path,
+        )
+    replayed = 0
+    with open(log_path, "r", encoding="utf-8") as log:
+        for lineno, line in enumerate(log, start=1):
+            stripped = line.strip()
+            if not line.endswith("\n") or not stripped:
+                raise corruption_error(
+                    f"append log truncated at line {lineno}", file=log_path
+                )
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                raise corruption_error(
+                    f"append log line {lineno} is not valid JSON "
+                    f"(truncated write?): {error}",
+                    file=log_path,
+                ) from error
+            if (
+                not isinstance(record, dict)
+                or not isinstance(record.get("text"), str)
+                or not isinstance(record.get("seq"), int)
+            ):
+                raise corruption_error(
+                    f"append log line {lineno} is missing 'seq'/'text'",
+                    file=log_path,
+                )
+            expected = snapshot_records + replayed
+            if record["seq"] != expected:
+                raise corruption_error(
+                    f"append log line {lineno} has seq {record['seq']}, "
+                    f"expected {expected} (snapshot holds "
+                    f"{snapshot_records} records)",
+                    file=log_path,
+                )
+            index.add(record["text"])
+            replayed += 1
+    if _METRICS.enabled and replayed:
+        _METRICS.inc("storage.log_records_replayed", replayed)
+    return replayed
+
+
+def _open_dynamic(path: Path, manifest: Dict[str, Any]) -> Any:
+    from ..search.dynamic import DynamicInvertedIndex
+
+    arrays = _load_arrays(
+        path, {**_ARRAY_DTYPES, **_DYNAMIC_ARRAY_DTYPES}, mmap=False
+    )
+    collection = _load_collection(path, manifest, arrays)
+    require(
+        len(collection) == int(manifest["num_records"]),
+        f"manifest says {manifest['num_records']} records, snapshot holds "
+        f"{len(collection)}",
+        file=path / MANIFEST_NAME,
+    )
+    scheme_kwargs = manifest.get("scheme_kwargs") or {}
+    index = DynamicInvertedIndex(
+        mode=manifest["mode"],
+        q=int(manifest["q"]) or 3,
+        scheme=manifest["scheme"],
+        **scheme_kwargs,
+    )
+    # adopt the snapshot collection wholesale (records stay plain arrays:
+    # the index appends to them)
+    index.collection = collection
+    index._lengths = [int(record.size) for record in collection.records]
+    index._lengths_dirty = True
+
+    buffer_counts = arrays["buffer_counts"]
+    buffer_values = arrays["buffer_values"]
+    require(
+        buffer_counts.size == arrays["tokens"].size,
+        "per-list buffer counts disagree with the token listing",
+        file=path / "buffer_counts.npy",
+        key="buffer_counts",
+    )
+    require(
+        int(buffer_counts.sum()) == buffer_values.size,
+        "consolidated buffer extent disagrees with the per-list counts",
+        file=path / "buffer_values.npy",
+        key="buffer_values",
+    )
+    tails = np.cumsum(buffer_counts)
+    for position, token, kind, payload in _iter_list_arrays(path, arrays):
+        require(
+            kind == _KIND_TWOLAYER,
+            "dynamic bundles hold only two-region lists",
+            file=path / "kinds.npy",
+            key="kinds",
+            token=token,
+        )
+        lst = index._factory(**index._scheme_kwargs)
+        start = int(tails[position]) - int(buffer_counts[position])
+        lst.load_state(
+            store_from_arrays(payload, copy=True),
+            buffer_values[start : int(tails[position])],
+        )
+        index.lists[token] = lst
+    _replay_log(path, index, int(manifest["num_records"]))
+    # journaling resumes only after a clean replay: an exception above
+    # leaves the on-disk log untouched for inspection
+    index.attach_append_log(path / LOG_NAME)
+    return index

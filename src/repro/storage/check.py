@@ -1,0 +1,70 @@
+"""``repro check`` support for the bundle layouts.
+
+Mirrors :mod:`repro.compression.validate`'s contract: every checker
+returns a list of human-readable violations (empty = healthy) and never
+raises on untrusted input — a load failure *is* the finding.  Because the
+bundle loaders funnel all integrity checks through
+:func:`repro.storage.arrays.corruption_error`, a violation names the
+offending file and array key, and a dynamic bundle's truncated or
+out-of-sequence append log surfaces with its line number.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from ..compression.validate import check_index
+from .bundle import open_index
+from .sharded import open_sharded, shard_dir
+
+__all__ = ["check_bundle", "check_sharded_bundle"]
+
+
+def check_bundle(path: Union[str, Path], max_lists: int = 0) -> List[str]:
+    """Violations of an index bundle directory (static or dynamic).
+
+    Opens the bundle eagerly — for dynamic bundles that exercises the
+    full snapshot + append-log replay path — then runs the list-level
+    contract checks over the reconstituted index.
+    """
+    try:
+        index = open_index(path, mmap=False)
+    # repro: noqa RA07 -- load failure on untrusted input is the finding itself
+    except Exception as error:
+        return [f"load failed ({type(error).__name__}): {error}"]
+    try:
+        return check_index(index, max_lists=max_lists)
+    finally:
+        # a dynamic open arms the append log; checking must not keep a
+        # writable handle into the bundle
+        detach = getattr(index, "detach_append_log", None)
+        if detach is not None:
+            detach()
+
+
+def check_sharded_bundle(
+    path: Union[str, Path], max_lists: int = 0
+) -> List[str]:
+    """Violations of a sharded bundle directory.
+
+    Manifest/assignment cross-checks run via the sharded opener; every
+    shard's posting lists are then checked individually, prefixed with
+    the shard directory they belong to.
+    """
+    path = Path(path)
+    try:
+        indexes, _assignments, _manifest = open_sharded(path, mmap=False)
+    # repro: noqa RA07 -- load failure on untrusted input is the finding itself
+    except Exception as error:
+        return [f"load failed ({type(error).__name__}): {error}"]
+    issues: List[str] = []
+    for position, index in enumerate(indexes):
+        try:
+            for issue in check_index(index, max_lists=max_lists):
+                issues.append(f"{shard_dir(position)}: {issue}")
+        finally:
+            detach = getattr(index, "detach_append_log", None)
+            if detach is not None:
+                detach()
+    return issues

@@ -1,0 +1,389 @@
+"""The original ``.npz`` persistence formats, kept loadable forever.
+
+Before :mod:`repro.storage` existed, indexes were persisted through four
+free functions in :mod:`repro.compression.serialize` — a monolithic
+``.npz`` per index and a manifest directory of per-shard ``.npz`` files.
+Those formats stay fully supported (the CLI still writes them for ``.npz``
+output paths, and every file ever dumped must keep loading), but the
+implementation now lives here; the old free functions are thin deprecated
+wrappers around these.
+
+The ``.npz`` container is a zip archive, which numpy cannot memory-map —
+zero-copy ``open(..., mmap=True)`` needs the directory-bundle format in
+:mod:`repro.storage.bundle` instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..compression.online import OnlineSortedIDList
+from ..compression.serialize import store_from_arrays, store_to_arrays
+from ..compression.twolayer import TwoLayerList
+from ..compression.uncompressed import UncompressedList
+from .arrays import LoadedTwoLayerList, require, validate_store_arrays
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
+    "SHARDED_KIND",
+    "dump_index_npz",
+    "load_index_npz",
+    "dump_sharded_npz",
+    "load_sharded_npz",
+]
+
+FORMAT_VERSION = 2
+_KIND_TWOLAYER = 0
+_KIND_UNCOMP = 1
+
+SHARDED_FORMAT_VERSION = 1
+SHARDED_KIND = "repro.sharded_index"
+MANIFEST_NAME = "manifest.json"
+ASSIGNMENTS_NAME = "assignments.npz"
+
+
+def dump_index_npz(index: Any, path: Union[str, Path]) -> None:
+    """Persist an :class:`InvertedIndex` to ``path`` (monolithic ``.npz``).
+
+    Dynamic indexes are rejected up front: their online two-region lists
+    are transient in this format (it has no append log), so there is
+    nothing durable to persist here.  Use ``SimilarityEngine.save`` with a
+    directory path — the bundle format snapshots dynamic indexes exactly.
+    """
+    if any(
+        isinstance(lst, OnlineSortedIDList) for lst in index.lists.values()
+    ):
+        raise ValueError(
+            "cannot dump a dynamic index: online (two-region) lists are "
+            "transient by design in the .npz format; save the engine to a "
+            "directory bundle (SimilarityEngine.save) to get a snapshot + "
+            "append log, or rebuild the corpus as an offline InvertedIndex "
+            "under a persistent scheme (uncomp/milc/css) and dump that"
+        )
+    tokens: List[int] = []
+    kinds: List[int] = []
+    bases, offsets, widths, starts = [], [], [], []
+    block_counts, start_counts = [], []
+    word_chunks, word_counts, bit_counts = [], [], []
+    uncomp_values, uncomp_counts = [], []
+
+    for token, lst in index.lists.items():
+        tokens.append(int(token))
+        if isinstance(lst, TwoLayerList):
+            kinds.append(_KIND_TWOLAYER)
+            arrays = store_to_arrays(lst.store)
+            bases.append(arrays["bases"])
+            offsets.append(arrays["offsets"])
+            widths.append(arrays["widths"])
+            starts.append(arrays["starts"])
+            block_counts.append(arrays["bases"].size)
+            start_counts.append(arrays["starts"].size)
+            word_chunks.append(arrays["words"])
+            word_counts.append(arrays["words"].size)
+            bit_counts.append(int(arrays["num_bits"][0]))
+        elif isinstance(lst, UncompressedList):
+            kinds.append(_KIND_UNCOMP)
+            values = lst.to_array()
+            uncomp_values.append(values)
+            uncomp_counts.append(values.size)
+        else:
+            raise TypeError(
+                f"cannot serialize scheme {type(lst).__name__}; only "
+                "two-layer (MILC/CSS) and uncompressed lists are persistent"
+            )
+
+    def _concat(chunks: List[np.ndarray], dtype: type) -> np.ndarray:
+        if not chunks:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(chunks).astype(dtype)
+
+    manifest = {"version": FORMAT_VERSION, "scheme": index.scheme}
+    np.savez_compressed(
+        Path(path),
+        manifest=np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8),
+        tokens=np.asarray(tokens, dtype=np.int64),
+        kinds=np.asarray(kinds, dtype=np.uint8),
+        block_counts=np.asarray(block_counts, dtype=np.int64),
+        start_counts=np.asarray(start_counts, dtype=np.int64),
+        word_counts=np.asarray(word_counts, dtype=np.int64),
+        bit_counts=np.asarray(bit_counts, dtype=np.int64),
+        uncomp_counts=np.asarray(uncomp_counts, dtype=np.int64),
+        bases=_concat(bases, np.int64),
+        offsets=_concat(offsets, np.int64),
+        widths=_concat(widths, np.int64),
+        starts=_concat(starts, np.int64),
+        words=_concat(word_chunks, np.uint64),
+        uncomp_values=_concat(uncomp_values, np.int64),
+    )
+
+
+def load_index_npz(path: Union[str, Path], collection: Any) -> Any:
+    """Load an index dumped by :func:`dump_index_npz`, bound to ``collection``.
+
+    The caller supplies the (re-tokenized or separately persisted)
+    collection the index was built from; posting-list contents come from
+    the file verbatim.
+    """
+    from ..search.searcher import InvertedIndex
+
+    path = Path(path)
+    with np.load(path) as bundle:
+        manifest = json.loads(bytes(bundle["manifest"]).decode())
+        if manifest["version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format version {manifest['version']} "
+                f"in {path}"
+            )
+        index = InvertedIndex.__new__(InvertedIndex)
+        index.collection = collection
+        index.scheme = manifest["scheme"]
+        index.build_seconds = 0.0
+        index.lists = {}
+
+        tokens = bundle["tokens"]
+        kinds = bundle["kinds"]
+        block_counts = bundle["block_counts"]
+        start_counts = bundle["start_counts"]
+        word_counts = bundle["word_counts"]
+        bit_counts = bundle["bit_counts"]
+        uncomp_counts = bundle["uncomp_counts"]
+        bases, offsets = bundle["bases"], bundle["offsets"]
+        widths, starts = bundle["widths"], bundle["starts"]
+        words, uncomp_values = bundle["words"], bundle["uncomp_values"]
+
+        # container-level extent consistency: the per-kind count arrays must
+        # line up with the token/kind listing and the consolidated arrays
+        num_twolayer = int((kinds == _KIND_TWOLAYER).sum())
+        num_uncomp = int(kinds.size - num_twolayer)
+        require(
+            tokens.size == kinds.size,
+            "tokens/kinds mismatch",
+            file=path,
+            key="kinds",
+        )
+        require(
+            block_counts.size == num_twolayer
+            and start_counts.size == num_twolayer
+            and word_counts.size == num_twolayer
+            and bit_counts.size == num_twolayer
+            and uncomp_counts.size == num_uncomp,
+            "per-list count arrays disagree with the token listing",
+            file=path,
+            key="block_counts/start_counts/word_counts/bit_counts",
+        )
+        require(
+            int(block_counts.sum()) == bases.size
+            and bases.size == offsets.size
+            and bases.size == widths.size
+            and int(start_counts.sum()) == starts.size
+            and int(word_counts.sum()) == words.size
+            and int(uncomp_counts.sum()) == uncomp_values.size,
+            "consolidated array extents disagree with the per-list counts",
+            file=path,
+            key="bases/offsets/widths/starts/words/uncomp_values",
+        )
+
+        b = s = w = u = 0  # running extents into the consolidated arrays
+        twolayer_seen = 0
+        for position, token in enumerate(tokens.tolist()):
+            if kinds[position] == _KIND_TWOLAYER:
+                nb = int(block_counts[twolayer_seen])
+                ns = int(start_counts[twolayer_seen])
+                nw = int(word_counts[twolayer_seen])
+                arrays = {
+                    "bases": bases[b : b + nb],
+                    "offsets": offsets[b : b + nb],
+                    "widths": widths[b : b + nb],
+                    "starts": starts[s : s + ns],
+                    "words": words[w : w + nw],
+                    "num_bits": np.asarray(
+                        [bit_counts[twolayer_seen]], dtype=np.int64
+                    ),
+                }
+                validate_store_arrays(arrays, token, file=path)
+                index.lists[token] = LoadedTwoLayerList(
+                    store_from_arrays(arrays), manifest["scheme"]
+                )
+                b += nb
+                s += ns
+                w += nw
+                twolayer_seen += 1
+            else:
+                count = int(uncomp_counts[position - twolayer_seen])
+                require(
+                    count >= 0 and u + count <= uncomp_values.size,
+                    "uncompressed extent out of range",
+                    file=path,
+                    key="uncomp_values",
+                    token=token,
+                )
+                index.lists[token] = UncompressedList(
+                    uncomp_values[u : u + count]
+                )
+                u += count
+        # random access depends on what was actually loaded, not on trust
+        index.supports_random_access = all(
+            lst.supports_random_access for lst in index.lists.values()
+        )
+        return index
+
+
+# ---------------------------------------------------------------------- #
+# sharded persistence: one manifest + one validated .npz per shard
+# ---------------------------------------------------------------------- #
+def validate_assignments(assignments: List[np.ndarray]) -> int:
+    """Check the shard assignment is a partition of ``0..N-1``; returns N."""
+    total = sum(int(a.size) for a in assignments)
+    if total == 0:
+        return 0
+    flat = np.concatenate(assignments)
+    if flat.size and not np.array_equal(
+        np.sort(flat), np.arange(total, dtype=np.int64)
+    ):
+        raise ValueError(
+            "shard assignments must cover record ids 0..N-1 exactly once"
+        )
+    for position, assignment in enumerate(assignments):
+        if assignment.size > 1 and not np.all(np.diff(assignment) > 0):
+            raise ValueError(
+                f"shard {position} assignment is not strictly ascending"
+            )
+    return total
+
+
+def shard_file(position: int) -> str:
+    return f"shard-{position:05d}.npz"
+
+
+def dump_sharded_npz(
+    indexes: Sequence,
+    assignments: Sequence[Sequence[int]],
+    path: Union[str, Path],
+    routing: str = "contiguous",
+) -> None:
+    """Persist a sharded index to directory ``path`` (legacy layout).
+
+    Layout: ``manifest.json`` (version, routing, shard count, per-shard
+    record counts, scheme), ``assignments.npz`` (one local→global int64
+    array per shard) and one :func:`dump_index_npz` ``.npz`` per shard —
+    each shard file reuses the consolidated, load-validated store arrays of
+    the monolithic format, so a corrupted shard fails loudly at load time.
+    """
+    if not indexes:
+        raise ValueError("dump_sharded needs at least one shard")
+    if len(indexes) != len(assignments):
+        raise ValueError(
+            f"{len(indexes)} shard indexes but {len(assignments)} assignments"
+        )
+    arrays = [np.asarray(a, dtype=np.int64) for a in assignments]
+    total = validate_assignments(arrays)
+    for position, (index, assignment) in enumerate(zip(indexes, arrays)):
+        if len(index.collection) != assignment.size:
+            raise ValueError(
+                f"shard {position} indexes {len(index.collection)} records "
+                f"but its assignment lists {assignment.size}"
+            )
+    schemes = {index.scheme for index in indexes}
+    if len(schemes) != 1:
+        raise ValueError(f"shards disagree on the scheme: {sorted(schemes)}")
+
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise ValueError(f"{path} exists and is not a directory")
+    path.mkdir(parents=True, exist_ok=True)
+    for position, index in enumerate(indexes):
+        dump_index_npz(index, path / shard_file(position))
+    np.savez_compressed(
+        path / ASSIGNMENTS_NAME,
+        **{f"shard_{i}": a for i, a in enumerate(arrays)},
+    )
+    manifest = {
+        "version": SHARDED_FORMAT_VERSION,
+        "kind": SHARDED_KIND,
+        "shards": len(indexes),
+        "routing": routing,
+        "scheme": next(iter(schemes)),
+        "num_records": total,
+        "shard_records": [int(a.size) for a in arrays],
+    }
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_sharded_npz(
+    path: Union[str, Path],
+    collection_for_shard: Callable[[int, np.ndarray], object],
+) -> Tuple[List, List[np.ndarray], Dict]:
+    """Load a :func:`dump_sharded_npz` directory.
+
+    ``collection_for_shard(shard_id, global_ids)`` supplies the tokenized
+    sub-collection each shard index binds to (this format stores posting
+    lists and the id remap, never the strings).  Returns
+    ``(indexes, assignments, manifest)``.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} is not a sharded index (no {MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("kind") != SHARDED_KIND:
+        raise ValueError(
+            f"{manifest_path} is not a {SHARDED_KIND} manifest"
+        )
+    if manifest.get("version") != SHARDED_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded index version {manifest.get('version')}"
+        )
+    shards = int(manifest["shards"])
+    shard_records = [int(n) for n in manifest["shard_records"]]
+    if shards < 1 or len(shard_records) != shards:
+        raise ValueError(
+            "corrupted sharded manifest: shard count disagrees with the "
+            "per-shard record listing"
+        )
+
+    with np.load(path / ASSIGNMENTS_NAME) as bundle:
+        assignments = [
+            bundle[f"shard_{position}"].astype(np.int64)
+            for position in range(shards)
+        ]
+    for position, (assignment, expected) in enumerate(
+        zip(assignments, shard_records)
+    ):
+        if assignment.size != expected:
+            raise ValueError(
+                f"corrupted sharded index: shard {position} assignment "
+                f"holds {assignment.size} ids, manifest says {expected}"
+            )
+    if validate_assignments(assignments) != int(manifest["num_records"]):
+        raise ValueError(
+            "corrupted sharded index: assignments disagree with the "
+            "manifest record count"
+        )
+
+    indexes = []
+    for position in range(shards):
+        shard_path = path / shard_file(position)
+        if not shard_path.is_file():
+            raise ValueError(f"missing shard file {shard_path}")
+        indexes.append(
+            load_index_npz(
+                shard_path,
+                collection_for_shard(position, assignments[position]),
+            )
+        )
+    return indexes, assignments, manifest
+
+
+def read_manifest(path: Union[str, Path]) -> Optional[Dict]:
+    """The parsed ``manifest.json`` of a directory layout, if one exists."""
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return None
+    return json.loads(manifest_path.read_text(encoding="utf-8"))

@@ -180,7 +180,7 @@ class TestShardedSearch:
             )
             == 2
         )
-        assert "monolithic" in capsys.readouterr().out
+        assert "ShardedEngine.save" in capsys.readouterr().out
 
     def test_zero_shards_rejected(self, corpus, capsys):
         assert (

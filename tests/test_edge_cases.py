@@ -87,8 +87,8 @@ class TestLoadedIndexBehaviour:
         dump_index(index, tmp_path / "i.npz")
         loaded = load_index(tmp_path / "i.npz", word_collection)
         searcher = JaccardSearcher(loaded)
-        searcher.search(word_collection.strings[0], 0.8)
-        assert searcher.last_stats.lists_probed > 0
+        result = searcher.search(word_collection.strings[0], 0.8)
+        assert result.stats.lists_probed > 0
 
 
 class TestBlockCostIdentities:

@@ -71,13 +71,12 @@ class TestSearchResult:
         assert hash(result) == hash(result.ids)
 
 
-class TestLastStatsDeprecation:
-    def test_warns_but_reports(self, word_collection):
+class TestLastStatsRemoved:
+    def test_surface_is_gone(self, word_collection):
         searcher = JaccardSearcher(InvertedIndex(word_collection, scheme="css"))
         result = searcher.search(word_collection.strings[0], 0.6)
-        with pytest.warns(DeprecationWarning):
-            stats = searcher.last_stats
-        assert stats is result.stats
+        assert not hasattr(searcher, "last_stats")
+        assert result.stats.results == len(result)
 
     def test_search_does_not_warn(self, word_collection):
         searcher = JaccardSearcher(InvertedIndex(word_collection, scheme="css"))

@@ -83,10 +83,8 @@ class TestGroupedSearchPruning:
         total_flat = total_grouped = 0
         for qid in range(0, 60, 5):
             query = word_collection.strings[qid]
-            flat.search(query, 0.6)
-            grouped.search(query, 0.6)
-            total_flat += flat.last_stats.candidates
-            total_grouped += grouped.last_stats.candidates
+            total_flat += flat.search(query, 0.6).stats.candidates
+            total_grouped += grouped.search(query, 0.6).stats.candidates
         assert total_grouped <= total_flat
 
     def test_group_threshold_at_least_flat_threshold(self, word_collection):
@@ -95,10 +93,10 @@ class TestGroupedSearchPruning:
             LengthGroupedIndex(word_collection, scheme="css")
         )
         query = word_collection.strings[9]
-        flat.search(query, 0.7)
-        grouped.search(query, 0.7)
-        assert grouped.last_stats.count_threshold >= (
-            flat.last_stats.count_threshold
+        flat_result = flat.search(query, 0.7)
+        grouped_result = grouped.search(query, 0.7)
+        assert grouped_result.stats.count_threshold >= (
+            flat_result.stats.count_threshold
         )
 
     def test_qgram_collection(self, qgram_collection):

@@ -249,3 +249,145 @@ class TestBatchKernelParity:
         serial = engine.search_batch(queries, 0.5, kernel="serial")
         batched = engine.search_batch(queries, 0.5, kernel="auto")
         assert [r.ids for r in serial] == [r.ids for r in batched]
+
+
+#: the schemes the bundle format can persist (two-layer or uncompressed
+#: stores; the other offline codecs are transient by design).
+SERIALIZABLE_SCHEMES = ("uncomp", "milc", "css")
+
+
+class TestMmapLoadParity:
+    """A bundle reopened through the zero-copy mmap path must answer
+    bit-identically to the in-memory index it was saved from, for every
+    serializable scheme × algorithm — same ids *and* same stats, so a
+    wrong block decode off the mapped words cannot hide behind the
+    verification stage."""
+
+    @pytest.mark.parametrize("mmap", (False, True))
+    @pytest.mark.parametrize("scheme", SERIALIZABLE_SCHEMES)
+    def test_jaccard_parity(self, tmp_path, scheme, mmap):
+        from repro import storage
+
+        strings = _word_strings(SEED + 15, 70)
+        collection = tokenize_collection(strings, mode="word")
+        index = InvertedIndex(collection, scheme=scheme)
+        loaded = storage.open_index(
+            storage.save_index(index, tmp_path / "bundle"), mmap=mmap
+        )
+        queries = _sample_queries(
+            SEED + 16, strings, ["w0 w1 w2", "zzz unseen tokens", "w59"]
+        )
+        for algorithm in _supported_algorithms(index):
+            searcher = JaccardSearcher(index, algorithm=algorithm)
+            reopened = JaccardSearcher(loaded, algorithm=algorithm)
+            for threshold in (0.45, 0.8):
+                for query in queries:
+                    expected = searcher.search(query, threshold)
+                    got = reopened.search(query, threshold)
+                    assert got.ids == expected.ids, (
+                        scheme, algorithm, mmap, threshold, query,
+                    )
+                    assert got.stats.candidates == expected.stats.candidates
+                    assert got.stats.count_threshold == (
+                        expected.stats.count_threshold
+                    )
+
+    @pytest.mark.parametrize("mmap", (False, True))
+    @pytest.mark.parametrize("scheme", SERIALIZABLE_SCHEMES)
+    def test_edit_distance_parity(self, tmp_path, scheme, mmap):
+        from repro import storage
+
+        strings = _char_strings(SEED + 17, 80)
+        collection = tokenize_collection(strings, mode="qgram", q=2)
+        index = InvertedIndex(collection, scheme=scheme)
+        loaded = storage.open_index(
+            storage.save_index(index, tmp_path / "bundle"), mmap=mmap
+        )
+        queries = _sample_queries(SEED + 18, strings, ["abcd", "dddddddd"])
+        for algorithm in ("scancount", "mergeskip"):
+            if algorithm not in _supported_algorithms(index):
+                continue
+            searcher = EditDistanceSearcher(index, algorithm=algorithm)
+            reopened = EditDistanceSearcher(loaded, algorithm=algorithm)
+            for delta in (1, 2):
+                for query in queries:
+                    assert (
+                        reopened.search(query, delta).ids
+                        == searcher.search(query, delta).ids
+                    ), (scheme, algorithm, mmap, delta, query)
+
+
+class TestCompactionParity:
+    """Sealing online two-region lists into offline CSS blocks must not
+    change a single answer: the compacted index is checked against brute
+    force *and* against the answers recorded before compaction, then the
+    interleaved-ingest invariant is re-checked on top of the compacted
+    base (new adds land in a fresh online region)."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("scheme", sorted(ONLINE_SCHEMES))
+    def test_compacted_answers_unchanged(self, scheme, algorithm):
+        strings = _word_strings(SEED + 19, 90, vocab=40)
+        engine = SimilarityEngine(
+            index=DynamicInvertedIndex(mode="word", scheme=scheme),
+            algorithm=algorithm,
+            cache_admit_after=1,
+        )
+        engine.add_many(strings[:70])
+        collection = engine.index.collection
+        queries = _sample_queries(SEED + 20, strings, ["w0 w1", "w39 w38"])
+        before = {
+            (query, threshold): list(engine.search(query, threshold).ids)
+            for query in queries
+            for threshold in (0.5, 0.75)
+        }
+        engine.compact()
+        for (query, threshold), expected in before.items():
+            assert list(engine.search(query, threshold).ids) == expected, (
+                scheme, algorithm, threshold, query,
+            )
+        engine.add_many(strings[70:])
+        for query in queries:
+            expected = brute_similarity_search(collection, query, 0.5)
+            assert list(engine.search(query, 0.5).ids) == expected, (
+                scheme, algorithm, query,
+            )
+
+    @pytest.mark.parametrize("scheme", sorted(ONLINE_SCHEMES))
+    def test_compacted_edit_distance_matches_brute(self, scheme):
+        strings = _char_strings(SEED + 21, 70)
+        engine = SimilarityEngine(
+            index=DynamicInvertedIndex(mode="qgram", q=2, scheme=scheme),
+            algorithm="mergeskip",
+            metric="ed",
+            cache_admit_after=1,
+        )
+        engine.add_many(strings)
+        collection = engine.index.collection
+        engine.compact()
+        queries = _sample_queries(SEED + 22, strings, ["abab", "cccc"])
+        for query in queries:
+            expected = brute_edit_distance_search(collection, query, 1)
+            assert list(engine.search(query, 1).ids) == expected, (
+                scheme, query,
+            )
+
+    @pytest.mark.parametrize("scheme", sorted(ONLINE_SCHEMES))
+    def test_compact_save_reopen_matches_brute(self, tmp_path, scheme):
+        from repro import storage
+
+        strings = _word_strings(SEED + 23, 60, vocab=40)
+        index = DynamicInvertedIndex(mode="word", scheme=scheme)
+        index.add_many(strings)
+        index.compact()
+        path = storage.save_index(index, tmp_path / "bundle")
+        index.detach_append_log()
+        loaded = storage.open_index(path)
+        loaded.detach_append_log()
+        searcher = JaccardSearcher(loaded, algorithm="mergeskip")
+        queries = _sample_queries(SEED + 24, strings, ["w0 w1"])
+        for query in queries:
+            expected = brute_similarity_search(loaded.collection, query, 0.5)
+            assert list(searcher.search(query, 0.5).ids) == expected, (
+                scheme, query,
+            )

@@ -18,7 +18,7 @@ class TestJaccardSearchStats:
     def test_stats_populated(self, searcher, word_collection):
         query = word_collection.strings[0]
         results = searcher.search(query, 0.6)
-        stats = searcher.last_stats
+        stats = results.stats
         assert stats.results == len(results)
         assert stats.candidates >= stats.results
         assert stats.verifications <= stats.candidates
@@ -27,27 +27,24 @@ class TestJaccardSearchStats:
         assert stats.postings_available >= stats.candidates
         assert stats.count_threshold >= 1
 
-    def test_stats_reset_per_query(self, searcher, word_collection):
-        searcher.search(word_collection.strings[0], 0.5)
-        first = searcher.last_stats
-        searcher.search("zzz_unknown_token", 0.5)
-        assert searcher.last_stats is not first
-        assert searcher.last_stats.results == 0
+    def test_stats_are_per_result(self, searcher, word_collection):
+        first = searcher.search(word_collection.strings[0], 0.5)
+        second = searcher.search("zzz_unknown_token", 0.5)
+        assert second.stats is not first.stats
+        assert second.stats.results == 0
 
     def test_filtering_power_grows_with_threshold(
         self, searcher, word_collection
     ):
         query = word_collection.strings[10]
-        searcher.search(query, 0.4)
-        loose = searcher.last_stats.candidates
-        searcher.search(query, 0.9)
-        tight = searcher.last_stats.candidates
+        loose = searcher.search(query, 0.4).stats.candidates
+        tight = searcher.search(query, 0.9).stats.candidates
         assert tight <= loose
 
     def test_candidates_far_below_collection(self, searcher, word_collection):
         """The point of the filter phase: candidates << collection size."""
-        searcher.search(word_collection.strings[3], 0.8)
-        assert searcher.last_stats.candidates < len(word_collection) / 2
+        result = searcher.search(word_collection.strings[3], 0.8)
+        assert result.stats.candidates < len(word_collection) / 2
 
 
 class TestEditDistanceSearchStats:
@@ -60,7 +57,7 @@ class TestEditDistanceSearchStats:
     def test_stats_populated(self, searcher, qgram_collection):
         query = qgram_collection.strings[10]
         results = searcher.search(query, 1)
-        stats = searcher.last_stats
+        stats = results.stats
         assert stats.results == len(results)
         assert stats.verifications >= stats.results
         assert stats.count_threshold == (
@@ -68,14 +65,23 @@ class TestEditDistanceSearchStats:
         )
 
     def test_length_fallback_counts_candidates(self, searcher):
-        searcher.search("ab", 2)  # degenerate bound -> length scan
-        assert searcher.last_stats.count_threshold <= 0
-        assert searcher.last_stats.lists_probed == 0
-        assert searcher.last_stats.candidates > 0
+        result = searcher.search("ab", 2)  # degenerate bound -> length scan
+        assert result.stats.count_threshold <= 0
+        assert result.stats.lists_probed == 0
+        assert result.stats.candidates > 0
 
-    def test_default_stats_object(self, qgram_collection):
+    def test_every_result_carries_stats(self, qgram_collection):
         fresh = EditDistanceSearcher(
             InvertedIndex(qgram_collection, scheme="uncomp")
         )
-        assert isinstance(fresh.last_stats, SearchStats)
-        assert fresh.last_stats.results == 0
+        result = fresh.search(qgram_collection.strings[0], 1)
+        assert isinstance(result.stats, SearchStats)
+        assert result.stats.results == len(result)
+
+    def test_fractional_delta_rejected(self, searcher, qgram_collection):
+        with pytest.raises(ValueError, match="must be integral"):
+            searcher.search(qgram_collection.strings[0], 1.5)
+
+    def test_integral_float_delta_accepted(self, searcher, qgram_collection):
+        query = qgram_collection.strings[10]
+        assert searcher.search(query, 1.0) == searcher.search(query, 1)

@@ -1,0 +1,552 @@
+"""Tests for the unified persistence subsystem (repro.storage).
+
+Covers the bundle directory format end to end: static round-trips (eager
+and zero-copy mmap), dynamic snapshot + append-log replay, online→offline
+compaction, the sharded layouts, the engine-level save/open/compact API,
+and the contract that every load error names the offending file and array
+key.  The legacy ``.npz`` wrappers are checked for their deprecation
+warnings only — their behaviour is pinned by test_serialize.py.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import storage
+from repro.engine import ShardedEngine, SimilarityEngine
+from repro.search import (
+    DynamicInvertedIndex,
+    InvertedIndex,
+    JaccardSearcher,
+    brute_similarity_search,
+)
+
+
+def _mmap_base(array):
+    """The np.memmap at the bottom of ``array``'s view chain (None if the
+    array is an ordinary in-memory buffer)."""
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return base
+        base = getattr(base, "base", None)
+    return None
+
+
+def _dynamic_index(word_strings, scheme="adapt", count=80):
+    index = DynamicInvertedIndex(mode="word", scheme=scheme)
+    index.add_many(word_strings[:count])
+    return index
+
+
+def _answers(index, word_strings, taus=(0.6, 0.9)):
+    searcher = JaccardSearcher(index, algorithm="mergeskip")
+    out = []
+    for qid in (0, 17, 40):
+        for tau in taus:
+            out.append(searcher.search(word_strings[qid], tau))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# static bundles
+# ---------------------------------------------------------------------- #
+class TestStaticBundle:
+    @pytest.mark.parametrize("scheme", ["uncomp", "milc", "css"])
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_roundtrip_bit_identical(
+        self, tmp_path, word_collection, word_strings, scheme, mmap
+    ):
+        index = InvertedIndex(word_collection, scheme=scheme)
+        path = storage.save_index(index, tmp_path / "bundle")
+        loaded = storage.open_index(path, mmap=mmap)
+        assert loaded.scheme == scheme
+        assert set(loaded.lists) == set(index.lists)
+        assert loaded.size_bits() == index.size_bits()
+        for token in list(index.lists)[:20]:
+            assert np.array_equal(
+                loaded.lists[token].to_array(), index.lists[token].to_array()
+            )
+        assert _answers(loaded, word_strings) == _answers(index, word_strings)
+
+    def test_collection_travels_with_the_bundle(
+        self, tmp_path, word_collection
+    ):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "bundle")
+        loaded = storage.open_index(path)
+        assert loaded.collection.strings == word_collection.strings
+        for rid in (0, 5, len(word_collection) - 1):
+            assert np.array_equal(
+                loaded.collection.records[rid], word_collection.records[rid]
+            )
+        dictionary = loaded.collection.dictionary
+        for token in ("tok0", "tok5", "tok40"):
+            assert dictionary.id_of(token) == (
+                word_collection.dictionary.id_of(token)
+            )
+
+    def test_mmap_serves_posting_lists_off_disk(
+        self, tmp_path, word_collection
+    ):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "bundle")
+        loaded = storage.open_index(path, mmap=True)
+        token = next(iter(loaded.lists))
+        store = loaded.lists[token].store
+        # the packed data words must alias the on-disk file, not a copy
+        assert _mmap_base(store._data._words) is not None
+        assert _mmap_base(store._bases_np) is not None
+
+    def test_mmap_opens_share_one_on_disk_copy(
+        self, tmp_path, word_collection
+    ):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "bundle")
+        first = storage.open_index(path, mmap=True)
+        second = storage.open_index(path, mmap=True)
+        token = next(iter(first.lists))
+        words_file = str(path / "words.npy")
+        for loaded in (first, second):
+            mapped = _mmap_base(loaded.lists[token].store._data._words)
+            assert mapped is not None
+            assert str(mapped.filename) == words_file
+
+    def test_mmap_store_is_frozen_eager_is_appendable(
+        self, tmp_path, word_collection
+    ):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "bundle")
+        frozen = storage.open_index(path, mmap=True)
+        token = next(iter(frozen.lists))
+        with pytest.raises(ValueError, match="frozen"):
+            frozen.lists[token].store.append_block(np.asarray([10**8]))
+        eager = storage.open_index(path, mmap=False)
+        eager.lists[token].store.append_block(np.asarray([10**8]))
+        assert eager.lists[token].store.last_value() == 10**8
+
+    def test_manifest_kind_and_version(self, tmp_path, word_collection):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "bundle")
+        manifest = storage.read_bundle_manifest(path)
+        assert manifest["kind"] == storage.BUNDLE_KIND
+        assert manifest["version"] == storage.BUNDLE_VERSION
+        manifest["version"] = 999
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            storage.open_index(path)
+
+    def test_unsupported_scheme_rejected(self, tmp_path, word_collection):
+        index = InvertedIndex(word_collection, scheme="pfordelta")
+        with pytest.raises(TypeError, match="serialize"):
+            storage.save_index(index, tmp_path / "bundle")
+
+    def test_empty_collection_roundtrip(self, tmp_path):
+        from repro.similarity import tokenize_collection
+
+        collection = tokenize_collection([], mode="word")
+        index = InvertedIndex(collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "empty")
+        loaded = storage.open_index(path)
+        assert loaded.lists == {}
+        assert list(JaccardSearcher(loaded).search("anything", 0.5).ids) == []
+
+
+# ---------------------------------------------------------------------- #
+# load errors name the offending file and array key
+# ---------------------------------------------------------------------- #
+class TestLoadErrorsNameTheFile:
+    def _bundle(self, tmp_path, word_collection, scheme="css"):
+        index = InvertedIndex(word_collection, scheme=scheme)
+        return storage.save_index(index, tmp_path / "bundle")
+
+    def test_missing_array_file(self, tmp_path, word_collection):
+        path = self._bundle(tmp_path, word_collection)
+        (path / "words.npy").unlink()
+        with pytest.raises(ValueError, match=r"words\.npy"):
+            storage.open_index(path)
+
+    def test_garbage_array_file(self, tmp_path, word_collection):
+        path = self._bundle(tmp_path, word_collection)
+        (path / "starts.npy").write_bytes(b"not a numpy file")
+        with pytest.raises(ValueError, match=r"starts\.npy"):
+            storage.open_index(path)
+
+    def test_wrong_dtype_names_file_and_key(self, tmp_path, word_collection):
+        path = self._bundle(tmp_path, word_collection)
+        widths = np.load(path / "widths.npy")
+        np.save(path / "widths.npy", widths.astype(np.float64))
+        with pytest.raises(ValueError) as excinfo:
+            storage.open_index(path)
+        assert "widths" in str(excinfo.value)
+        assert "widths.npy" in str(excinfo.value)
+
+    def test_truncated_words_named(self, tmp_path, word_collection):
+        path = self._bundle(tmp_path, word_collection)
+        words = np.load(path / "words.npy")
+        np.save(path / "words.npy", words[:-1])
+        with pytest.raises(ValueError, match=r"words\.npy"):
+            storage.open_index(path)
+
+    def test_corrupt_widths_rejected(self, tmp_path, word_collection):
+        path = self._bundle(tmp_path, word_collection)
+        widths = np.load(path / "widths.npy").copy()
+        widths[0] = 50  # encoder never emits widths above 32
+        np.save(path / "widths.npy", widths)
+        with pytest.raises(ValueError, match="delta width"):
+            storage.open_index(path)
+
+
+# ---------------------------------------------------------------------- #
+# dynamic bundles: snapshot + append log
+# ---------------------------------------------------------------------- #
+class TestDynamicBundle:
+    def test_snapshot_roundtrip(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.detach_append_log()
+        loaded = storage.open_index(path)
+        assert loaded.num_records == index.num_records
+        assert _answers(loaded, word_strings) == _answers(index, word_strings)
+        loaded.detach_append_log()
+
+    def test_save_arms_the_append_log(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=60)
+        path = storage.save_index(index, tmp_path / "dyn")
+        assert index.append_log_path == path / "log.jsonl"
+        for text in word_strings[60:75]:
+            index.add(text)
+        index.detach_append_log()
+        lines = (path / "log.jsonl").read_text().splitlines()
+        assert len(lines) == 15
+        assert json.loads(lines[0])["seq"] == 60
+
+    def test_post_save_adds_survive_reopen(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=60)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.add_many(word_strings[60:80])
+        index.detach_append_log()
+        loaded = storage.open_index(path)
+        assert loaded.num_records == 80
+        assert _answers(loaded, word_strings) == _answers(index, word_strings)
+        # the reopened index resumes journaling where the log left off
+        assert loaded.append_log_path == path / "log.jsonl"
+        loaded.add(word_strings[80])
+        loaded.detach_append_log()
+        lines = (path / "log.jsonl").read_text().splitlines()
+        assert json.loads(lines[-1])["seq"] == 80
+
+    def test_mmap_open_of_dynamic_bundle_materializes(
+        self, tmp_path, word_strings
+    ):
+        index = _dynamic_index(word_strings, count=40)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.detach_append_log()
+        loaded = storage.open_index(path, mmap=True)  # silently eager
+        assert isinstance(loaded, DynamicInvertedIndex)
+        loaded.add(word_strings[40])
+        loaded.detach_append_log()
+
+    def test_truncated_log_rejected_with_file_and_line(
+        self, tmp_path, word_strings
+    ):
+        index = _dynamic_index(word_strings, count=40)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.add_many(word_strings[40:50])
+        index.detach_append_log()
+        log = path / "log.jsonl"
+        text = log.read_text()
+        log.write_text(text[: len(text) - 20])  # cut into the last record
+        with pytest.raises(ValueError) as excinfo:
+            storage.open_index(path)
+        assert "log.jsonl" in str(excinfo.value)
+        assert "line 10" in str(excinfo.value)
+
+    def test_bad_log_sequence_rejected(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=40)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.detach_append_log()
+        with (path / "log.jsonl").open("a") as handle:
+            handle.write(json.dumps({"seq": 99, "text": "tok0 tok1"}) + "\n")
+        with pytest.raises(ValueError, match=r"log\.jsonl"):
+            storage.open_index(path)
+
+    def test_resave_resets_the_log(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=40)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.add_many(word_strings[40:50])
+        path = storage.save_index(index, path)  # snapshot now covers 50
+        index.detach_append_log()
+        assert (path / "log.jsonl").read_text() == ""
+        loaded = storage.open_index(path)
+        assert loaded.num_records == 50
+        loaded.detach_append_log()
+
+    def test_static_save_over_dynamic_bundle_drops_stale_log(
+        self, tmp_path, word_strings, word_collection
+    ):
+        index = _dynamic_index(word_strings, count=40)
+        path = storage.save_index(index, tmp_path / "bundle")
+        index.add(word_strings[40])
+        index.detach_append_log()
+        static = InvertedIndex(word_collection, scheme="css")
+        storage.save_index(static, path)
+        assert not (path / "log.jsonl").exists()
+        loaded = storage.open_index(path)
+        assert isinstance(loaded, InvertedIndex)
+
+
+# ---------------------------------------------------------------------- #
+# compaction (online two-region lists -> offline CSS blocks)
+# ---------------------------------------------------------------------- #
+class TestCompaction:
+    @pytest.mark.parametrize("scheme", ["fix", "vari", "adapt"])
+    def test_compacted_index_is_bit_identical(self, word_strings, scheme):
+        index = _dynamic_index(word_strings, scheme=scheme, count=100)
+        before = {
+            token: lst.to_array().copy() for token, lst in index.lists.items()
+        }
+        answers = _answers(index, word_strings)
+        stats = index.compact()
+        assert stats.lists_compacted == len(before)
+        assert stats.lists_skipped == 0
+        assert stats.postings == sum(a.size for a in before.values())
+        for token, expected in before.items():
+            assert np.array_equal(index.lists[token].to_array(), expected)
+        assert _answers(index, word_strings) == answers
+
+    def test_compaction_matches_the_offline_partitioner(self, word_strings):
+        """After compaction the block layout is the DP optimum — the same
+        blocks a from-scratch offline CSS build would produce."""
+        index = _dynamic_index(word_strings, scheme="adapt", count=100)
+        index.compact()
+        offline = InvertedIndex(index.collection, scheme="css")
+        for token, lst in index.lists.items():
+            assert lst.store.block_sizes() == (
+                offline.lists[token].store.block_sizes()
+            )
+
+    def test_uncomp_lists_are_skipped(self, word_strings):
+        index = _dynamic_index(word_strings, scheme="uncomp", count=60)
+        stats = index.compact()
+        assert stats.lists_compacted == 0
+        assert stats.lists_skipped == len(index.lists)
+        assert stats.postings == 0
+
+    def test_index_stays_appendable_after_compaction(self, word_strings):
+        index = _dynamic_index(word_strings, count=60)
+        index.compact()
+        index.add_many(word_strings[60:80])
+        assert index.num_records == 80
+        searcher = JaccardSearcher(index)
+        query = word_strings[70]
+        assert searcher.search(query, 0.6) == brute_similarity_search(
+            index.collection, query, 0.6
+        )
+
+    def test_compact_then_save_then_open(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=80)
+        index.compact()
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.detach_append_log()
+        loaded = storage.open_index(path)
+        assert _answers(loaded, word_strings) == _answers(index, word_strings)
+        loaded.detach_append_log()
+
+    def test_stats_rendering(self, word_strings):
+        index = _dynamic_index(word_strings, count=60)
+        stats = index.compact()
+        rendered = str(stats)
+        assert "compacted" in rendered and "postings" in rendered
+        assert stats.bits_saved == stats.bits_before - stats.bits_after
+
+
+# ---------------------------------------------------------------------- #
+# sharded bundles
+# ---------------------------------------------------------------------- #
+class TestShardedBundle:
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_static_roundtrip(
+        self, tmp_path, word_collection, word_strings, mmap
+    ):
+        engine = ShardedEngine(
+            word_collection, shards=3, routing="hash", build_workers=1
+        )
+        path = engine.save(tmp_path / "shards")
+        reopened = ShardedEngine.open(path, mmap=mmap)
+        assert reopened.num_shards == 3
+        assert reopened.routing == "hash"
+        assert reopened.num_records == engine.num_records
+        for qid in (0, 17, 40):
+            for tau in (0.6, 0.9):
+                query = word_strings[qid]
+                assert reopened.search(query, tau) == engine.search(query, tau)
+        engine.close()
+        reopened.close()
+
+    def test_dynamic_roundtrip_with_log_replay(self, tmp_path, word_strings):
+        engine = ShardedEngine(shards=2, routing="hash", dynamic=True)
+        engine.add_many(word_strings[:60])
+        path = engine.save(tmp_path / "shards")
+        engine.add_many(word_strings[60:80])  # lands in the per-shard logs
+        for shard in engine.shards:
+            shard.index.detach_append_log()
+        reopened = ShardedEngine.open(path)
+        assert reopened.num_records == 80
+        for qid in (0, 40, 70):
+            query = word_strings[qid]
+            assert reopened.search(query, 0.6) == engine.search(query, 0.6)
+        for shard in reopened.shards:
+            shard.index.detach_append_log()
+        engine.close()
+        reopened.close()
+
+    def test_manifest_and_shard_dirs(self, tmp_path, word_collection):
+        engine = ShardedEngine(word_collection, shards=2, build_workers=1)
+        path = engine.save(tmp_path / "shards")
+        manifest = storage.read_sharded_manifest(path)
+        assert manifest["kind"] == storage.SHARDED_BUNDLE_KIND
+        assert manifest["shards"] == 2
+        assert (path / "shard-00000" / "manifest.json").exists()
+        assert (path / "shard-00001" / "assignment.npy").exists()
+        engine.close()
+
+    def test_sharded_compact_then_reopen_mmap(self, tmp_path, word_strings):
+        engine = ShardedEngine(shards=2, routing="hash", dynamic=True)
+        engine.add_many(word_strings[:80])
+        answers = [engine.search(word_strings[q], 0.6) for q in (0, 40)]
+        stats = engine.compact()
+        assert len(stats) == 2
+        assert [engine.search(word_strings[q], 0.6) for q in (0, 40)] == (
+            answers
+        )
+        engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# the engine-level unified API
+# ---------------------------------------------------------------------- #
+class TestEnginePersistenceAPI:
+    def test_static_save_open_mmap(
+        self, tmp_path, word_collection, word_strings
+    ):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        path = engine.save(tmp_path / "engine")
+        reopened = SimilarityEngine.open(path, mmap=True)
+        query = word_strings[3]
+        assert reopened.search(query, 0.7) == engine.search(query, 0.7)
+        engine.close()
+        reopened.close()
+
+    def test_dynamic_engine_survives_save_open(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=50)
+        engine = SimilarityEngine(index=index)
+        path = engine.save(tmp_path / "engine")
+        engine.add_many(word_strings[50:60])
+        index.detach_append_log()
+        reopened = SimilarityEngine.open(path)
+        assert reopened.index.num_records == 60
+        query = word_strings[55]
+        assert reopened.search(query, 0.6) == engine.search(query, 0.6)
+        reopened.index.detach_append_log()
+        engine.close()
+        reopened.close()
+
+    def test_compact_on_static_engine_raises(self, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        with pytest.raises(TypeError, match="static"):
+            engine.compact()
+        engine.close()
+
+    def test_compact_on_static_sharded_engine_raises(self, word_collection):
+        engine = ShardedEngine(word_collection, shards=2, build_workers=1)
+        with pytest.raises(TypeError, match="static"):
+            engine.compact()
+        engine.close()
+
+    def test_engine_compact_returns_stats_and_stays_correct(
+        self, word_strings
+    ):
+        index = _dynamic_index(word_strings, count=60)
+        engine = SimilarityEngine(index=index)
+        query = word_strings[20]
+        before = engine.search(query, 0.6)
+        stats = engine.compact()
+        assert isinstance(stats, storage.CompactionStats)
+        assert engine.search(query, 0.6) == before
+        engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# structural checking (repro check)
+# ---------------------------------------------------------------------- #
+class TestCheckBundle:
+    def test_clean_static_bundle(self, tmp_path, word_collection):
+        index = InvertedIndex(word_collection, scheme="css")
+        path = storage.save_index(index, tmp_path / "bundle")
+        assert storage.check_bundle(path) == []
+
+    def test_clean_dynamic_bundle_with_log(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=50)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.add_many(word_strings[50:60])
+        index.detach_append_log()
+        assert storage.check_bundle(path) == []
+
+    def test_truncated_log_is_a_finding(self, tmp_path, word_strings):
+        index = _dynamic_index(word_strings, count=50)
+        path = storage.save_index(index, tmp_path / "dyn")
+        index.add_many(word_strings[50:60])
+        index.detach_append_log()
+        log = path / "log.jsonl"
+        log.write_text(log.read_text()[:-15])
+        issues = storage.check_bundle(path)
+        assert issues and "log.jsonl" in issues[0]
+
+    def test_corrupt_shard_is_attributed(self, tmp_path, word_collection):
+        engine = ShardedEngine(word_collection, shards=2, build_workers=1)
+        path = engine.save(tmp_path / "shards")
+        engine.close()
+        target = path / "shard-00001" / "widths.npy"
+        widths = np.load(target).copy()
+        widths[0] = 50
+        np.save(target, widths)
+        issues = storage.check_sharded_bundle(path)
+        assert issues and "shard-00001" in issues[0]
+
+
+# ---------------------------------------------------------------------- #
+# deprecated wrappers
+# ---------------------------------------------------------------------- #
+class TestDeprecatedWrappers:
+    def test_dump_and_load_index_warn(self, tmp_path, word_collection):
+        from repro.compression.serialize import dump_index, load_index
+
+        index = InvertedIndex(word_collection, scheme="css")
+        path = tmp_path / "legacy.npz"
+        with pytest.warns(DeprecationWarning, match="save"):
+            dump_index(index, path)
+        with pytest.warns(DeprecationWarning, match="open"):
+            loaded = load_index(path, word_collection)
+        assert loaded.size_bits() == index.size_bits()
+
+    def test_sharded_dump_and_load_warn(self, tmp_path, word_collection):
+        engine = ShardedEngine(word_collection, shards=2, build_workers=1)
+        path = tmp_path / "legacy-shards"
+        with pytest.warns(DeprecationWarning, match="save"):
+            engine.dump(path)
+        with pytest.warns(DeprecationWarning, match="open"):
+            reopened = ShardedEngine.load(path, word_collection)
+        assert reopened.num_records == engine.num_records
+        engine.close()
+        reopened.close()
+
+    def test_unified_api_does_not_warn(self, tmp_path, word_collection):
+        engine = SimilarityEngine(word_collection, scheme="css")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            path = engine.save(tmp_path / "bundle")
+            SimilarityEngine.open(path).close()
+        engine.close()
