@@ -1,0 +1,163 @@
+"""Serving-layer load test — coalesced HTTP throughput and latency.
+
+Boots the real stack (:class:`repro.serve.ServerThread` over a
+:class:`ServeApp` over a :class:`SimilarityEngine`) on a loopback port and
+drives it with a parallel client: N threads each posting single-query
+``/search`` requests, exactly the traffic shape the coalescer exists for.
+Measured per request: wall latency; measured per run: throughput, the
+coalesced-batch-size histogram and the coalescing ratio (requests per
+engine call).
+
+Two invariants run at every REPRO_SCALE, so the CI serve smoke fails on
+either:
+
+* **parity** — every HTTP answer is bit-identical to a direct
+  ``engine.search`` call for that query/threshold;
+* **coalescing** — with a parallel client, the mean coalesced batch size
+  must exceed 1 (the layer actually merges concurrent requests).
+
+The latency percentiles and the batch-size histogram land in
+``BENCH_serve.json`` next to the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import urllib.request
+
+from conftest import print_block, search_dataset
+from repro.bench import render_table, sample_queries
+from repro.engine import SimilarityEngine
+from repro.serve import ServeApp, ServerThread
+
+DATASET = "aol"
+THRESHOLD = 0.8
+CLIENTS = 12
+REQUESTS = 360  # total posts across all client threads
+WINDOW_MS = 4.0
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _post(url, document):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def test_serve_load(benchmark):
+    dataset = search_dataset(DATASET)
+    queries = sample_queries(dataset, count=REQUESTS, seed=11)
+    engine = SimilarityEngine(dataset.collection, scheme="css")
+    app = ServeApp(engine, window_ms=WINDOW_MS, max_batch=64)
+    latencies = []
+    answers = {}
+
+    def client(query):
+        start = time.perf_counter()
+        document = _post(url, {"query": query, "threshold": THRESHOLD})
+        latencies.append(time.perf_counter() - start)
+        answers[id(document)] = (query, document)
+        return document
+
+    with engine, ServerThread(app) as server:
+        url = f"{server.url}/search"
+        # warm the engine (first queries pay index/cache cold start)
+        _post(url, {"query": queries[0], "threshold": THRESHOLD})
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(CLIENTS) as pool:
+            documents = list(pool.map(client, queries))
+        elapsed = time.perf_counter() - start
+
+        stats = app.coalescer.stats()
+        health = json.loads(
+            urllib.request.urlopen(
+                f"{server.url}/healthz", timeout=60
+            ).read()
+        )
+
+        # parity: every HTTP answer == the direct engine call, bit for bit
+        for query, document in zip(queries, documents):
+            assert document["ids"] == list(
+                engine.search(query, THRESHOLD)
+            ), f"served answer diverged for {query!r}"
+
+    batch_histogram = Counter(
+        document["batch_size"] for document in documents
+    )
+    latencies.sort()
+    record = {
+        "dataset": DATASET,
+        "threshold": THRESHOLD,
+        "requests": REQUESTS,
+        "clients": CLIENTS,
+        "window_ms": WINDOW_MS,
+        "qps": round(REQUESTS / elapsed, 1),
+        "latency_ms": {
+            "p50": round(1000 * _percentile(latencies, 0.50), 2),
+            "p90": round(1000 * _percentile(latencies, 0.90), 2),
+            "p99": round(1000 * _percentile(latencies, 0.99), 2),
+            "max": round(1000 * latencies[-1], 2),
+        },
+        "coalescing_ratio": stats["coalescing_ratio"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "max_batch_size": stats["max_batch_size"],
+        "batch_size_histogram": {
+            str(size): count
+            for size, count in sorted(batch_histogram.items())
+        },
+        "rescued_requests": stats["rescued_requests"],
+        "health": health["status"],
+    }
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if not isinstance(v, dict)}
+    )
+
+    if BASELINE_PATH.parent.is_dir():
+        BASELINE_PATH.write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+
+    print_block(
+        render_table(
+            ["measure", "value"],
+            [
+                ["throughput (q/s)", record["qps"]],
+                ["p50 latency (ms)", record["latency_ms"]["p50"]],
+                ["p99 latency (ms)", record["latency_ms"]["p99"]],
+                ["coalescing ratio", record["coalescing_ratio"]],
+                ["mean batch size", record["mean_batch_size"]],
+                ["max batch size", record["max_batch_size"]],
+            ],
+            title=(
+                f"Serve load — {REQUESTS} requests, {CLIENTS} clients, "
+                f"{WINDOW_MS} ms window on {DATASET}"
+            ),
+        )
+    )
+
+    # the whole point of the layer: concurrent requests actually coalesce
+    assert record["mean_batch_size"] > 1, (
+        f"no coalescing happened (mean batch size "
+        f"{record['mean_batch_size']}); the serving layer degenerated to "
+        "one engine call per request"
+    )
+    assert record["rescued_requests"] == 0

@@ -9,6 +9,8 @@ per line):
   directory bundle, or the legacy ``.npz`` for ``.npz`` output paths),
 * ``search``   — query a corpus (Jaccard or edit distance), optionally
   through a persisted index (``--mmap`` serves bundles zero-copy),
+* ``serve``    — HTTP serving layer over an index: concurrent
+  ``POST /search`` requests are coalesced into batch engine calls,
 * ``compact``  — seal a dynamic bundle's online lists into offline CSS
   blocks (the DP re-partition),
 * ``join``     — self-join a corpus and print the similar pairs.
@@ -347,6 +349,81 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_arg(search)
     _add_trace_args(search)
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve an index over HTTP with request coalescing",
+        description="Boot the repro.serve HTTP layer in front of an index: "
+        "concurrent POST /search requests are coalesced into batch engine "
+        "calls (bit-identical answers), with /metrics and /healthz "
+        "alongside. PATH is an index bundle directory written by `repro "
+        "index CORPUS OUT` (or *.save()); a plain text corpus also works "
+        "and is indexed on the fly at boot.",
+    )
+    serve.add_argument(
+        "path",
+        help="index bundle directory (`repro index` output) or a "
+        "line-delimited corpus file",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--metric", choices=("jaccard", "cosine", "dice", "ed"), default="jaccard"
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=("scancount", "mergeskip", "divideskip"),
+        default="mergeskip",
+    )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="serve a bundle zero-copy off memory-mapped arrays "
+        "(bundle directories only)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="for corpus-file PATHs: partition the freshly built index "
+        "into N shards (default: 1, monolithic)",
+    )
+    serve.add_argument(
+        "--scheme",
+        choices=sorted(OFFLINE_SCHEMES),
+        default="css",
+        help="compression scheme for corpus-file PATHs (default: css)",
+    )
+    _add_tokenize_args(serve)
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="how long a request may wait for coalescing batchmates "
+        "before its batch dispatches anyway (default: 2.0)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="dispatch a batch as soon as this many compatible requests "
+        "are pending (default: 64)",
+    )
+    serve.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        help="worker pool size for the coalesced search_batch calls "
+        "(default: 1, batch kernels on the dispatcher thread)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="trace coalesced batches at least this slow into the "
+        "tracer's slow-query log",
+    )
+
     join = commands.add_parser("join", help="similarity self-join a corpus")
     join.add_argument("corpus")
     _add_tokenize_args(join)
@@ -589,12 +666,20 @@ def _cmd_search(args) -> int:
             return 2
     else:
         threshold = args.threshold
-    if args.mmap and not (
-        args.load_index and Path(args.load_index).is_dir()
-    ):
+    if args.mmap and not args.load_index:
         print(
-            "error: --mmap applies to --load-index bundle directories "
-            "(the legacy .npz is a zip archive and cannot be memory-mapped)"
+            "error: --mmap applies to --load-index bundle directories; "
+            "persist one first with `repro index CORPUS OUT` (or "
+            "SimilarityEngine.save) and pass --load-index OUT"
+        )
+        return 2
+    if args.mmap and not Path(args.load_index).is_dir():
+        print(
+            f"error: --mmap cannot serve {args.load_index}: the legacy "
+            ".npz is a zip archive and cannot be memory-mapped. Migrate "
+            "it to a bundle directory — rebuild with `repro index CORPUS "
+            "OUT` (a non-.npz OUT writes the mmap-able bundle format) — "
+            "and pass --load-index OUT"
         )
         return 2
     strings = _read_lines(args.corpus)
@@ -700,6 +785,99 @@ def _cmd_search(args) -> int:
             cache=cache_stats,
         )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeApp, create_app
+    from .serve.server import run as _run_server
+
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}")
+        return 2
+    path = Path(args.path)
+    app_kwargs = dict(
+        window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        batch_workers=args.batch_workers,
+        slow_ms=args.slow_ms,
+    )
+    if path.is_dir():
+        if args.shards > 1:
+            print(
+                "error: --shards applies to corpus-file PATHs; a bundle "
+                "directory already fixed its shard count at save time"
+            )
+            return 2
+        try:
+            app = create_app(
+                path,
+                mmap=args.mmap,
+                algorithm=args.algorithm,
+                metric=args.metric,
+                **app_kwargs,
+            )
+        except ValueError as error:
+            print(f"error: {error}")
+            return 1
+    elif path.suffix == ".npz":
+        print(
+            f"error: cannot serve {path}: the legacy .npz holds posting "
+            "lists only (no collection). Migrate it to a bundle directory "
+            "— rebuild with `repro index CORPUS OUT` — and serve OUT"
+        )
+        return 2
+    else:
+        if args.mmap:
+            print(
+                "error: --mmap applies to bundle directories; persist one "
+                "first with `repro index CORPUS OUT` and serve OUT"
+            )
+            return 2
+        mode = "qgram" if args.metric == "ed" else args.mode
+        q = 2 if args.metric == "ed" and args.mode == "word" else args.q
+        collection = tokenize_collection(
+            _read_lines(args.path), mode=mode, q=q
+        )
+        if args.shards > 1:
+            engine = ShardedEngine(
+                collection,
+                shards=args.shards,
+                scheme=args.scheme,
+                algorithm=args.algorithm,
+                metric=args.metric,
+            )
+        else:
+            engine = SimilarityEngine(
+                collection,
+                scheme=args.scheme,
+                algorithm=args.algorithm,
+                metric=args.metric,
+            )
+        app = ServeApp(engine, **app_kwargs)
+    print(
+        f"serving {_describe_served(app)} on http://{args.host}:{args.port} "
+        f"(window {args.batch_window_ms} ms, max batch {args.max_batch}) "
+        "— ctrl-c stops"
+    )
+    try:
+        _run_server(app, args.host, args.port)
+    finally:
+        app.close()
+        app.engine.close()
+    return 0
+
+
+def _describe_served(app) -> str:
+    engine = app.engine
+    records = getattr(engine, "num_records", None)
+    if records is None:
+        records = len(engine.index.collection)
+    shards = getattr(engine, "num_shards", 1)
+    source = f" from {app.bundle_path}" if app.bundle_path else ""
+    return (
+        f"{records} records ({engine.metric}, "
+        f"{shards} shard{'s' if shards != 1 else ''}){source}"
+    )
 
 
 def _cmd_compact(args) -> int:
@@ -867,6 +1045,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "index": _cmd_index,
     "search": _cmd_search,
+    "serve": _cmd_serve,
     "join": _cmd_join,
     "report": _cmd_report,
     "compact": _cmd_compact,

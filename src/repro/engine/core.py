@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
+import threading
 from pathlib import Path
 from concurrent.futures import (
     BrokenExecutor,
@@ -62,10 +63,14 @@ def _init_worker(engine: "SimilarityEngine") -> None:
     _WORKER_ENGINE = engine
     # under fork the worker inherits the parent's engine object verbatim,
     # including its executor handle; drop it so worker-side teardown never
-    # touches the parent's pool machinery
+    # touches the parent's pool machinery.  The lifecycle lock is replaced
+    # outright — a fork can snapshot it mid-acquire by another parent
+    # thread, and a lock held by a thread that does not exist here would
+    # deadlock the worker's own teardown.
     engine._pool = None
     engine._pool_kind = None
     engine._pool_workers = 0
+    engine._pool_lock = threading.RLock()
     # the worker records into its own fork-inherited registry; each chunk
     # resets it, runs profiled, and ships the delta back (see _run_chunk)
     _METRICS.enabled = False
@@ -208,6 +213,11 @@ class SimilarityEngine:
         self._pool: Optional[Executor] = None
         self._pool_kind: Optional[str] = None
         self._pool_workers = 0
+        # pool lifecycle is the one piece of engine state mutated by the
+        # batch path; guarding it makes concurrent search_batch callers
+        # (the serve-layer coalescer thread plus direct callers) safe.
+        # RLock: _ensure_pool retires a stale pool via close() while held.
+        self._pool_lock = threading.RLock()
 
     def _use_batch_kernel(self, kernel: Optional[str]) -> bool:
         """Resolve a per-call ``kernel`` override against the engine default."""
@@ -276,46 +286,55 @@ class SimilarityEngine:
         infrastructure_broken = False
         worker_chunks = 0
         try:
-            pool = self._ensure_pool(workers)
-        except _POOL_FAILURES:
-            infrastructure_broken = True
-        if pool is not None:
-            with _METRICS.span("engine.batch.parallel"):
-                futures = []
-                try:
-                    for chunk in chunks:
-                        futures.append(
-                            pool.submit(
-                                *self._chunk_task(chunk, threshold, use_kernel)
-                            )
-                        )
-                except _POOL_FAILURES:
-                    infrastructure_broken = True
-                for position, future in enumerate(futures):
+            try:
+                pool = self._ensure_pool(workers)
+            except _POOL_FAILURES:
+                infrastructure_broken = True
+            if pool is not None:
+                with _METRICS.span("engine.batch.parallel"):
+                    futures = []
                     try:
-                        answers, delta = future.result()
+                        for chunk in chunks:
+                            futures.append(
+                                pool.submit(
+                                    *self._chunk_task(
+                                        chunk, threshold, use_kernel
+                                    )
+                                )
+                            )
                     except _POOL_FAILURES:
                         infrastructure_broken = True
-                    except BaseException:
-                        # a genuine query error: cancel what has not started
-                        # and let it propagate — no serial rerun, the serial
-                        # path would raise the same exception
-                        for pending in futures[position + 1 :]:
-                            pending.cancel()
-                        raise
-                    else:
-                        chunk_results[position] = answers
-                        if delta is not None:
-                            # fold the worker's registry delta and traces in:
-                            # worker-side counters (blocks decoded, cursor
-                            # seeks, ...) aggregate exactly as a serial run
-                            _METRICS.merge(delta.get("metrics"))
-                            _TRACER.ingest(delta.get("traces"))
-                            worker_chunks += 1
-        if infrastructure_broken:
-            # the transport died, not the queries: retire the pool and
-            # answer only the chunks it never completed
-            self.close()
+                    for position, future in enumerate(futures):
+                        try:
+                            answers, delta = future.result()
+                        except _POOL_FAILURES:
+                            infrastructure_broken = True
+                        except BaseException:
+                            # a genuine query error: cancel what has not
+                            # started and let it propagate — no serial rerun,
+                            # the serial path would raise the same exception
+                            for pending in futures[position + 1 :]:
+                                pending.cancel()
+                            raise
+                        else:
+                            chunk_results[position] = answers
+                            if delta is not None:
+                                # fold the worker's registry delta and traces
+                                # in: worker-side counters (blocks decoded,
+                                # cursor seeks, ...) aggregate exactly as a
+                                # serial run
+                                _METRICS.merge(delta.get("metrics"))
+                                _TRACER.ingest(delta.get("traces"))
+                                worker_chunks += 1
+        finally:
+            if infrastructure_broken:
+                # the transport died, not the queries: retire the broken
+                # executor *unconditionally* — including when a genuine
+                # query error is propagating out of this batch.  Leaving it
+                # cached would make every subsequent batch re-trip the
+                # failure before falling back; disposal here means the next
+                # call lazily recreates a fresh pool.
+                self.close()
         missing = [
             position
             for position, chunk in enumerate(chunk_results)
@@ -354,35 +373,37 @@ class SimilarityEngine:
     # pool lifecycle
     # ------------------------------------------------------------------ #
     def _ensure_pool(self, workers: int) -> Executor:
-        if self._pool is not None and self._pool_workers == workers:
-            return self._pool
-        self.close()
-        pool: Optional[Executor] = None
-        try:
-            context = multiprocessing.get_context("fork")
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(self,),
-            )
-            self._pool_kind = "process"
-        except (ValueError, OSError, ImportError):
-            pool = None
-        if pool is None:
-            pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-engine"
-            )
-            self._pool_kind = "thread"
-        self._pool = pool
-        self._pool_workers = workers
-        return pool
+        with self._pool_lock:
+            if self._pool is not None and self._pool_workers == workers:
+                return self._pool
+            self.close()
+            pool: Optional[Executor] = None
+            try:
+                context = multiprocessing.get_context("fork")
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(self,),
+                )
+                self._pool_kind = "process"
+            except (ValueError, OSError, ImportError):
+                pool = None
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-engine"
+                )
+                self._pool_kind = "thread"
+            self._pool = pool
+            self._pool_workers = workers
+            return pool
 
     def close(self) -> None:
         """Shut the worker pool down (the engine stays usable serially)."""
-        pool, self._pool = self._pool, None
-        self._pool_kind = None
-        self._pool_workers = 0
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_kind = None
+            self._pool_workers = 0
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 
@@ -399,13 +420,20 @@ class SimilarityEngine:
             # interpreter teardown: pool internals may already be reclaimed
             pass
 
-    # forked/pickled engine images must not carry the parent's pool
+    # forked/pickled engine images must not carry the parent's pool (or
+    # its lifecycle lock — locks do not pickle and must never be shared
+    # across process images anyway)
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_pool"] = None
         state["_pool_kind"] = None
         state["_pool_workers"] = 0
+        state["_pool_lock"] = None
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # dynamic ingest

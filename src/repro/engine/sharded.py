@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
@@ -253,6 +254,7 @@ class ShardedEngine:
         self._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
         self._pool: Optional[Executor] = None
         self._pool_workers = 0
+        self._pool_lock = threading.RLock()
         self.shards: List[_Shard] = []
         self.build_seconds = 0.0
 
@@ -414,18 +416,9 @@ class ShardedEngine:
                     for shard in self.shards
                 ]
             else:
-                pool = self._ensure_pool(min(workers, len(self.shards)))
-                futures = [
-                    pool.submit(
-                        _shard_batch,
-                        shard.searcher,
-                        queries,
-                        threshold,
-                        use_kernel,
-                    )
-                    for shard in self.shards
-                ]
-                per_shard = [future.result() for future in futures]
+                per_shard = self._fan_out(
+                    queries, threshold, use_kernel, workers
+                )
             merged = [
                 self._merge(
                     query,
@@ -450,6 +443,67 @@ class ShardedEngine:
                 seconds=elapsed / len(queries),
             )
             for r in merged
+        ]
+
+    def _fan_out(
+        self,
+        queries: List[str],
+        threshold,
+        use_kernel: bool,
+        workers: int,
+    ) -> List[List[SearchResult]]:
+        """One sub-batch per shard over the fan-out pool.
+
+        Failure semantics mirror
+        :meth:`~repro.engine.core.SimilarityEngine.search_batch`: only
+        executor-infrastructure failures (``_POOL_FAILURES``, or the
+        ``RuntimeError`` a shut-down executor raises at submit time) fall
+        back to answering the unanswered shards on the calling thread —
+        and the broken pool is disposed so the next batch lazily recreates
+        a fresh one.  A genuine query error propagates unchanged, exactly
+        as the serial path would raise it.
+        """
+        per_shard: List[Optional[List[SearchResult]]] = [None] * len(
+            self.shards
+        )
+        broken = False
+        futures = []
+        try:
+            try:
+                pool = self._ensure_pool(min(workers, len(self.shards)))
+                for shard in self.shards:
+                    futures.append(
+                        pool.submit(
+                            _shard_batch,
+                            shard.searcher,
+                            queries,
+                            threshold,
+                            use_kernel,
+                        )
+                    )
+            # a submit-time RuntimeError is the executor refusing work
+            # ("cannot schedule new futures after shutdown"), not a query
+            except _POOL_FAILURES + (RuntimeError,):
+                broken = True
+            for position, future in enumerate(futures):
+                try:
+                    per_shard[position] = future.result()
+                except _POOL_FAILURES:
+                    broken = True
+                except BaseException:
+                    for pending in futures[position + 1 :]:
+                        pending.cancel()
+                    raise
+        finally:
+            if broken:
+                self.close()
+        return [
+            answers
+            if answers is not None
+            else _shard_batch(
+                self.shards[position].searcher, queries, threshold, use_kernel
+            )
+            for position, answers in enumerate(per_shard)
         ]
 
     def _merge(
@@ -575,6 +629,7 @@ class ShardedEngine:
         engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
         engine._pool = None
         engine._pool_workers = 0
+        engine._pool_lock = threading.RLock()
         engine._num_records = sum(int(a.size) for a in assignments)
         engine.build_seconds = 0.0
         engine.shards = [
@@ -680,6 +735,7 @@ class ShardedEngine:
         engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
         engine._pool = None
         engine._pool_workers = 0
+        engine._pool_lock = threading.RLock()
         engine._num_records = manifest["num_records"]
         engine.build_seconds = 0.0
         engine.shards = [
@@ -694,19 +750,21 @@ class ShardedEngine:
     # pool lifecycle
     # ------------------------------------------------------------------ #
     def _ensure_pool(self, workers: int) -> Executor:
-        if self._pool is not None and self._pool_workers == workers:
+        with self._pool_lock:
+            if self._pool is not None and self._pool_workers == workers:
+                return self._pool
+            self.close()
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+            self._pool_workers = workers
             return self._pool
-        self.close()
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-shard"
-        )
-        self._pool_workers = workers
-        return self._pool
 
     def close(self) -> None:
         """Shut the fan-out pool down (the engine stays usable serially)."""
-        pool, self._pool = self._pool, None
-        self._pool_workers = 0
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 

@@ -101,6 +101,12 @@ class _ActiveTrace:
             "trace_id": self.trace_id,
             "name": self.name,
             "meta": self.meta,
+            # absolute root-span start on the monotonic clock.  On the
+            # platforms the engines fork on, ``perf_counter`` reads
+            # CLOCK_MONOTONIC, which is shared by every process on the
+            # host — so ``started_s`` totally orders traces drained from
+            # different pool workers (see :meth:`Tracer.ingest`).
+            "started_s": origin,
             "seconds": end - origin,
             "spans": [span.to_dict(origin) for span in self.spans],
         }
@@ -119,6 +125,12 @@ class _NullTrace:
 
 
 _NULL_TRACE = _NullTrace()
+
+
+def _trace_started(document: Dict) -> float:
+    """Merge key for :meth:`Tracer.ingest`: the root span's absolute start."""
+    value = document.get("started_s")
+    return float(value) if value is not None else float("-inf")
 
 
 class _TraceContext:
@@ -176,6 +188,7 @@ class Tracer:
         sample_rate: Optional[float] = None,
         slow_ms: Optional[float] = ...,  # type: ignore[assignment]
         buffer_size: Optional[int] = None,
+        slow_log_size: Optional[int] = None,
     ) -> "Tracer":
         """Adjust the policy in place (None/ellipsis leaves a knob alone)."""
         if enabled is not None:
@@ -191,6 +204,8 @@ class Tracer:
         if buffer_size is not None and buffer_size != self.buffer.maxlen:
             self.buffer_size = buffer_size
             self.buffer = deque(self.buffer, maxlen=buffer_size)
+        if slow_log_size is not None and slow_log_size != self.slow_log.maxlen:
+            self.slow_log = deque(self.slow_log, maxlen=slow_log_size)
         return self
 
     def clear(self) -> None:
@@ -292,14 +307,35 @@ class Tracer:
         """Adopt trace documents drained from another process's tracer.
 
         The worker already applied the sampling policy; here they only
-        re-enter the bounded buffer (and the slow log for slow ones)."""
+        re-enter the bounded buffer (and the slow log for slow ones).
+
+        Because both rings are newest-wins (``deque(maxlen=...)`` evicts
+        the oldest entry), adoption must not use arrival order: worker
+        chunks drain in chunk-completion order, which interleaves across
+        workers, and a plain ``append`` loop could evict a trace that
+        *started later* than the ones kept.  Ingest therefore merges the
+        retained documents with the incoming ones by root-span start time
+        (``started_s``, a host-wide monotonic timestamp) and keeps the
+        newest, so ``slow_log_size`` bounds hold the genuinely most recent
+        slow queries in either process.  Documents from old dumps without
+        ``started_s`` sort oldest (evicted first).
+        """
+        if not documents:
+            return
+        documents = list(documents)
         if not documents:
             return
         with self._lock:
-            for document in documents:
-                if document.get("slow"):
-                    self.slow_log.append(document)
-                self.buffer.append(document)
+            slow = [d for d in documents if d.get("slow")]
+            if slow:
+                merged = sorted(
+                    list(self.slow_log) + slow, key=_trace_started
+                )
+                self.slow_log.clear()
+                self.slow_log.extend(merged)
+            merged = sorted(list(self.buffer) + documents, key=_trace_started)
+            self.buffer.clear()
+            self.buffer.extend(merged)
 
 
 class _TracerSpan:

@@ -1,0 +1,445 @@
+"""The ASGI application: HTTP in front of a similarity engine.
+
+:class:`ServeApp` is a plain ASGI 3 callable — no framework, no
+dependencies — so it runs under any ASGI server (uvicorn, hypercorn) and
+under the bundled :mod:`repro.serve.server` when none is installed.
+
+Routes
+------
+
+``POST /search``
+    Body ``{"query": str, "threshold": num}`` (``"tau"`` is accepted as an
+    alias).  The request is enqueued on the :class:`BatchCoalescer` and
+    coalesced with concurrent compatible requests into one
+    ``search_batch(kernel="auto")`` call; the response carries this
+    request's own result — bit-identical to a direct ``engine.search``.
+    ``"metric"`` optionally overrides the engine's set-similarity metric
+    per request (jaccard/cosine/dice interchange on the same index;
+    ``ed`` needs an ed-built index).  A body with ``"queries": [...]``
+    is answered as one explicit batch, bypassing the coalescing window.
+
+``GET /healthz``
+    Liveness + integrity: re-runs the ``repro check`` structural bundle
+    validator over the served bundle (cached for ``health_max_age_s``)
+    and answers 200 with a summary, or 503 listing the violations.
+
+``GET /metrics``
+    Prometheus text exposition of the engine registry (when enabled) and
+    the serve-layer registry: per-route counters, the coalesced-batch-size
+    histogram, batch timings.
+
+``GET /``
+    An info document: engine shape, records, shards, coalescing knobs and
+    the achieved coalescing stats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import ShardedEngine, SimilarityEngine
+from ..obs import METRICS as _METRICS
+from ..obs import TRACER as _TRACER
+from ..obs.export import to_prometheus
+from ..obs.registry import MetricsRegistry
+from .coalescer import BatchCoalescer, BatchKey
+
+__all__ = ["ServeApp", "create_app"]
+
+#: set-similarity metrics answerable on one token index interchangeably.
+#: ``ed`` is excluded on purpose: edit-distance search needs the q-gram
+#: tokenization and count thresholds it was indexed for, so it is only
+#: honoured when the engine itself was built with ``metric="ed"``.
+_SET_METRICS = ("jaccard", "cosine", "dice")
+
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _HttpError(Exception):
+    """Maps straight to an error response (status + JSON message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServeApp:
+    """ASGI 3 application serving one engine (see module docstring).
+
+    Parameters
+    ----------
+    engine:
+        The :class:`SimilarityEngine` / :class:`ShardedEngine` to serve.
+    bundle_path:
+        The bundle directory the engine was opened from, if any —
+        ``/healthz`` runs the structural validator over it.
+    window_ms / max_batch:
+        Coalescing knobs (see :class:`BatchCoalescer`).
+    batch_workers:
+        ``workers`` for the coalesced ``search_batch`` calls (1 keeps the
+        batch on the dispatcher thread; the batch kernels usually beat a
+        pool for coalesced sizes).
+    kernel:
+        Per-call kernel override handed to ``search_batch`` (None inherits
+        the engine's own setting).
+    slow_ms:
+        When set, enables the global tracer in always-sample-slow mode:
+        coalesced batches slower than this land in ``TRACER.slow_log``.
+    health_max_age_s:
+        ``/healthz`` re-runs the bundle validator at most this often.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        bundle_path=None,
+        window_ms: float = 2.0,
+        max_batch: int = 64,
+        batch_workers: int = 1,
+        kernel: Optional[str] = None,
+        slow_ms: Optional[float] = None,
+        health_max_age_s: float = 15.0,
+    ) -> None:
+        self.engine = engine
+        self.bundle_path = bundle_path
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self.batch_workers = batch_workers
+        self.kernel = kernel
+        self.health_max_age_s = health_max_age_s
+        self.started_at = time.time()
+        #: per-route request/status counters, always on
+        self.metrics = MetricsRegistry(enabled=True)
+        self.coalescer = BatchCoalescer(
+            self._run_batch,
+            self._run_one,
+            window_s=window_ms / 1000.0,
+            max_batch=max_batch,
+        )
+        # secondary searchers for per-request metric overrides, sharing
+        # the primary engine's index (lazily built, at most one per metric)
+        self._engines: Dict[str, SimilarityEngine] = {}
+        self._engines_lock = threading.Lock()
+        self._health: Optional[Tuple[float, List[str]]] = None
+        self._health_lock = threading.Lock()
+        if slow_ms is not None:
+            _TRACER.configure(enabled=True, sample_rate=0.0, slow_ms=slow_ms)
+
+    # ------------------------------------------------------------------ #
+    # engine access (everything below runs on the dispatcher thread)
+    # ------------------------------------------------------------------ #
+    def _engine_for(self, metric: str):
+        if metric == self.engine.metric:
+            return self.engine
+        if self.engine.metric == "ed" or metric not in _SET_METRICS:
+            raise _HttpError(
+                400,
+                f"metric {metric!r} is not answerable on this index; the "
+                f"engine serves {self.engine.metric!r}"
+                + (
+                    f" (per-request overrides: {', '.join(_SET_METRICS)})"
+                    if self.engine.metric != "ed"
+                    else " (edit-distance indexes answer only 'ed')"
+                ),
+            )
+        if not isinstance(self.engine, SimilarityEngine):
+            raise _HttpError(
+                400,
+                f"per-request metric overrides need a single-index engine; "
+                f"this sharded engine serves {self.engine.metric!r} only",
+            )
+        with self._engines_lock:
+            engine = self._engines.get(metric)
+            if engine is None:
+                engine = SimilarityEngine(
+                    index=self.engine.index,
+                    metric=metric,
+                    algorithm=self.engine.algorithm,
+                    kernel=self.engine.kernel,
+                )
+                self._engines[metric] = engine
+        return engine
+
+    def _run_batch(self, queries: List[str], key: BatchKey):
+        engine = self._engine_for(key.metric)
+        return engine.search_batch(
+            queries,
+            key.threshold,
+            workers=self.batch_workers,
+            kernel=self.kernel,
+        )
+
+    def _run_one(self, query: str, key: BatchKey):
+        return self._engine_for(key.metric).search(query, key.threshold)
+
+    # ------------------------------------------------------------------ #
+    # ASGI entry point
+    # ------------------------------------------------------------------ #
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":
+            return
+        method = scope["method"]
+        path = scope["path"]
+        try:
+            if path == "/search" and method == "POST":
+                status, document = await self._search(scope, receive)
+            elif path == "/healthz" and method == "GET":
+                status, document = await self._healthz()
+            elif path == "/metrics" and method == "GET":
+                self._count_route("metrics", 200)
+                await _send_text(send, 200, self._render_metrics())
+                return
+            elif path == "/" and method == "GET":
+                status, document = 200, self._info()
+            elif path in ("/search", "/healthz", "/metrics", "/"):
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            else:
+                raise _HttpError(404, f"no route for {path}")
+        except _HttpError as error:
+            status, document = error.status, {"error": error.message}
+        except ValueError as error:
+            # engine-side input validation (out-of-range threshold, bad
+            # query shape) is the client's fault, not a server failure
+            status, document = 400, {"error": str(error)}
+        # the serving loop must answer 500, not die; the error text is
+        # returned to the caller and counted per route
+        # repro: noqa RA07 -- every handler failure becomes a 500 response
+        except Exception as error:
+            status = 500
+            document = {"error": f"{type(error).__name__}: {error}"}
+        self._count_route(path.strip("/") or "info", status)
+        await _send_json(send, status, document)
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                self.coalescer.start()
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                self.coalescer.close()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    def close(self) -> None:
+        """Shut the coalescer (and any secondary engines) down."""
+        self.coalescer.close()
+        for engine in self._engines.values():
+            engine.close()
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    async def _search(self, scope, receive) -> Tuple[int, Dict]:
+        document = await _read_json(receive)
+        threshold = document.get("threshold", document.get("tau"))
+        if not isinstance(threshold, (int, float)) or isinstance(
+            threshold, bool
+        ):
+            raise _HttpError(
+                400, "body must carry a numeric 'threshold' (alias 'tau')"
+            )
+        metric = document.get("metric", self.engine.metric)
+        if not isinstance(metric, str):
+            raise _HttpError(400, "'metric' must be a string")
+        key = BatchKey(metric=metric, threshold=threshold)
+
+        if "queries" in document:
+            queries = document["queries"]
+            if not isinstance(queries, list) or not all(
+                isinstance(query, str) for query in queries
+            ):
+                raise _HttpError(400, "'queries' must be a list of strings")
+            results = await asyncio.to_thread(self._run_batch, queries, key)
+            return 200, {
+                "threshold": threshold,
+                "metric": metric,
+                "results": [
+                    {"query": query, "count": len(result), "ids": list(result)}
+                    for query, result in zip(queries, results)
+                ],
+            }
+
+        query = document.get("query")
+        if not isinstance(query, str):
+            raise _HttpError(
+                400, "body must carry a 'query' string (or a 'queries' list)"
+            )
+        future = self.coalescer.submit(query, key)
+        result, batch_size = await asyncio.wrap_future(future)
+        return 200, {
+            "query": query,
+            "threshold": threshold,
+            "metric": metric,
+            "count": len(result),
+            "ids": list(result),
+            "seconds": result.seconds,
+            "batch_size": batch_size,
+        }
+
+    async def _healthz(self) -> Tuple[int, Dict]:
+        issues = await asyncio.to_thread(self._check_health)
+        document = {
+            "status": "ok" if not issues else "unhealthy",
+            "records": _num_records(self.engine),
+            "bundle": str(self.bundle_path) if self.bundle_path else None,
+            "issues": issues[:20],
+        }
+        return (200 if not issues else 503), document
+
+    def _check_health(self) -> List[str]:
+        """The ``repro check`` structural validator, cached briefly."""
+        if self.bundle_path is None:
+            return []
+        with self._health_lock:
+            now = time.monotonic()
+            if (
+                self._health is not None
+                and now - self._health[0] < self.health_max_age_s
+            ):
+                return self._health[1]
+            from ..compression.validate import check_path
+
+            try:
+                issues = check_path(self.bundle_path)
+            # repro: noqa RA07 -- a validator crash IS the health finding
+            except Exception as error:
+                issues = [f"health check failed ({type(error).__name__}): {error}"]
+            self._health = (now, issues)
+            return issues
+
+    def _render_metrics(self) -> str:
+        parts = [
+            to_prometheus(self.metrics, prefix="repro"),
+            to_prometheus(self.coalescer.metrics, prefix="repro"),
+        ]
+        if _METRICS.enabled:
+            parts.append(to_prometheus(_METRICS, prefix="repro"))
+        return "".join(part for part in parts if part)
+
+    def _info(self) -> Dict:
+        engine = self.engine
+        return {
+            "service": "repro.serve",
+            "engine": type(engine).__name__,
+            "metric": engine.metric,
+            "algorithm": engine.algorithm,
+            "kernel": self.kernel or engine.kernel,
+            "shards": getattr(engine, "num_shards", 1),
+            "records": _num_records(engine),
+            "bundle": str(self.bundle_path) if self.bundle_path else None,
+            "window_ms": self.window_ms,
+            "max_batch": self.max_batch,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "coalescing": self.coalescer.stats(),
+        }
+
+    def _count_route(self, route: str, status: int) -> None:
+        self.metrics.inc(f"serve.route.{route}.requests")
+        self.metrics.inc(f"serve.route.{route}.status_{status}")
+
+
+def _num_records(engine) -> int:
+    if hasattr(engine, "num_records"):  # ShardedEngine
+        return int(engine.num_records)
+    return len(engine.index.collection)
+
+
+async def _read_json(receive) -> Dict:
+    chunks = []
+    total = 0
+    while True:
+        message = await receive()
+        if message["type"] == "http.disconnect":
+            raise _HttpError(400, "client disconnected mid-request")
+        chunks.append(message.get("body", b""))
+        total += len(chunks[-1])
+        if total > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body over 1 MiB")
+        if not message.get("more_body"):
+            break
+    body = b"".join(chunks)
+    if not body:
+        raise _HttpError(400, "request body must be a JSON object")
+    try:
+        document = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _HttpError(400, f"request body is not valid JSON: {error}")
+    if not isinstance(document, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return document
+
+
+async def _send_json(send, status: int, document: Dict) -> None:
+    body = json.dumps(document, sort_keys=True, default=float).encode()
+    await _send_bytes(send, status, body, b"application/json")
+
+
+async def _send_text(send, status: int, text: str) -> None:
+    await _send_bytes(
+        send, status, text.encode(), b"text/plain; version=0.0.4"
+    )
+
+
+async def _send_bytes(send, status: int, body: bytes, ctype: bytes) -> None:
+    await send(
+        {
+            "type": "http.response.start",
+            "status": status,
+            "headers": [
+                (b"content-type", ctype),
+                (b"content-length", str(len(body)).encode()),
+            ],
+        }
+    )
+    await send({"type": "http.response.body", "body": body})
+
+
+def create_app(
+    path,
+    *,
+    mmap: bool = True,
+    algorithm: str = "mergeskip",
+    metric: str = "jaccard",
+    **app_kwargs,
+) -> ServeApp:
+    """Open the bundle at ``path`` and wrap it in a :class:`ServeApp`.
+
+    This is the uvicorn-friendly factory::
+
+        uvicorn --factory 'repro.serve:create_app(path="corpus.bundle")'
+
+    ``path`` must be a bundle directory saved with
+    :meth:`SimilarityEngine.save` / :meth:`ShardedEngine.save` /
+    ``repro index`` (the CLI's ``repro serve`` also accepts raw corpora
+    and builds the index on the fly — that logic lives in the CLI).
+    """
+    from ..storage.bundle import BUNDLE_KIND
+    from ..storage.legacy import read_manifest
+    from ..storage.sharded import SHARDED_BUNDLE_KIND
+
+    kind = (read_manifest(path) or {}).get("kind")
+    if kind == BUNDLE_KIND:
+        engine = SimilarityEngine.open(
+            path, mmap=mmap, algorithm=algorithm, metric=metric
+        )
+    elif kind == SHARDED_BUNDLE_KIND:
+        engine = ShardedEngine.open(
+            path, mmap=mmap, algorithm=algorithm, metric=metric
+        )
+    else:
+        raise ValueError(
+            f"{path} is not an index bundle (manifest kind {kind!r}); "
+            "save one with SimilarityEngine.save / ShardedEngine.save or "
+            "`repro index CORPUS OUT`"
+        )
+    return ServeApp(engine, bundle_path=path, **app_kwargs)

@@ -1,0 +1,272 @@
+"""Request coalescing: many concurrent single queries, one batch call.
+
+A serving process sees traffic as N concurrent requests, each carrying one
+query; the engines are fastest when handed a whole batch (the vectorized
+T-occurrence kernels amortize planning, decoding and numpy dispatch across
+rows).  :class:`BatchCoalescer` bridges the two shapes: callers
+:meth:`~BatchCoalescer.submit` one query each and block on a future, while
+a single dispatcher thread groups compatible requests — same
+:class:`BatchKey`, i.e. same threshold/metric — that arrive within a short
+window into one ``search_batch`` call and demuxes the answers back.
+
+Correctness contract
+--------------------
+
+* **Parity** — a coalesced request gets the exact
+  :class:`~repro.search.result.SearchResult` a direct ``engine.search``
+  call would return (``search_batch`` guarantees batch == serial).
+* **No cross-request bleed** — requests with different thresholds or
+  metrics are never batched together; each future resolves to its own
+  query's answer, demuxed by position.
+* **Failure isolation** — when a batch call raises, the batch is re-run
+  one request at a time, so a poisoned request (bad threshold, searcher
+  error) receives exactly its own exception and its innocent batchmates
+  still get their results.
+
+The dispatcher is also the engine's *serialization point*: every engine
+call the coalescer makes happens on the one dispatcher thread, so the
+engine never sees concurrent batch calls from the serving layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, NamedTuple, Optional, Sequence
+
+from ..obs import TRACER as _TRACER
+from ..obs.registry import MetricsRegistry
+
+__all__ = ["BatchCoalescer", "BatchKey"]
+
+
+class BatchKey(NamedTuple):
+    """What must match for two requests to share one engine batch call."""
+
+    metric: str
+    threshold: float
+
+
+class _PendingRequest:
+    __slots__ = ("query", "key", "future", "arrived")
+
+    def __init__(self, query: str, key: BatchKey, arrived: float) -> None:
+        self.query = query
+        self.key = key
+        self.future: Future = Future()
+        self.arrived = arrived
+
+
+class BatchCoalescer:
+    """Micro-batching queue in front of an engine.
+
+    Parameters
+    ----------
+    run_batch:
+        ``(queries, key) -> [SearchResult]`` — answers a whole batch
+        sharing one :class:`BatchKey` (the app binds this to
+        ``engine.search_batch``).
+    run_one:
+        ``(query, key) -> SearchResult`` — the single-query rescue path
+        used to isolate failures when a batch call raises.
+    window_s:
+        How long the oldest pending request may wait for batchmates
+        before its batch is dispatched anyway.
+    max_batch:
+        Dispatch immediately once this many same-key requests are
+        pending (never hand the engine more than this per call).
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[List[str], BatchKey], Sequence],
+        run_one: Callable[[str, BatchKey], object],
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._run_batch = run_batch
+        self._run_one = run_one
+        self.window_s = window_s
+        self.max_batch = max_batch
+        #: serve-layer telemetry, always on and private to this coalescer
+        #: (rendered by ``GET /metrics`` alongside the engine registry)
+        self.metrics = MetricsRegistry(enabled=True)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: List[_PendingRequest] = []
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # caller side
+    # ------------------------------------------------------------------ #
+    def submit(self, query: str, key: BatchKey) -> Future:
+        """Enqueue one request; the future resolves to ``(result, batch)``
+        where ``batch`` is the size of the engine call it rode in."""
+        request = _PendingRequest(query, key, time.monotonic())
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            if self._thread is None:
+                self._start_locked()
+            self._pending.append(request)
+            self.metrics.inc("serve.requests")
+            self._wake.notify_all()
+        return request.future
+
+    def start(self) -> "BatchCoalescer":
+        """Start the dispatcher thread (idempotent; submit() auto-starts)."""
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            if self._thread is None:
+                self._start_locked()
+        return self
+
+    def _start_locked(self) -> None:
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, flush what is pending, join the thread."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def __enter__(self) -> "BatchCoalescer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Always-on coalescing counters for dashboards and the bench."""
+        requests = self.metrics.counter("serve.requests")
+        batches = self.metrics.counter("serve.batches")
+        histogram = self.metrics.histograms.get("serve.batch_size")
+        return {
+            "requests": requests,
+            "batches": batches,
+            "coalescing_ratio": round(requests / batches, 3) if batches else 0.0,
+            "mean_batch_size": (
+                round(histogram.mean, 3) if histogram is not None else 0.0
+            ),
+            "max_batch_size": (
+                int(histogram.max)
+                if histogram is not None and histogram.count
+                else 0
+            ),
+            "rescued_requests": self.metrics.counter("serve.rescued_requests"),
+        }
+
+    # ------------------------------------------------------------------ #
+    # dispatcher side
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            if batch:
+                self._flush(batch)
+
+    def _take_batch(self) -> Optional[List[_PendingRequest]]:
+        """Block until a batch is due; ``None`` means closed and drained."""
+        with self._wake:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._wake.wait()
+            # the head request anchors the batch: it has waited longest,
+            # so its window decides when the batch must go out
+            head = self._pending[0]
+            deadline = head.arrived + self.window_s
+            while not self._closed:
+                same_key = sum(
+                    1 for p in self._pending if p.key == head.key
+                )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or same_key >= self.max_batch:
+                    break
+                self._wake.wait(remaining)
+            taken: List[_PendingRequest] = []
+            kept: List[_PendingRequest] = []
+            for request in self._pending:
+                if request.key == head.key and len(taken) < self.max_batch:
+                    taken.append(request)
+                else:
+                    kept.append(request)
+            self._pending = kept
+            if kept:
+                self._wake.notify_all()
+        return taken
+
+    def _flush(self, batch: List[_PendingRequest]) -> None:
+        # a caller may have given up (cancelled) while waiting in the
+        # window; drop those before spending engine time on them
+        live = [
+            request
+            for request in batch
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        key = live[0].key
+        queries = [request.query for request in live]
+        self.metrics.inc("serve.batches")
+        self.metrics.observe("serve.batch_size", len(live))
+        if len(live) > 1:
+            self.metrics.inc("serve.coalesced_requests", len(live))
+        started = time.perf_counter()
+        try:
+            with _TRACER.trace(
+                "serve.batch",
+                requests=len(live),
+                metric=key.metric,
+                threshold=key.threshold,
+            ):
+                results = self._run_batch(queries, key)
+            if len(results) != len(live):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results for "
+                    f"{len(live)} queries"
+                )
+        # failure isolation: re-run each request alone so the raising
+        # request gets its own exception and batchmates still succeed
+        # repro: noqa RA07 -- every exception re-delivers via the rescue path
+        except BaseException as error:
+            self._rescue(live, key, error)
+            return
+        finally:
+            self.metrics.record_time(
+                "serve.batch.seconds", time.perf_counter() - started
+            )
+        for request, result in zip(live, results):
+            request.future.set_result((result, len(live)))
+
+    def _rescue(
+        self, batch: List[_PendingRequest], key: BatchKey, error: BaseException
+    ) -> None:
+        if len(batch) == 1:
+            batch[0].future.set_exception(error)
+            return
+        self.metrics.inc("serve.rescued_requests", len(batch))
+        for request in batch:
+            try:
+                result = self._run_one(request.query, key)
+            # repro: noqa RA07 -- the exception IS this request's answer
+            except BaseException as single_error:
+                request.future.set_exception(single_error)
+            else:
+                request.future.set_result((result, 1))

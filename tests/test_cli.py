@@ -88,6 +88,131 @@ class TestIndexAndSearch:
         assert "world" not in out
 
 
+class TestMmapFailFast:
+    """``--mmap`` only works on bundle directories; both misuse branches
+    must fail fast with an error naming the `repro index` migration."""
+
+    def test_mmap_with_legacy_npz_rejected(self, corpus, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        assert main(["index", corpus, index_path]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "search", corpus, "tok0",
+                    "--load-index", index_path,
+                    "--mmap",
+                ]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "cannot be memory-mapped" in out
+        assert "repro index" in out  # the migration path, by name
+
+    def test_mmap_without_load_index_rejected(self, corpus, capsys):
+        assert main(["search", corpus, "tok0", "--mmap"]) == 2
+        out = capsys.readouterr().out
+        assert "--load-index" in out
+        assert "repro index" in out
+
+    def test_mmap_with_bundle_directory_accepted(
+        self, corpus, tmp_path, capsys
+    ):
+        bundle = str(tmp_path / "bundle.out")
+        assert main(["index", corpus, bundle]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "search", corpus, "tok0",
+                    "--threshold", "0.5",
+                    "--load-index", bundle,
+                    "--mmap",
+                ]
+            )
+            == 0
+        )
+        assert "hits in" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    """The serve command's argument surface and boot paths (the server
+    loop itself is monkeypatched out — the HTTP stack has its own tests
+    in test_serve.py)."""
+
+    @pytest.fixture
+    def served_app(self, monkeypatch):
+        """Capture the app `repro serve` would run instead of serving."""
+        import repro.serve.server as server_module
+
+        captured = []
+        monkeypatch.setattr(
+            server_module, "run", lambda app, host, port: captured.append(app)
+        )
+        return captured
+
+    def test_serves_a_bundle_with_knobs(
+        self, corpus, tmp_path, served_app, capsys
+    ):
+        bundle = str(tmp_path / "bundle.out")
+        assert main(["index", corpus, bundle]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "serve", bundle,
+                    "--mmap",
+                    "--batch-window-ms", "5",
+                    "--max-batch", "7",
+                ]
+            )
+            == 0
+        )
+        assert "serving" in capsys.readouterr().out
+        (app,) = served_app
+        assert app.window_ms == 5.0
+        assert app.max_batch == 7
+        assert str(app.bundle_path) == bundle
+
+    def test_serves_a_corpus_file_with_shards(
+        self, corpus, served_app, capsys
+    ):
+        assert main(["serve", corpus, "--shards", "2"]) == 0
+        (app,) = served_app
+        assert type(app.engine).__name__ == "ShardedEngine"
+        assert app.engine.num_shards == 2
+        assert app.bundle_path is None
+
+    def test_legacy_npz_rejected_with_migration_path(
+        self, corpus, tmp_path, served_app, capsys
+    ):
+        index_path = str(tmp_path / "idx.npz")
+        assert main(["index", corpus, index_path]) == 0
+        capsys.readouterr()
+        assert main(["serve", index_path]) == 2
+        out = capsys.readouterr().out
+        assert "repro index" in out
+        assert served_app == []
+
+    def test_mmap_needs_a_bundle(self, corpus, served_app, capsys):
+        assert main(["serve", corpus, "--mmap"]) == 2
+        assert "repro index" in capsys.readouterr().out
+
+    def test_shards_flag_rejected_for_bundles(
+        self, corpus, tmp_path, served_app, capsys
+    ):
+        bundle = str(tmp_path / "bundle.out")
+        assert main(["index", corpus, bundle]) == 0
+        capsys.readouterr()
+        assert main(["serve", bundle, "--shards", "2"]) == 2
+        assert "--shards" in capsys.readouterr().out
+
+    def test_bad_shard_count_rejected(self, corpus, served_app, capsys):
+        assert main(["serve", corpus, "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().out
+
+
 class TestThresholdValidation:
     """Edit-distance thresholds are integer edit counts — a fractional
     value must be rejected loudly, never silently truncated."""

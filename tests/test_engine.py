@@ -420,6 +420,47 @@ class TestBatchFailureSemantics:
             assert registry.counter("search.queries") == len(queries)
             assert registry.counter("engine.batch.queries") == len(queries)
 
+    def test_killed_workers_recover_with_a_fresh_pool(self, word_collection):
+        # regression: the broken executor must be disposed after the
+        # serial fallback, so the *next* batch lazily builds a fresh pool
+        # instead of re-tripping BrokenProcessPool forever
+        queries = word_collection.strings[:16]
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            baseline = [
+                list(r) for r in engine.search_batch(queries, 0.7, workers=1)
+            ]
+            engine.search_batch(queries, 0.7, workers=2)  # spawn workers
+            if engine._pool_kind != "process":
+                pytest.skip("no fork pool on this platform")
+            for process in engine._pool._processes.values():
+                process.kill()
+            results = engine.search_batch(queries, 0.7, workers=2)
+            assert [list(r) for r in results] == baseline
+            assert engine._pool is None  # broken executor retired
+            results = engine.search_batch(queries, 0.7, workers=2)
+            assert [list(r) for r in results] == baseline
+            assert engine._pool is not None  # recreated and healthy again
+            assert engine._pool_kind == "process"
+
+    def test_broken_pool_disposed_when_query_error_propagates(
+        self, word_collection, thread_mode
+    ):
+        # regression: infrastructure failure AND a genuine query error in
+        # the same batch — the error propagates (no serial rerun of the
+        # poisoned chunk) but the broken executor must still be retired
+        queries = list(word_collection.strings[:15])
+        queries.insert(2, "!!poison!!")  # chunk 1 of 8 (chunk_size 2)
+        with SimilarityEngine(word_collection, scheme="css") as engine:
+            wrapper = _PoisonedSearcher(engine.searcher, "!!poison!!")
+            engine.searcher = wrapper
+            real_pool = engine._ensure_pool(2)
+            assert engine._pool_kind == "thread"
+            engine._pool = _FlakyPool(real_pool, fail_at=3)
+            with pytest.raises(RuntimeError, match="poisoned"):
+                engine.search_batch(queries, 0.7, workers=2)
+            assert wrapper.calls.count("!!poison!!") == 1
+            assert engine._pool is None  # retired despite the propagation
+
 
 class TestDynamicIngest:
     def test_static_index_rejects_add(self, word_collection):

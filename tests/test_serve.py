@@ -1,0 +1,577 @@
+"""Tests for the HTTP serving layer: coalescer, ASGI app, socket server.
+
+The coalescer is exercised first in isolation with scripted runners
+(batch grouping, window/max-batch dispatch, failure isolation), then the
+whole stack: the ASGI app invoked directly (no sockets) for routing and
+parity, and :class:`ServerThread` over real HTTP for the wire protocol.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import SimilarityEngine
+from repro.serve import BatchCoalescer, BatchKey, ServeApp, ServerThread
+from repro.similarity import tokenize_collection
+
+
+@pytest.fixture
+def engine(word_strings):
+    with SimilarityEngine(tokenize_collection(word_strings)) as engine:
+        yield engine
+
+
+@pytest.fixture
+def app(engine):
+    app = ServeApp(engine, window_ms=20.0, max_batch=32)
+    yield app
+    app.close()
+
+
+# ---------------------------------------------------------------------- #
+# scripted runners for coalescer-only tests
+# ---------------------------------------------------------------------- #
+class _Runner:
+    """Records every batch/single call; raises on queries named 'poison'."""
+
+    def __init__(self):
+        self.batches = []
+        self.singles = []
+        self.lock = threading.Lock()
+
+    def run_batch(self, queries, key):
+        with self.lock:
+            self.batches.append((list(queries), key))
+        if any("poison" in query for query in queries):
+            raise RuntimeError("poisoned batch")
+        return [f"{query}@{key.metric}/{key.threshold}" for query in queries]
+
+    def run_one(self, query, key):
+        with self.lock:
+            self.singles.append((query, key))
+        if "poison" in query:
+            raise ValueError(f"bad query: {query}")
+        return f"{query}@{key.metric}/{key.threshold}"
+
+
+class TestCoalescer:
+    def test_same_key_requests_share_one_batch(self):
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=0.05, max_batch=8
+        ) as coalescer:
+            key = BatchKey("jaccard", 0.8)
+            futures = [coalescer.submit(f"q{i}", key) for i in range(5)]
+            answers = [future.result(timeout=5) for future in futures]
+        assert len(runner.batches) == 1
+        assert sorted(runner.batches[0][0]) == [f"q{i}" for i in range(5)]
+        for i, (result, batch_size) in enumerate(answers):
+            assert result == f"q{i}@jaccard/0.8"
+            assert batch_size == 5
+
+    def test_distinct_keys_never_share_a_batch(self):
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=0.05, max_batch=8
+        ) as coalescer:
+            futures = {
+                (metric, threshold): coalescer.submit(
+                    "query", BatchKey(metric, threshold)
+                )
+                for metric in ("jaccard", "cosine")
+                for threshold in (0.5, 0.9)
+            }
+            for (metric, threshold), future in futures.items():
+                result, _ = future.result(timeout=5)
+                assert result == f"query@{metric}/{threshold}"
+        for queries, key in runner.batches:
+            assert len({key}) == 1  # each batch carries exactly one key
+        assert len(runner.batches) == 4
+
+    def test_full_batch_dispatches_before_window(self):
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=30.0, max_batch=3
+        ) as coalescer:
+            key = BatchKey("jaccard", 0.8)
+            futures = [coalescer.submit(f"q{i}", key) for i in range(3)]
+            # window is 30 s; only the size trigger can release these
+            for future in futures:
+                assert future.result(timeout=5)[1] == 3
+
+    def test_window_releases_a_lone_request(self):
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=0.01, max_batch=64
+        ) as coalescer:
+            future = coalescer.submit("solo", BatchKey("jaccard", 0.8))
+            result, batch_size = future.result(timeout=5)
+        assert batch_size == 1
+
+    def test_poisoned_request_fails_alone_batchmates_succeed(self):
+        # satellite: a request that raises mid-batch must receive its own
+        # exception while its innocent batchmates still get their results
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=0.05, max_batch=8
+        ) as coalescer:
+            key = BatchKey("jaccard", 0.8)
+            good = [coalescer.submit(f"q{i}", key) for i in range(3)]
+            bad = coalescer.submit("poison", key)
+            for i, future in enumerate(good):
+                result, batch_size = future.result(timeout=5)
+                assert result == f"q{i}@jaccard/0.8"
+                assert batch_size == 1  # answered via the rescue path
+            with pytest.raises(ValueError, match="bad query: poison"):
+                bad.result(timeout=5)
+        assert len(runner.singles) == 4  # every batchmate re-ran alone
+        assert coalescer.stats()["rescued_requests"] == 4
+
+    def test_lone_poisoned_request_gets_the_batch_error_directly(self):
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=0.01, max_batch=8
+        ) as coalescer:
+            future = coalescer.submit("poison", BatchKey("jaccard", 0.8))
+            with pytest.raises(RuntimeError, match="poisoned batch"):
+                future.result(timeout=5)
+        assert runner.singles == []  # nothing to isolate: no re-run
+
+    def test_close_flushes_pending_then_rejects(self):
+        runner = _Runner()
+        coalescer = BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=5.0, max_batch=64
+        )
+        future = coalescer.submit("q", BatchKey("jaccard", 0.8))
+        coalescer.close()
+        assert future.result(timeout=5)[0] == "q@jaccard/0.8"
+        with pytest.raises(RuntimeError, match="closed"):
+            coalescer.submit("late", BatchKey("jaccard", 0.8))
+
+    def test_stats_shape(self):
+        runner = _Runner()
+        with BatchCoalescer(
+            runner.run_batch, runner.run_one, window_s=0.02, max_batch=8
+        ) as coalescer:
+            key = BatchKey("jaccard", 0.8)
+            futures = [coalescer.submit(f"q{i}", key) for i in range(4)]
+            for future in futures:
+                future.result(timeout=5)
+            stats = coalescer.stats()
+        assert stats["requests"] == 4
+        assert stats["batches"] >= 1
+        assert stats["coalescing_ratio"] == pytest.approx(
+            4 / stats["batches"], abs=1e-3
+        )
+        assert stats["max_batch_size"] <= 4
+        assert stats["rescued_requests"] == 0
+
+    def test_knob_validation(self):
+        runner = _Runner()
+        with pytest.raises(ValueError, match="window_s"):
+            BatchCoalescer(runner.run_batch, runner.run_one, window_s=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchCoalescer(runner.run_batch, runner.run_one, max_batch=0)
+
+
+class TestCoalescedParity:
+    def test_concurrent_distinct_thresholds_get_their_own_results(
+        self, engine, word_strings
+    ):
+        # satellite: N concurrent clients, each with its own tau — every
+        # future must resolve to exactly its own query's direct answer
+        coalescer = BatchCoalescer(
+            lambda queries, key: engine.search_batch(queries, key.threshold),
+            lambda query, key: engine.search(query, key.threshold),
+            window_s=0.05,
+            max_batch=16,
+        )
+        jobs = [
+            (word_strings[i % 40], 0.4 + 0.1 * (i % 5)) for i in range(30)
+        ]
+        with coalescer:
+            with ThreadPoolExecutor(10) as pool:
+                futures = list(
+                    pool.map(
+                        lambda job: coalescer.submit(
+                            job[0], BatchKey("jaccard", job[1])
+                        ),
+                        jobs,
+                    )
+                )
+            answers = [future.result(timeout=30) for future in futures]
+        for (query, threshold), (result, _) in zip(jobs, answers):
+            direct = engine.search(query, threshold)
+            assert list(result) == list(direct), (query, threshold)
+        stats = coalescer.stats()
+        assert stats["requests"] == 30
+        assert stats["batches"] < 30  # sharing actually happened
+
+
+# ---------------------------------------------------------------------- #
+# the ASGI app, invoked directly (no sockets)
+# ---------------------------------------------------------------------- #
+def _call(app, method, path, document=None):
+    """Drive one request through the ASGI interface; (status, body)."""
+
+    async def _run():
+        body = b"" if document is None else json.dumps(document).encode()
+        scope = {
+            "type": "http",
+            "method": method,
+            "path": path,
+            "headers": [],
+        }
+        messages = [
+            {"type": "http.request", "body": body, "more_body": False}
+        ]
+        sent = []
+
+        async def receive():
+            return (
+                messages.pop(0)
+                if messages
+                else {"type": "http.disconnect"}
+            )
+
+        async def send(message):
+            sent.append(message)
+
+        await app(scope, receive, send)
+        return sent
+
+    sent = asyncio.run(_run())
+    status = sent[0]["status"]
+    payload = b"".join(
+        message.get("body", b"")
+        for message in sent
+        if message["type"] == "http.response.body"
+    )
+    return status, payload
+
+
+def _call_json(app, method, path, document=None):
+    status, payload = _call(app, method, path, document)
+    return status, json.loads(payload)
+
+
+class TestServeApp:
+    def test_single_search_parity(self, app, engine, word_strings):
+        query = word_strings[0]
+        status, document = _call_json(
+            app, "POST", "/search", {"query": query, "threshold": 0.6}
+        )
+        direct = engine.search(query, 0.6)
+        assert status == 200
+        assert document["ids"] == list(direct)
+        assert document["count"] == len(direct)
+        assert document["metric"] == "jaccard"
+        assert document["batch_size"] >= 1
+
+    def test_concurrent_searches_coalesce_with_parity(
+        self, app, engine, word_strings
+    ):
+        queries = word_strings[:12]
+
+        async def _one(query):
+            body = json.dumps({"query": query, "tau": 0.5}).encode()
+            scope = {
+                "type": "http",
+                "method": "POST",
+                "path": "/search",
+                "headers": [],
+            }
+            sent = []
+
+            async def receive():
+                return {
+                    "type": "http.request",
+                    "body": body,
+                    "more_body": False,
+                }
+
+            async def send(message):
+                sent.append(message)
+
+            await app(scope, receive, send)
+            return json.loads(sent[1]["body"])
+
+        async def _all():
+            return await asyncio.gather(*(_one(q) for q in queries))
+
+        documents = asyncio.run(_all())
+        for query, document in zip(queries, documents):
+            assert document["ids"] == list(engine.search(query, 0.5))
+        assert max(document["batch_size"] for document in documents) > 1
+
+    def test_explicit_batch_bypasses_coalescer(
+        self, app, engine, word_strings
+    ):
+        queries = word_strings[:4]
+        status, document = _call_json(
+            app,
+            "POST",
+            "/search",
+            {"queries": queries, "threshold": 0.5, "metric": "cosine"},
+        )
+        assert status == 200
+        cosine = SimilarityEngine(index=engine.index, metric="cosine")
+        for row, query in zip(document["results"], queries):
+            assert row["ids"] == list(cosine.search(query, 0.5))
+
+    def test_per_request_metric_override(self, app, engine, word_strings):
+        query = word_strings[0]
+        status, document = _call_json(
+            app,
+            "POST",
+            "/search",
+            {"query": query, "threshold": 0.5, "metric": "dice"},
+        )
+        assert status == 200
+        dice = SimilarityEngine(index=engine.index, metric="dice")
+        assert document["ids"] == list(dice.search(query, 0.5))
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ({"query": "x"}, "threshold"),
+            ({"query": "x", "threshold": "high"}, "threshold"),
+            ({"query": "x", "threshold": True}, "threshold"),
+            ({"threshold": 0.5}, "query"),
+            ({"query": 7, "threshold": 0.5}, "query"),
+            ({"queries": "not-a-list", "threshold": 0.5}, "queries"),
+            ({"query": "x", "threshold": 0.5, "metric": 3}, "metric"),
+            # out of range for a set metric: the engine's own ValueError
+            # must surface as a 400, not a 500 (the client sent it)
+            ({"query": "x", "threshold": 5.0}, "threshold"),
+            ({"queries": ["x", "y"], "threshold": -0.25}, "threshold"),
+        ],
+    )
+    def test_bad_search_bodies_answer_400(self, app, body, fragment):
+        status, document = _call_json(app, "POST", "/search", body)
+        assert status == 400
+        assert fragment in document["error"]
+
+    def test_unknown_metric_answers_400(self, app):
+        status, document = _call_json(
+            app,
+            "POST",
+            "/search",
+            {"query": "x", "threshold": 0.5, "metric": "hamming"},
+        )
+        assert status == 400
+        assert "hamming" in document["error"]
+
+    def test_invalid_json_answers_400(self, app):
+        status, payload = _call(app, "POST", "/search")
+        assert status == 400
+        status, document = _call_json(app, "POST", "/search", [1, 2, 3])
+        assert status == 400
+        assert "JSON object" in document["error"]
+
+    def test_routing(self, app):
+        assert _call(app, "GET", "/nope")[0] == 404
+        assert _call(app, "GET", "/search")[0] == 405
+        assert _call(app, "POST", "/healthz")[0] == 405
+
+    def test_info_document(self, app, word_strings):
+        status, document = _call_json(app, "GET", "/")
+        assert status == 200
+        assert document["engine"] == "SimilarityEngine"
+        assert document["records"] == len(word_strings)
+        assert document["metric"] == "jaccard"
+        assert set(document["coalescing"]) >= {
+            "requests",
+            "batches",
+            "coalescing_ratio",
+            "mean_batch_size",
+        }
+
+    def test_metrics_exposition(self, app):
+        _call_json(app, "POST", "/search", {"query": "x", "threshold": 0.9})
+        status, payload = _call(app, "GET", "/metrics")
+        text = payload.decode()
+        assert status == 200
+        assert "repro_serve_batch_size" in text
+        assert "repro_serve_route_search_requests_total 1" in text
+
+    def test_healthz_without_bundle(self, app):
+        status, document = _call_json(app, "GET", "/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["bundle"] is None
+
+    def test_lifespan_starts_and_stops_the_coalescer(self, engine):
+        app = ServeApp(engine, window_ms=1.0)
+
+        async def _run():
+            messages = [
+                {"type": "lifespan.startup"},
+                {"type": "lifespan.shutdown"},
+            ]
+            sent = []
+
+            async def receive():
+                return messages.pop(0)
+
+            async def send(message):
+                sent.append(message)
+
+            await app({"type": "lifespan"}, receive, send)
+            return sent
+
+        sent = asyncio.run(_run())
+        assert [message["type"] for message in sent] == [
+            "lifespan.startup.complete",
+            "lifespan.shutdown.complete",
+        ]
+        with pytest.raises(RuntimeError, match="closed"):
+            app.coalescer.submit("q", BatchKey("jaccard", 0.5))
+
+
+class TestHealthz:
+    def test_bundle_health_ok_and_cached(
+        self, tmp_path, word_strings, monkeypatch
+    ):
+        bundle = tmp_path / "bundle"
+        with SimilarityEngine(tokenize_collection(word_strings)) as engine:
+            engine.save(bundle)
+        app = ServeApp(
+            SimilarityEngine.open(bundle), bundle_path=bundle
+        )
+        try:
+            status, document = _call_json(app, "GET", "/healthz")
+            assert status == 200
+            assert document["status"] == "ok"
+            assert document["issues"] == []
+            # a second probe within max-age reuses the cached verdict
+            calls = []
+            import repro.compression.validate as validate
+
+            monkeypatch.setattr(
+                validate,
+                "check_path",
+                lambda path, **kw: calls.append(path) or [],
+            )
+            assert _call_json(app, "GET", "/healthz")[0] == 200
+            assert calls == []
+        finally:
+            app.close()
+            app.engine.close()
+
+    def test_corrupted_bundle_answers_503(self, tmp_path, word_strings):
+        bundle = tmp_path / "bundle"
+        with SimilarityEngine(tokenize_collection(word_strings)) as engine:
+            engine.save(bundle)
+        # mmap=False: the validator re-reads the files we are corrupting
+        app = ServeApp(
+            SimilarityEngine.open(bundle, mmap=False),
+            bundle_path=bundle,
+            health_max_age_s=0.0,
+        )
+        try:
+            manifest = bundle / "manifest.json"
+            document = json.loads(manifest.read_text())
+            document["num_records"] = 999999
+            manifest.write_text(json.dumps(document))
+            status, body = _call_json(app, "GET", "/healthz")
+            assert status == 503
+            assert body["status"] == "unhealthy"
+            assert body["issues"]
+        finally:
+            app.close()
+            app.engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# the real socket server
+# ---------------------------------------------------------------------- #
+def _post(url, document, timeout=10):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestServerThread:
+    def test_parallel_clients_coalesce_with_parity(
+        self, engine, word_strings
+    ):
+        app = ServeApp(engine, window_ms=10.0, max_batch=32)
+        with ServerThread(app) as server:
+            url = f"{server.url}/search"
+            queries = [word_strings[i % 30] for i in range(24)]
+            with ThreadPoolExecutor(12) as pool:
+                responses = list(
+                    pool.map(
+                        lambda query: _post(
+                            url, {"query": query, "threshold": 0.5}
+                        ),
+                        queries,
+                    )
+                )
+            for query, (status, document) in zip(queries, responses):
+                assert status == 200
+                assert document["ids"] == list(engine.search(query, 0.5))
+            stats = app.coalescer.stats()
+        assert stats["requests"] == 24
+        assert stats["batches"] < 24
+
+    def test_http_error_statuses_reach_the_wire(self, engine):
+        app = ServeApp(engine, window_ms=1.0)
+        with ServerThread(app) as server:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _post(f"{server.url}/search", {"query": "x"})
+            assert caught.value.code == 400
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=10)
+            assert caught.value.code == 404
+
+    def test_keep_alive_serves_sequential_requests(self, engine):
+        import http.client
+
+        app = ServeApp(engine, window_ms=1.0)
+        with ServerThread(app) as server:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            try:
+                for _ in range(3):
+                    connection.request("GET", "/healthz")
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    response.read()
+            finally:
+                connection.close()
+
+    def test_malformed_http_answers_400_family(self, engine):
+        import socket
+
+        app = ServeApp(engine, window_ms=1.0)
+        with ServerThread(app) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                sock.sendall(b"NOT-HTTP\r\n\r\n")
+                reply = sock.recv(4096)
+            assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_server_shutdown_closes_coalescer(self, engine):
+        app = ServeApp(engine, window_ms=1.0)
+        server = ServerThread(app).start()
+        try:
+            assert _post(
+                f"{server.url}/search", {"query": "x", "threshold": 0.9}
+            )[0] == 200
+        finally:
+            server.stop()
+        with pytest.raises(RuntimeError, match="closed"):
+            app.coalescer.submit("q", BatchKey("jaccard", 0.5))

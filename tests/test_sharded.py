@@ -128,6 +128,37 @@ class TestStaticParity:
                 expected[(q, 0.5)] for q in queries
             ]
 
+    def test_fan_out_survives_a_broken_pool(
+        self, word_collection, reference_results
+    ):
+        # regression: an executor failure mid-fan-out must fall back to
+        # answering the unanswered shards serially AND retire the broken
+        # pool so the next batch lazily recreates a fresh one
+        queries, expected = reference_results
+        with ShardedEngine(
+            word_collection, shards=3, routing="hash", scheme="css"
+        ) as engine:
+            engine._ensure_pool(3).shutdown(wait=True)  # poisoned executor
+            batch = engine.search_batch(queries, 0.5, workers=3)
+            assert [list(r.ids) for r in batch] == [
+                expected[(q, 0.5)] for q in queries
+            ]
+            assert engine._pool is None  # broken executor retired
+            batch = engine.search_batch(queries, 0.5, workers=3)
+            assert [list(r.ids) for r in batch] == [
+                expected[(q, 0.5)] for q in queries
+            ]
+            assert engine._pool is not None  # rebuilt and healthy
+
+    def test_fan_out_propagates_genuine_query_errors(self, word_collection):
+        with ShardedEngine(
+            word_collection, shards=3, routing="hash", scheme="css"
+        ) as engine:
+            with pytest.raises(ValueError, match="threshold"):
+                engine.search_batch(["tok0 tok1"] * 8, -2.0, workers=3)
+            # the pool is healthy: a query error must not tear it down
+            assert engine._pool is not None
+
     def test_edit_distance_metric(self, qgram_collection, char_strings):
         mono = SimilarityEngine(qgram_collection, scheme="css", metric="ed")
         sharded = ShardedEngine(

@@ -223,6 +223,92 @@ class TestDrainIngest:
         (document,) = tracer.drain()
         assert document["spans"][1]["name"] == "stage"
 
+    def test_documents_carry_absolute_start(self, tracer):
+        import time
+
+        before = time.perf_counter()
+        with tracer.trace("query"):
+            pass
+        after = time.perf_counter()
+        (document,) = tracer.drain()
+        assert before <= document["started_s"] <= after
+
+    def test_ingest_merges_by_start_time_not_arrival_order(self, tracer):
+        # regression: worker chunks drain in completion order, which
+        # interleaves across workers — newest-wins eviction must follow
+        # the traces' actual start times, not the order they arrived in
+        tracer.configure(slow_log_size=3, buffer_size=3)
+
+        def _doc(started):
+            return {
+                "trace_id": f"t{started}",
+                "name": "query",
+                "started_s": float(started),
+                "seconds": 0.001,
+                "slow": True,
+                "spans": [],
+            }
+
+        # worker A's chunk (late traces) arrives before worker B's
+        # (early traces); a plain append loop would evict A's — the
+        # genuinely newest — in favour of B's older ones
+        tracer.ingest([_doc(10), _doc(11), _doc(12)])
+        tracer.ingest([_doc(1), _doc(2), _doc(3)])
+        kept = [d["started_s"] for d in tracer.slow_log]
+        assert kept == [10.0, 11.0, 12.0]
+        assert [d["started_s"] for d in tracer.buffer] == [10.0, 11.0, 12.0]
+
+    def test_ingest_keeps_newest_across_retained_and_incoming(self, tracer):
+        tracer.configure(slow_log_size=4)
+        for started in (5, 7):
+            tracer.ingest(
+                [
+                    {
+                        "trace_id": f"r{started}",
+                        "started_s": float(started),
+                        "slow": True,
+                        "spans": [],
+                    }
+                ]
+            )
+        tracer.ingest(
+            [
+                {
+                    "trace_id": f"i{started}",
+                    "started_s": float(started),
+                    "slow": True,
+                    "spans": [],
+                }
+                for started in (6, 8, 9)
+            ]
+        )
+        kept = [d["started_s"] for d in tracer.slow_log]
+        assert kept == [6.0, 7.0, 8.0, 9.0]  # merged, oldest (5) evicted
+
+    def test_ingest_documents_without_start_sort_oldest(self, tracer):
+        tracer.configure(slow_log_size=2)
+        legacy = {"trace_id": "legacy", "slow": True, "spans": []}
+        modern = [
+            {
+                "trace_id": f"m{started}",
+                "started_s": float(started),
+                "slow": True,
+                "spans": [],
+            }
+            for started in (1, 2)
+        ]
+        tracer.ingest([legacy])
+        tracer.ingest(modern)
+        assert [d["trace_id"] for d in tracer.slow_log] == ["m1", "m2"]
+
+    def test_configure_resizes_slow_log(self, tracer):
+        tracer.configure(slow_ms=0.0, slow_log_size=2)
+        for _ in range(4):
+            with tracer.trace("query"):
+                pass
+        assert len(tracer.slow_log) == 2
+        assert tracer.slow_log.maxlen == 2
+
 
 class TestPrometheusExport:
     def test_counters_timers_histograms(self):
@@ -371,6 +457,37 @@ class TestSearchAndJoinIntegration:
         assert len(document["spans"]) > 1
         # tracing never turned metrics on: nothing new was recorded
         assert METRICS.counters == counters_before
+
+    def test_cross_process_slow_log_is_ordered_and_newest(
+        self, word_collection, global_tracer
+    ):
+        # regression: slow traces drained from pool workers arrive in
+        # chunk-completion order, which interleaves across workers; the
+        # bounded slow log must still hold the genuinely newest slow
+        # traces in start order, not whatever arrived last
+        from repro.engine import SimilarityEngine
+
+        queries = word_collection.strings[:24]
+        global_tracer.configure(
+            sample_rate=0.0, slow_ms=0.0, slow_log_size=8
+        )
+        try:
+            with SimilarityEngine(word_collection, scheme="css") as engine:
+                engine.search_batch(queries, 0.6, workers=2)
+                if engine._pool_kind != "process":
+                    pytest.skip("no fork pool on this platform")
+            log = list(global_tracer.slow_log)
+            documents = global_tracer.drain()  # every slow doc (buffer)
+        finally:
+            global_tracer.configure(slow_log_size=64)
+        assert len(documents) == len(queries)  # slow_ms=0: all are slow
+        assert len(log) == 8
+        starts = [document["started_s"] for document in log]
+        assert starts == sorted(starts)
+        newest = sorted(documents, key=lambda d: d["started_s"])[-8:]
+        assert [d["trace_id"] for d in log] == [
+            d["trace_id"] for d in newest
+        ]
 
     def test_join_yields_one_trace_per_run(
         self, word_collection, global_tracer
