@@ -93,6 +93,12 @@ def test_serve_load(benchmark):
                 f"{server.url}/healthz", timeout=60
             ).read()
         )
+        # end-of-run gauge snapshot (queue drained, nothing in flight)
+        debug_vars = json.loads(
+            urllib.request.urlopen(
+                f"{server.url}/debug/vars", timeout=60
+            ).read()
+        )
 
         # parity: every HTTP answer == the direct engine call, bit for bit
         for query, document in zip(queries, documents):
@@ -125,6 +131,18 @@ def test_serve_load(benchmark):
             for size, count in sorted(batch_histogram.items())
         },
         "rescued_requests": stats["rescued_requests"],
+        "shed_requests": debug_vars["shed"],
+        "gauges": {
+            name: debug_vars["gauges"][name]
+            for name in (
+                "serve.queue.depth",
+                "serve.batch.inflight",
+                "process.rss_bytes",
+                "engine.cache.entries",
+                "engine.cache.bytes",
+            )
+            if name in debug_vars["gauges"]
+        },
         "health": health["status"],
     }
     benchmark.extra_info.update(

@@ -11,6 +11,8 @@ per line):
   through a persisted index (``--mmap`` serves bundles zero-copy),
 * ``serve``    — HTTP serving layer over an index: concurrent
   ``POST /search`` requests are coalesced into batch engine calls,
+* ``top``      — live terminal dashboard over a serving process's
+  ``/metrics`` (per-route rates, p50/p99, coalescing, gauges),
 * ``compact``  — seal a dynamic bundle's online lists into offline CSS
   blocks (the DP re-partition),
 * ``join``     — self-join a corpus and print the similar pairs.
@@ -23,10 +25,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.framework import OFFLINE_SCHEMES, ONLINE_SCHEMES
 from .datasets import dataset_names, load_dataset
@@ -423,6 +426,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace coalesced batches at least this slow into the "
         "tracer's slow-query log",
     )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed POST /search with 429 + Retry-After once this many "
+        "requests are queued ahead of the engine (default: unbounded)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="keep this fraction of request/batch traces for GET "
+        "/debug/trace (default: 1.0; 0 disables sampling, slow "
+        "traces are always kept when --slow-ms is set)",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal dashboard over a serving process's /metrics",
+        description="Poll a repro serve endpoint's Prometheus exposition "
+        "and render per-route request rates, error counts and p50/p99 "
+        "latency, plus coalescing and runtime gauges — `top` for the "
+        "serving stack. TARGET is the server's base URL (http://...) or "
+        "a file holding a saved /metrics exposition (rendered once).",
+    )
+    top.add_argument(
+        "target",
+        help="server base URL (e.g. http://127.0.0.1:8080) or a file "
+        "containing Prometheus exposition text",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default: 2.0)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N renders (default: 0, poll until ctrl-c)",
+    )
 
     join = commands.add_parser("join", help="similarity self-join a corpus")
     join.add_argument("corpus")
@@ -800,6 +849,8 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         batch_workers=args.batch_workers,
         slow_ms=args.slow_ms,
+        max_pending=args.max_pending,
+        trace_sample=args.trace_sample if args.trace_sample > 0 else None,
     )
     if path.is_dir():
         if args.shards > 1:
@@ -878,6 +929,187 @@ def _describe_served(app) -> str:
         f"{records} records ({engine.metric}, "
         f"{shards} shard{'s' if shards != 1 else ''}){source}"
     )
+
+
+# --------------------------------------------------------------------- #
+# repro top: a terminal dashboard over a serving process's /metrics
+# --------------------------------------------------------------------- #
+_ROUTE_REQUESTS = re.compile(
+    r"^repro_serve_route_(?P<route>.+)_requests_total$"
+)
+_BUCKET_SAMPLE = re.compile(r'^(?P<family>.+)_bucket\{le="(?P<le>[^"]+)"\}$')
+
+
+def _histogram_quantile(
+    samples: Dict[str, float], family: str, quantile: float
+) -> Optional[float]:
+    """A quantile's bucket upper bound from cumulative ``le`` buckets.
+
+    The serve histograms are log2-bucketed, so the answer is the upper
+    bound of the bucket the quantile falls in (the same estimate
+    Prometheus's ``histogram_quantile`` would snap to); ``None`` when the
+    family is absent or empty.
+    """
+    buckets: List[Tuple[float, float]] = []
+    for key, value in samples.items():
+        match = _BUCKET_SAMPLE.match(key)
+        if match and match.group("family") == family:
+            buckets.append((float(match.group("le")), value))
+    if not buckets:
+        return None
+    buckets.sort()
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    target = quantile * total
+    for upper, cumulative in buckets:
+        if cumulative >= target:
+            return upper
+    return buckets[-1][0]
+
+
+def _route_rows(
+    samples: Dict[str, float],
+    previous: Optional[Dict[str, float]],
+    dt: Optional[float],
+) -> List[tuple]:
+    """Per-route RED rows: (route, total, rate, 5xx, p50, p99)."""
+    rows = []
+    for key in sorted(samples):
+        match = _ROUTE_REQUESTS.match(key)
+        if match is None:
+            continue
+        route = match.group("route")
+        total = samples[key]
+        rate = None
+        if previous is not None and dt:
+            rate = max(0.0, (total - previous.get(key, 0.0)) / dt)
+        errors = sum(
+            value
+            for name, value in samples.items()
+            if name.startswith(f"repro_serve_route_{route}_status_5")
+        )
+        family = f"repro_serve_route_{route}_latency_ms"
+        rows.append(
+            (
+                route,
+                total,
+                rate,
+                errors,
+                _histogram_quantile(samples, family, 0.50),
+                _histogram_quantile(samples, family, 0.99),
+            )
+        )
+    return rows
+
+
+def _format_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return ">2^63"
+    return f"{value:.0f}"
+
+
+def _render_top(
+    samples: Dict[str, float],
+    previous: Optional[Dict[str, float]],
+    dt: Optional[float],
+    target: str,
+) -> str:
+    """One dashboard frame from a parsed /metrics sample (pure; tested)."""
+    lines = [f"repro top — {target}"]
+    uptime = samples.get("repro_serve_uptime_seconds")
+    rss = samples.get("repro_process_rss_bytes")
+    pool = samples.get("repro_engine_pool_workers")
+    summary = []
+    if uptime is not None:
+        summary.append(f"up {uptime:.0f}s")
+    if rss:
+        summary.append(f"rss {rss / (1 << 20):.1f} MiB")
+    if pool is not None:
+        summary.append(f"pool {pool:.0f}")
+    cache_entries = samples.get("repro_engine_cache_entries")
+    if cache_entries is not None:
+        cache_bytes = samples.get("repro_engine_cache_bytes", 0.0)
+        summary.append(
+            f"cache {cache_entries:.0f} lists / {cache_bytes / 1024:.0f} KiB"
+        )
+    if summary:
+        lines.append("  " + " · ".join(summary))
+    requests = samples.get("repro_serve_requests_total", 0.0)
+    batches = samples.get("repro_serve_batches_total", 0.0)
+    ratio = requests / batches if batches else 0.0
+    lines.append(
+        f"  coalescing: {requests:.0f} requests in {batches:.0f} batches "
+        f"(ratio {ratio:.2f}) · queue "
+        f"{samples.get('repro_serve_queue_depth', 0.0):.0f} · in-flight "
+        f"{samples.get('repro_serve_batch_inflight', 0.0):.0f} · shed "
+        f"{samples.get('repro_serve_shed_total', 0.0):.0f}"
+    )
+    lines.append("")
+    lines.append(
+        f"  {'route':<14} {'req':>10} {'rate/s':>8} {'5xx':>6} "
+        f"{'p50ms':>7} {'p99ms':>7}"
+    )
+    rows = _route_rows(samples, previous, dt)
+    if not rows:
+        lines.append("  (no per-route series yet — send a request)")
+    for route, total, rate, errors, p50, p99 in rows:
+        rate_text = f"{rate:.1f}" if rate is not None else "-"
+        lines.append(
+            f"  {route:<14} {total:>10.0f} {rate_text:>8} {errors:>6.0f} "
+            f"{_format_ms(p50):>7} {_format_ms(p99):>7}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args) -> int:
+    from .obs.export import parse_prometheus
+
+    target = args.target
+    if not target.startswith(("http://", "https://")):
+        path = Path(target)
+        if not path.is_file():
+            print(
+                f"error: {target} is neither an http(s) URL nor a readable "
+                "exposition file"
+            )
+            return 2
+        print(_render_top(parse_prometheus(path.read_text()), None, None, target), end="")
+        return 0
+
+    import urllib.error
+    import urllib.request
+
+    url = target.rstrip("/") + "/metrics"
+    previous: Optional[Dict[str, float]] = None
+    previous_at: Optional[float] = None
+    renders = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    text = response.read().decode()
+            except (urllib.error.URLError, OSError) as error:
+                print(f"error: cannot scrape {url}: {error}")
+                return 1
+            samples = parse_prometheus(text)
+            now = time.monotonic()
+            dt = now - previous_at if previous_at is not None else None
+            frame = _render_top(samples, previous, dt, target)
+            if sys.stdout.isatty():
+                # clear + home, so the dashboard repaints in place
+                print("\x1b[2J\x1b[H" + frame, end="", flush=True)
+            else:
+                print(frame, end="", flush=True)
+            renders += 1
+            if args.count and renders >= args.count:
+                return 0
+            previous, previous_at = samples, now
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_compact(args) -> int:
@@ -1051,6 +1283,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "check": _cmd_check,
     "lint": _cmd_lint,
+    "top": _cmd_top,
 }
 
 

@@ -535,6 +535,12 @@ class SimilarityEngine:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    @property
+    def pool_workers(self) -> int:
+        """Size of the live batch worker pool (0 when none is up) —
+        what the serving layer's pool-size gauge reads."""
+        return self._pool_workers
+
     def cache_stats(self) -> Dict[str, int]:
         """Decode-cache counters (all zero when the cache is disabled)."""
         if self.cache is None:

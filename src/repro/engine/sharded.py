@@ -147,6 +147,21 @@ def _shard_batch(searcher, queries: Sequence[str], threshold, use_kernel=False):
     return [searcher.search(query, threshold) for query in queries]
 
 
+def _timed_shard_batch(
+    searcher, queries: Sequence[str], threshold, use_kernel=False
+):
+    """``_shard_batch`` plus its own wall-clock interval.
+
+    The fan-out pool threads have no access to the submitting thread's
+    active trace, so each sub-batch measures itself and the submitter
+    attaches the interval as a per-shard span after gathering (see
+    :meth:`ShardedEngine._fan_out`).
+    """
+    started = time.perf_counter()
+    results = _shard_batch(searcher, queries, threshold, use_kernel)
+    return results, started, time.perf_counter()
+
+
 class _Shard:
     """One partition: index + searcher + decode cache + id remap."""
 
@@ -474,7 +489,7 @@ class ShardedEngine:
                 for shard in self.shards:
                     futures.append(
                         pool.submit(
-                            _shard_batch,
+                            _timed_shard_batch,
                             shard.searcher,
                             queries,
                             threshold,
@@ -487,13 +502,23 @@ class ShardedEngine:
                 broken = True
             for position, future in enumerate(futures):
                 try:
-                    per_shard[position] = future.result()
+                    answers, started, ended = future.result()
                 except _POOL_FAILURES:
                     broken = True
                 except BaseException:
                     for pending in futures[position + 1 :]:
                         pending.cancel()
                     raise
+                else:
+                    per_shard[position] = answers
+                    # the pool thread cannot see this thread's active
+                    # trace; attach its self-measured interval as a
+                    # per-shard child span so a batch trace attributes
+                    # fan-out time shard by shard
+                    if _TRACER.is_tracing():
+                        _TRACER.attach_span(
+                            f"engine.shard[{position}].batch", started, ended
+                        )
         finally:
             if broken:
                 self.close()
@@ -803,6 +828,12 @@ class ShardedEngine:
     def shard_sizes(self) -> List[int]:
         """Records per shard (the routing balance, for dashboards)."""
         return [len(shard.local_to_global) for shard in self.shards]
+
+    @property
+    def pool_workers(self) -> int:
+        """Size of the live fan-out pool (0 when none is up) — what the
+        serving layer's pool-size gauge reads."""
+        return self._pool_workers
 
     def cache_stats(self) -> Dict[str, int]:
         """Decode-cache counters summed over every shard's cache."""

@@ -23,6 +23,7 @@ Disabled by default at near-zero cost; the CLI's ``--profile`` flag (and
 
 from .registry import (
     METRICS,
+    Gauge,
     Histogram,
     MetricsRegistry,
     enabled_metrics,
@@ -37,8 +38,10 @@ from .report import (
 )
 from .trace import TRACER, Tracer, trace_query
 from .export import (
+    check_exposition,
     dump_traces,
     load_traces,
+    parse_prometheus,
     render_trace_tree,
     to_prometheus,
     traces_to_jsonl,
@@ -49,6 +52,7 @@ METRICS.tracer = TRACER
 
 __all__ = [
     "METRICS",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "enabled_metrics",
@@ -62,6 +66,8 @@ __all__ = [
     "Tracer",
     "trace_query",
     "to_prometheus",
+    "check_exposition",
+    "parse_prometheus",
     "traces_to_jsonl",
     "dump_traces",
     "load_traces",

@@ -1,12 +1,18 @@
 """Exporters: Prometheus text exposition and JSONL trace dumps.
 
-Two standard wire shapes for everything :mod:`repro.obs` collects:
+Standard wire shapes for everything :mod:`repro.obs` collects:
 
 * :func:`to_prometheus` renders a registry (or any snapshot / profile
   document) in the Prometheus text exposition format — counters become
   ``*_total``, timers become summaries (``_sum`` / ``_count``), histograms
-  become cumulative ``le`` buckets built from the log2 buckets.  Output is
-  sorted by metric name, so two identical runs diff clean.
+  become cumulative ``le`` buckets built from the log2 buckets, gauges
+  become plain samples.  Every family carries ``# HELP`` / ``# TYPE``
+  lines and output is sorted by metric name, so two identical runs diff
+  clean.
+* :func:`check_exposition` validates that shape — the format checker the
+  tests and the CI serve smoke run over a live ``/metrics`` scrape — and
+  :func:`parse_prometheus` reads an exposition back into samples (what
+  ``repro top`` polls).
 * :func:`traces_to_jsonl` / :func:`dump_traces` write trace documents one
   JSON object per line (a span tree per query), and :func:`load_traces` /
   :func:`render_trace_tree` read them back and pretty-print the tree —
@@ -18,12 +24,14 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .registry import MetricsRegistry
 
 __all__ = [
     "to_prometheus",
+    "check_exposition",
+    "parse_prometheus",
     "traces_to_jsonl",
     "dump_traces",
     "load_traces",
@@ -32,9 +40,26 @@ __all__ = [
 
 _INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: the exposition-format charset for a complete metric name
+_VALID_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: one sample line: ``name{labels} value`` with optional labels
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
 
 def _prom_name(name: str, prefix: str) -> str:
-    """``twolayer.blocks_decoded`` -> ``repro_twolayer_blocks_decoded``."""
+    """``twolayer.blocks_decoded`` -> ``repro_twolayer_blocks_decoded``.
+
+    Every character outside the exposition charset collapses to ``_``;
+    the prefix guarantees the first character is a letter even when the
+    source name starts with a digit.
+    """
     return f"{prefix}_{_INVALID_METRIC_CHARS.sub('_', name)}"
 
 
@@ -44,6 +69,14 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _family(
+    lines: List[str], metric: str, kind: str, source_name: str
+) -> None:
+    """Open a metric family: its ``# HELP`` and ``# TYPE`` header lines."""
+    lines.append(f"# HELP {metric} repro.obs {kind} {source_name!r}")
+    lines.append(f"# TYPE {metric} {kind}")
+
+
 def to_prometheus(
     source: Union[MetricsRegistry, Dict], prefix: str = "repro"
 ) -> str:
@@ -51,9 +84,10 @@ def to_prometheus(
 
     ``source`` is a :class:`MetricsRegistry`, a ``snapshot()`` /
     ``snapshot(full=True)`` dict, or a profile document (they all carry
-    ``counters`` / ``timers`` / ``histograms`` keys).  Histogram ``le``
-    buckets need the lossless state form; from a summary-only snapshot the
-    histogram degrades to a ``_sum`` / ``_count`` summary.
+    ``counters`` / ``timers`` / ``histograms`` — and optionally
+    ``gauges`` — keys).  Histogram ``le`` buckets need the lossless state
+    form; from a summary-only snapshot the histogram degrades to a
+    ``_sum`` / ``_count`` summary.
     """
     if isinstance(source, MetricsRegistry):
         source = source.snapshot(full=True)
@@ -61,8 +95,13 @@ def to_prometheus(
 
     for name, value in sorted((source.get("counters") or {}).items()):
         metric = _prom_name(name, prefix)
-        lines.append(f"# TYPE {metric} counter")
+        _family(lines, metric, "counter", name)
         lines.append(f"{metric}_total {_format_value(int(value))}")
+
+    for name, value in sorted((source.get("gauges") or {}).items()):
+        metric = _prom_name(name, prefix)
+        _family(lines, metric, "gauge", name)
+        lines.append(f"{metric} {_format_value(float(value))}")
 
     for name, timer in sorted((source.get("timers") or {}).items()):
         if isinstance(timer, dict):
@@ -70,7 +109,7 @@ def to_prometheus(
         else:
             seconds, count = timer
         metric = _prom_name(name, prefix) + "_seconds"
-        lines.append(f"# TYPE {metric} summary")
+        _family(lines, metric, "summary", name)
         lines.append(f"{metric}_sum {_format_value(float(seconds))}")
         lines.append(f"{metric}_count {int(count)}")
 
@@ -81,11 +120,11 @@ def to_prometheus(
         buckets = state.get("buckets")
         if buckets is None:
             # summary-form snapshot: the buckets are gone, export moments
-            lines.append(f"# TYPE {metric} summary")
+            _family(lines, metric, "summary", name)
             lines.append(f"{metric}_sum {_format_value(total)}")
             lines.append(f"{metric}_count {count}")
             continue
-        lines.append(f"# TYPE {metric} histogram")
+        _family(lines, metric, "histogram", name)
         running = 0
         for bucket, occupancy in enumerate(buckets):
             running += int(occupancy)
@@ -98,6 +137,179 @@ def to_prometheus(
         lines.append(f"{metric}_count {count}")
 
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------- #
+# exposition-format validation and parsing
+# ---------------------------------------------------------------------- #
+_SAMPLE_SUFFIXES = ("_total", "_sum", "_count", "_bucket")
+
+
+def _owning_family(name: str, families: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample belongs to (exact or via a suffix)."""
+    if name in families:
+        return name
+    for suffix in _SAMPLE_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def _parse_float(text: str) -> Optional[float]:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def check_exposition(text: str) -> List[str]:
+    """Validate a Prometheus text exposition; returns the violations.
+
+    Enforces what this repo's exporters promise (and what a scraper
+    needs): every sample belongs to a family that declared ``# HELP`` and
+    ``# TYPE``, metric and label names stay in the exposition charset,
+    counter samples end in ``_total``, and histogram ``le`` buckets are
+    cumulative (non-decreasing) with a final ``+Inf`` bucket equal to the
+    family's ``_count``.  An empty list means the text is well-formed.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _VALID_METRIC_NAME.match(parts[2]):
+                problems.append(f"line {line_number}: malformed HELP line")
+            else:
+                helped[parts[2]] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _VALID_METRIC_NAME.match(parts[2]):
+                problems.append(f"line {line_number}: malformed TYPE line")
+                continue
+            family, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "summary", "histogram"):
+                problems.append(
+                    f"line {line_number}: unknown metric type {kind!r}"
+                )
+                continue
+            if types.get(family, kind) != kind:
+                problems.append(
+                    f"line {line_number}: family {family} re-declared as "
+                    f"{kind} (was {types[family]})"
+                )
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comments are legal
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(
+                f"line {line_number}: not a sample line: {line!r}"
+            )
+            continue
+        name, labels, raw_value = match.group("name", "labels", "value")
+        value = _parse_float(raw_value)
+        if value is None:
+            problems.append(
+                f"line {line_number}: non-numeric value {raw_value!r}"
+            )
+            continue
+        label_map: Dict[str, str] = {}
+        if labels:
+            for pair in labels.split(","):
+                pair = pair.strip()
+                if not _LABEL_PAIR.match(pair):
+                    problems.append(
+                        f"line {line_number}: malformed label {pair!r}"
+                    )
+                    continue
+                key, _, quoted = pair.partition("=")
+                label_map[key] = quoted[1:-1]
+        family = _owning_family(name, types)
+        if family is None:
+            problems.append(
+                f"line {line_number}: sample {name} has no # TYPE family"
+            )
+            continue
+        if not helped.get(family):
+            problems.append(
+                f"line {line_number}: family {family} has no # HELP line"
+            )
+        kind = types[family]
+        if kind == "counter" and name != f"{family}_total":
+            problems.append(
+                f"line {line_number}: counter sample must be "
+                f"{family}_total, got {name}"
+            )
+        if kind == "gauge" and name != family:
+            problems.append(
+                f"line {line_number}: gauge sample must be {family}, "
+                f"got {name}"
+            )
+        if kind == "histogram" and name == f"{family}_bucket":
+            upper = _parse_float(label_map.get("le", ""))
+            if upper is None:
+                problems.append(
+                    f"line {line_number}: histogram bucket without a "
+                    'numeric le="..." label'
+                )
+            else:
+                buckets.setdefault(family, []).append((upper, value))
+        if name == f"{family}_count":
+            counts[family] = value
+
+    for family, series in sorted(buckets.items()):
+        uppers = [upper for upper, _ in series]
+        values = [value for _, value in series]
+        if uppers != sorted(uppers):
+            problems.append(f"{family}: le buckets are not ascending")
+        if values != sorted(values):
+            problems.append(
+                f"{family}: bucket counts are not cumulative "
+                "(a bucket decreased)"
+            )
+        if not uppers or uppers[-1] != float("inf"):
+            problems.append(f"{family}: bucket series does not end at +Inf")
+        elif family in counts and values[-1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket {values[-1]:g} != _count "
+                f"{counts[family]:g}"
+            )
+    return problems
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Samples of an exposition as ``{"name{labels}": value}``.
+
+    The inverse of :func:`to_prometheus` down to sample granularity —
+    enough for a poller (``repro top``) to diff two scrapes; comments,
+    HELP/TYPE lines and malformed lines are skipped, not errors.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            continue
+        value = _parse_float(match.group("value"))
+        if value is None:
+            continue
+        labels = match.group("labels")
+        key = match.group("name") + (f"{{{labels}}}" if labels else "")
+        samples[key] = value
+    return samples
 
 
 # ---------------------------------------------------------------------- #

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "METRICS",
@@ -166,6 +167,50 @@ class Histogram:
         }
 
 
+class Gauge:
+    """Point-in-time value: a level, not a rate.
+
+    Counters and timers only ever grow; a gauge answers "how much right
+    now" — queue depth, cache bytes, resident memory.  Two forms:
+
+    * **stored** — callers :meth:`set` / :meth:`add` the value explicitly
+      (a worker's contribution to a shared level, folded by
+      :meth:`MetricsRegistry.merge` by summing, like histogram buckets);
+    * **callback** — the gauge holds a zero-argument callable and reads
+      the live value at snapshot time (queue depth, RSS), so nothing has
+      to remember to update it on every transition.
+    """
+
+    __slots__ = ("_value", "_callback")
+
+    def __init__(
+        self,
+        value: float = 0.0,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._value = float(value)
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+        self._callback = None  # an explicit set overrides a stale callback
+
+    def add(self, delta: float) -> None:
+        self._value += float(delta)
+
+    def resolve(self) -> float:
+        """The current value (callback gauges read their source live)."""
+        if self._callback is not None:
+            try:
+                return float(self._callback())
+            # a dead source (closed engine, vanished /proc entry) must
+            # never take /metrics down; the last stored value stands in
+            # repro: noqa RA07 -- degraded reading, not a hidden failure
+            except Exception:
+                return self._value
+        return self._value
+
+
 class _NullSpan:
     """Reusable do-nothing context manager (the disabled-span fast path)."""
 
@@ -217,19 +262,28 @@ class MetricsRegistry:
     """Named counters, timers and histograms with an enable switch.
 
     Counters are plain ints, timers are ``(total_seconds, count)`` pairs,
-    histograms are :class:`Histogram` instances — all keyed by dotted names
-    (``"twolayer.blocks_decoded"``, ``"search.filter"``).  Recording into a
+    histograms are :class:`Histogram` instances, gauges are :class:`Gauge`
+    instances — all keyed by dotted names (``"twolayer.blocks_decoded"``,
+    ``"search.filter"``, ``"serve.queue.depth"``).  Recording into a
     disabled registry is a no-op, and hot paths are expected to check
     :attr:`enabled` themselves before even computing what to record.
     """
 
-    __slots__ = ("enabled", "counters", "timers", "histograms", "tracer")
+    __slots__ = (
+        "enabled",
+        "counters",
+        "timers",
+        "histograms",
+        "gauges",
+        "tracer",
+    )
 
     def __init__(self, enabled: bool = False, tracer: Optional[Any] = None) -> None:
         self.enabled = enabled
         self.counters: Dict[str, int] = {}
         self.timers: Dict[str, List[float]] = {}  # name -> [seconds, count]
         self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, Gauge] = {}
         #: optional :class:`repro.obs.trace.Tracer`; when a trace is active
         #: on it, :meth:`span` nodes also land in the trace tree
         self.tracer = tracer
@@ -260,6 +314,32 @@ class MetricsRegistry:
                 histogram = self.histograms[name] = Histogram()
             histogram.observe(value)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+        if self.enabled:
+            gauge = self.gauges.get(name)
+            if gauge is None:
+                self.gauges[name] = Gauge(value)
+            else:
+                gauge.set(value)
+
+    def register_gauge(
+        self, name: str, callback: Callable[[], float]
+    ) -> None:
+        """Bind gauge ``name`` to ``callback``, read live at snapshot time.
+
+        Registration is wiring, not hot-path recording, so it applies even
+        while the registry is disabled (like :meth:`merge`); whether the
+        value is *reported* still follows :attr:`enabled` through the
+        snapshot/export paths.
+        """
+        self.gauges[name] = Gauge(callback=callback)
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0.0 if never touched)."""
+        gauge = self.gauges.get(name)
+        return gauge.resolve() if gauge is not None else 0.0
+
     def span(self, name: str) -> Union["_Span", "_NullSpan"]:
         """Context manager timing a pipeline stage into timer ``name``.
 
@@ -277,10 +357,20 @@ class MetricsRegistry:
     # lifecycle / reporting
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
-        """Drop every recorded value (the enable switch is left untouched)."""
+        """Drop every recorded value (the enable switch is left untouched).
+
+        Callback gauges survive a reset: they are wiring to a live source,
+        not accumulated data, and a ``--profile`` reset must not silently
+        unhook the serving layer's queue-depth/RSS gauges.
+        """
         self.counters.clear()
         self.timers.clear()
         self.histograms.clear()
+        self.gauges = {
+            name: gauge
+            for name, gauge in self.gauges.items()
+            if gauge._callback is not None
+        }
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -299,7 +389,7 @@ class MetricsRegistry:
         summary cannot be folded; the buckets are gone).  Keys are sorted
         either way, so snapshots of identical runs compare equal.
         """
-        return {
+        snapshot: Dict[str, Dict] = {
             "counters": dict(sorted(self.counters.items())),
             "timers": {
                 name: {"seconds": cell[0], "count": cell[1]}
@@ -310,6 +400,14 @@ class MetricsRegistry:
                 for name, histogram in sorted(self.histograms.items())
             },
         }
+        if self.gauges:
+            # callbacks resolve here, so a snapshot is a point-in-time
+            # reading of live levels (queue depth, RSS) as well as data
+            snapshot["gauges"] = {
+                name: gauge.resolve()
+                for name, gauge in sorted(self.gauges.items())
+            }
+        return snapshot
 
     def merge(self, other: Union["MetricsRegistry", Dict, None]) -> None:
         """Fold another registry — or a ``snapshot(full=True)`` dict — in.
@@ -352,6 +450,15 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self.histograms[name] = Histogram()
             histogram.merge(state)
+        # gauges fold by summing, like histogram buckets: each worker's
+        # stored gauge is its contribution to a shared level.  A local
+        # callback gauge is authoritative for this process and wins.
+        for name, value in other.get("gauges", {}).items():
+            gauge = self.gauges.get(name)
+            if gauge is None:
+                self.gauges[name] = Gauge(float(value))
+            elif gauge._callback is None:
+                gauge.add(float(value))
 
 
 #: the process-global registry every instrumentation point records into.

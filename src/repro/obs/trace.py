@@ -134,20 +134,28 @@ def _trace_started(document: Dict) -> float:
 
 
 class _TraceContext:
-    """Context manager for one root trace (``Tracer.trace``)."""
+    """Context manager for one root trace (``Tracer.trace``).
 
-    __slots__ = ("_tracer", "_name", "_meta")
+    After ``__exit__`` the finished trace document is kept on
+    :attr:`document` — whether or not the sampling policy retained it in
+    the buffer — so a caller that needs the span tree itself (the serve
+    coalescer embeds the batch tree into every member request's trace)
+    can hold the context manager and read it back.
+    """
+
+    __slots__ = ("_tracer", "_name", "_meta", "document")
 
     def __init__(self, tracer: "Tracer", name: str, meta: Dict) -> None:
         self._tracer = tracer
         self._name = name
         self._meta = meta
+        self.document: Optional[Dict] = None
 
     def __enter__(self) -> _ActiveTrace:
         return self._tracer._begin(self._name, self._meta)
 
     def __exit__(self, *exc_info: object) -> None:
-        self._tracer._end()
+        self.document = self._tracer._end()
 
 
 class Tracer:
@@ -260,21 +268,64 @@ class Tracer:
         if active is not None:
             active.close_span(node, end)
 
+    def attach_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[_SpanNode] = None,
+    ) -> Optional[_SpanNode]:
+        """Append an already-finished span to the active trace.
+
+        For work measured *elsewhere* — a shard sub-batch timed on a
+        fan-out pool thread — whose wall time should still appear in the
+        calling thread's trace tree.  The span lands as a closed child of
+        the current stack top (or of ``parent``); no-op without an active
+        trace.
+        """
+        active = getattr(self._local, "trace", None)
+        if active is None:
+            return None
+        parent_id = (
+            parent.span_id if parent is not None else active.stack[-1].span_id
+        )
+        node = _SpanNode(next(active._next_span), parent_id, name, start)
+        node.end = end
+        active.spans.append(node)
+        return node
+
     def _begin(self, name: str, meta: Dict) -> _ActiveTrace:
         trace_id = f"{os.getpid():x}-{next(self._sequence)}"
         active = _ActiveTrace(trace_id, name, meta)
         self._local.trace = active
         return active
 
-    def _end(self) -> None:
+    def _end(self) -> Optional[Dict]:
         active = getattr(self._local, "trace", None)
         self._local.trace = None
         if active is None:
-            return
+            return None
         document = active.finish(time.perf_counter())
+        self._admit(document)
+        return document
+
+    def offer(self, document: Dict) -> bool:
+        """Run an externally-built trace document through the keep policy.
+
+        The serving layer synthesizes request-scoped documents (an asyncio
+        handler cannot host a thread-local trace — many request coroutines
+        interleave on one event-loop thread) and hands them in here, so
+        they obey the same sampling / always-keep-slow rules as traces the
+        tracer recorded itself.  Returns whether the document was kept.
+        """
+        if not self.enabled:
+            return False
+        return self._admit(document)
+
+    def _admit(self, document: Dict) -> bool:
         slow = (
             self.slow_ms is not None
-            and 1000 * document["seconds"] >= self.slow_ms
+            and 1000 * float(document.get("seconds", 0.0)) >= self.slow_ms
         )
         with self._lock:
             # deterministic rate sampling: keep a trace whenever the
@@ -290,6 +341,7 @@ class Tracer:
                 self.buffer.append(document)
             else:
                 self.dropped += 1
+        return sampled or slow
 
     # ------------------------------------------------------------------ #
     # draining / cross-process ingest
@@ -302,6 +354,15 @@ class Tracer:
             documents = list(self.buffer)
             self.buffer.clear()
         return documents
+
+    def recent(self, n: int = 16) -> List[Dict]:
+        """The newest ``n`` retained traces, oldest first, *without*
+        draining — the ``GET /debug/trace`` read path must not consume the
+        buffer other readers (the CLI dump, a second poll) rely on."""
+        if n <= 0:
+            return []
+        with self._lock:
+            return list(self.buffer)[-n:]
 
     def ingest(self, documents: Optional[Iterable[Dict]]) -> None:
         """Adopt trace documents drained from another process's tracer.

@@ -211,11 +211,17 @@ class CountFilterSearcher:
         verifies per query.  Returns exactly :meth:`search_many`'s results;
         per-result ``seconds`` are batch-attributed rather than per-query.
         Falls back to the serial path when the searcher or algorithm has no
-        batch kernel (e.g. DivideSkip), or while the tracer is live — the
-        slow-query log wants one trace document per query, which only the
-        per-query path produces.
+        batch kernel (e.g. DivideSkip), or when the tracer is enabled with
+        *no trace active on this thread* — the slow-query log wants one
+        trace document per query, which only the per-query path produces.
+        Inside an already-active trace (the serving layer's batch trace)
+        the kernel path is kept: starting per-query root traces there is
+        impossible anyway, and the batched ``search.filter`` /
+        ``search.verify`` spans land in the caller's tree instead.
         """
-        if not self.supports_batch_kernel or _TRACER.enabled:
+        if not self.supports_batch_kernel or (
+            _TRACER.enabled and not _TRACER.is_tracing()
+        ):
             return self.search_many(queries, threshold)
         plans = [self._plan(query, threshold) for query in queries]
         rows = [i for i, plan in enumerate(plans) if plan.mode == "filter"]

@@ -31,20 +31,39 @@ Routes
 ``GET /``
     An info document: engine shape, records, shards, coalescing knobs and
     the achieved coalescing stats.
+
+``GET /debug/vars``
+    A JSON snapshot of every live gauge, counter and coalescing stat —
+    the machine-readable face of ``/metrics`` for quick ``curl | jq``
+    introspection.
+
+``GET /debug/trace?n=K``
+    The newest ``K`` retained trace documents as JSONL (without draining
+    the buffer).  A coalesced request's document is a full tree: its own
+    queue wait, the shared batch execution subtree, and the demux tail.
+
+Every ``POST /search`` response carries a W3C ``traceparent`` header; an
+incoming ``traceparent`` is honoured, so the request's trace document
+joins the caller's distributed trace id.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import platform
+import re
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+import uuid
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import __version__
 from ..engine import ShardedEngine, SimilarityEngine
 from ..obs import METRICS as _METRICS
 from ..obs import TRACER as _TRACER
-from ..obs.export import to_prometheus
+from ..obs.export import to_prometheus, traces_to_jsonl
 from ..obs.registry import MetricsRegistry
 from .coalescer import BatchCoalescer, BatchKey
 
@@ -58,14 +77,25 @@ _SET_METRICS = ("jaccard", "cosine", "dice")
 
 _MAX_BODY_BYTES = 1 << 20
 
+#: W3C trace-context: version "00", 32-hex trace id, 16-hex parent span id
+_TRACEPARENT = re.compile(
+    r"^00-(?P<trace>[0-9a-f]{32})-(?P<parent>[0-9a-f]{16})-[0-9a-f]{2}$"
+)
+
 
 class _HttpError(Exception):
     """Maps straight to an error response (status + JSON message)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Sequence[Tuple[bytes, bytes]] = (),
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = tuple(headers)
 
 
 class ServeApp:
@@ -88,8 +118,20 @@ class ServeApp:
         Per-call kernel override handed to ``search_batch`` (None inherits
         the engine's own setting).
     slow_ms:
-        When set, enables the global tracer in always-sample-slow mode:
-        coalesced batches slower than this land in ``TRACER.slow_log``.
+        When set, enables the global tracer with always-sample-slow:
+        requests/batches slower than this land in ``TRACER.slow_log``
+        (sampled at ``trace_sample`` when that is also set, else
+        slow-only).
+    trace_sample:
+        When set, enables the global tracer at this sample rate so
+        ``GET /debug/trace`` has request trees to show (``1.0`` keeps
+        every request's trace in the bounded buffer).  ``repro serve``
+        passes ``1.0`` by default; ``None`` leaves the tracer alone.
+    max_pending:
+        Admission control: when the coalescer's pending queue holds at
+        least this many requests, new ``POST /search`` requests are shed
+        with ``429 Too Many Requests`` + ``Retry-After`` (counted as
+        ``serve.shed``).  ``None`` (default) never sheds.
     health_max_age_s:
         ``/healthz`` re-runs the bundle validator at most this often.
     """
@@ -104,6 +146,8 @@ class ServeApp:
         batch_workers: int = 1,
         kernel: Optional[str] = None,
         slow_ms: Optional[float] = None,
+        trace_sample: Optional[float] = None,
+        max_pending: Optional[int] = None,
         health_max_age_s: float = 15.0,
     ) -> None:
         self.engine = engine
@@ -112,6 +156,7 @@ class ServeApp:
         self.max_batch = max_batch
         self.batch_workers = batch_workers
         self.kernel = kernel
+        self.max_pending = max_pending
         self.health_max_age_s = health_max_age_s
         self.started_at = time.time()
         #: per-route request/status counters, always on
@@ -128,8 +173,36 @@ class ServeApp:
         self._engines_lock = threading.Lock()
         self._health: Optional[Tuple[float, List[str]]] = None
         self._health_lock = threading.Lock()
-        if slow_ms is not None:
-            _TRACER.configure(enabled=True, sample_rate=0.0, slow_ms=slow_ms)
+        if slow_ms is not None or trace_sample is not None:
+            _TRACER.configure(
+                enabled=True,
+                sample_rate=(
+                    trace_sample if trace_sample is not None else 0.0
+                ),
+                slow_ms=slow_ms,
+            )
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Live runtime gauges, resolved at scrape time (``/metrics``,
+        ``/debug/vars``); callbacks survive ``reset()``."""
+        register = self.metrics.register_gauge
+        register(
+            "serve.uptime_seconds", lambda: time.time() - self.started_at
+        )
+        register("process.rss_bytes", _rss_bytes)
+        register(
+            "engine.cache.entries",
+            lambda: self.engine.cache_stats()["entries"],
+        )
+        register(
+            "engine.cache.bytes",
+            lambda: self.engine.cache_stats()["bytes"],
+        )
+        register(
+            "engine.pool.workers",
+            lambda: getattr(self.engine, "pool_workers", 0),
+        )
 
     # ------------------------------------------------------------------ #
     # engine access (everything below runs on the dispatcher thread)
@@ -168,12 +241,22 @@ class ServeApp:
 
     def _run_batch(self, queries: List[str], key: BatchKey):
         engine = self._engine_for(key.metric)
-        return engine.search_batch(
-            queries,
-            key.threshold,
-            workers=self.batch_workers,
-            kernel=self.kernel,
-        )
+        # child span under the coalescer's "serve.batch" trace (or a root
+        # trace of its own on the explicit-batch path) — either way the
+        # engine call runs inside an active trace, which keeps the batch
+        # kernels engaged (see CountFilterSearcher.search_many_batched)
+        with _TRACER.trace(
+            "serve.execute",
+            queries=len(queries),
+            metric=key.metric,
+            threshold=key.threshold,
+        ):
+            return engine.search_batch(
+                queries,
+                key.threshold,
+                workers=self.batch_workers,
+                kernel=self.kernel,
+            )
 
     def _run_one(self, query: str, key: BatchKey):
         return self._engine_for(key.metric).search(query, key.threshold)
@@ -189,23 +272,51 @@ class ServeApp:
             return
         method = scope["method"]
         path = scope["path"]
+        started = time.perf_counter()
+        route = path.strip("/").replace("/", "_") or "info"
+        extra_headers: List[Tuple[bytes, bytes]] = []
         try:
             if path == "/search" and method == "POST":
-                status, document = await self._search(scope, receive)
+                status, document = await self._search(
+                    scope, receive, extra_headers
+                )
             elif path == "/healthz" and method == "GET":
                 status, document = await self._healthz()
             elif path == "/metrics" and method == "GET":
-                self._count_route("metrics", 200)
+                self._count_route(
+                    "metrics", 200, time.perf_counter() - started
+                )
                 await _send_text(send, 200, self._render_metrics())
+                return
+            elif path == "/debug/vars" and method == "GET":
+                status, document = 200, self._debug_vars()
+            elif path == "/debug/trace" and method == "GET":
+                self._count_route(
+                    "debug_trace", 200, time.perf_counter() - started
+                )
+                await _send_text(
+                    send,
+                    200,
+                    self._debug_trace(scope),
+                    ctype=b"application/x-ndjson",
+                )
                 return
             elif path == "/" and method == "GET":
                 status, document = 200, self._info()
-            elif path in ("/search", "/healthz", "/metrics", "/"):
+            elif path in (
+                "/search",
+                "/healthz",
+                "/metrics",
+                "/debug/vars",
+                "/debug/trace",
+                "/",
+            ):
                 raise _HttpError(405, f"{method} not allowed on {path}")
             else:
                 raise _HttpError(404, f"no route for {path}")
         except _HttpError as error:
             status, document = error.status, {"error": error.message}
+            extra_headers.extend(error.headers)
         except ValueError as error:
             # engine-side input validation (out-of-range threshold, bad
             # query shape) is the client's fault, not a server failure
@@ -216,8 +327,8 @@ class ServeApp:
         except Exception as error:
             status = 500
             document = {"error": f"{type(error).__name__}: {error}"}
-        self._count_route(path.strip("/") or "info", status)
-        await _send_json(send, status, document)
+        self._count_route(route, status, time.perf_counter() - started)
+        await _send_json(send, status, document, extra_headers)
 
     async def _lifespan(self, receive, send) -> None:
         while True:
@@ -239,7 +350,9 @@ class ServeApp:
     # ------------------------------------------------------------------ #
     # routes
     # ------------------------------------------------------------------ #
-    async def _search(self, scope, receive) -> Tuple[int, Dict]:
+    async def _search(
+        self, scope, receive, extra_headers: List[Tuple[bytes, bytes]]
+    ) -> Tuple[int, Dict]:
         document = await _read_json(receive)
         threshold = document.get("threshold", document.get("tau"))
         if not isinstance(threshold, (int, float)) or isinstance(
@@ -274,8 +387,42 @@ class ServeApp:
             raise _HttpError(
                 400, "body must carry a 'query' string (or a 'queries' list)"
             )
-        future = self.coalescer.submit(query, key)
-        result, batch_size = await asyncio.wrap_future(future)
+        if (
+            self.max_pending is not None
+            and self.coalescer.pending_count() >= self.max_pending
+        ):
+            # shed instead of queueing without bound; Retry-After covers
+            # at least one coalescing window so the retry can drain
+            self.metrics.inc("serve.shed")
+            retry_s = max(1, int(self.window_ms / 1000.0) + 1)
+            raise _HttpError(
+                429,
+                f"pending queue at max_pending={self.max_pending}; "
+                "retry shortly",
+                headers=((b"retry-after", str(retry_s).encode()),),
+            )
+        trace_id, parent_span = _parse_traceparent(scope.get("headers"))
+        received = time.perf_counter()
+        request = self.coalescer.submit_request(query, key)
+        result, batch_size = await asyncio.wrap_future(request.future)
+        finished = time.perf_counter()
+        if trace_id is None:
+            trace_id = uuid.uuid4().hex
+        trace_document = _request_trace_document(
+            trace_id,
+            parent_span,
+            request,
+            batch_size,
+            received,
+            finished,
+        )
+        _TRACER.offer(trace_document)
+        extra_headers.append(
+            (
+                b"traceparent",
+                f"00-{trace_id}-{uuid.uuid4().hex[:16]}-01".encode(),
+            )
+        )
         return 200, {
             "query": query,
             "threshold": threshold,
@@ -284,6 +431,7 @@ class ServeApp:
             "ids": list(result),
             "seconds": result.seconds,
             "batch_size": batch_size,
+            "trace_id": trace_id,
         }
 
     async def _healthz(self) -> Tuple[int, Dict]:
@@ -319,12 +467,58 @@ class ServeApp:
 
     def _render_metrics(self) -> str:
         parts = [
+            _build_info_exposition(),
             to_prometheus(self.metrics, prefix="repro"),
             to_prometheus(self.coalescer.metrics, prefix="repro"),
         ]
         if _METRICS.enabled:
             parts.append(to_prometheus(_METRICS, prefix="repro"))
         return "".join(part for part in parts if part)
+
+    def _debug_vars(self) -> Dict:
+        """A JSON snapshot of the live runtime state (`GET /debug/vars`)."""
+        serve = self.metrics.snapshot(full=True) or {}
+        coalescer = self.coalescer.metrics.snapshot(full=True) or {}
+        return {
+            "service": "repro.serve",
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "engine": type(self.engine).__name__,
+            "max_pending": self.max_pending,
+            "shed": self.metrics.counter("serve.shed"),
+            "gauges": {
+                **coalescer.get("gauges", {}),
+                **serve.get("gauges", {}),
+            },
+            "serve": serve,
+            "coalescing": self.coalescer.stats(),
+            "cache": self.engine.cache_stats(),
+            "engine_metrics": (
+                _METRICS.snapshot(full=True) if _METRICS.enabled else None
+            ),
+            "traces": {
+                "enabled": _TRACER.enabled,
+                "buffered": len(_TRACER.buffer),
+                "slow_log": len(_TRACER.slow_log),
+                "dropped": _TRACER.dropped,
+            },
+        }
+
+    def _debug_trace(self, scope) -> str:
+        """`GET /debug/trace?n=K` — newest K trace trees as JSONL."""
+        n = 16
+        query_string = scope.get("query_string") or b""
+        for pair in query_string.decode("latin-1").split("&"):
+            name, separator, value = pair.partition("=")
+            if name == "n" and separator:
+                try:
+                    n = int(value)
+                except ValueError:
+                    raise _HttpError(400, f"n must be an integer, got {value!r}")
+        if n < 0:
+            raise _HttpError(400, f"n must be >= 0, got {n}")
+        return traces_to_jsonl(_TRACER.recent(n))
 
     def _info(self) -> Dict:
         engine = self.engine
@@ -339,19 +533,177 @@ class ServeApp:
             "bundle": str(self.bundle_path) if self.bundle_path else None,
             "window_ms": self.window_ms,
             "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
             "uptime_s": round(time.time() - self.started_at, 3),
             "coalescing": self.coalescer.stats(),
         }
 
-    def _count_route(self, route: str, status: int) -> None:
+    def _count_route(
+        self, route: str, status: int, seconds: Optional[float] = None
+    ) -> None:
         self.metrics.inc(f"serve.route.{route}.requests")
         self.metrics.inc(f"serve.route.{route}.status_{status}")
+        if seconds is not None:
+            # log2-bucketed latency histogram: `repro top` derives rolling
+            # p50/p99 per route from the cumulative bucket counts
+            self.metrics.observe(
+                f"serve.route.{route}.latency_ms", 1000.0 * seconds
+            )
 
 
 def _num_records(engine) -> int:
     if hasattr(engine, "num_records"):  # ShardedEngine
         return int(engine.num_records)
     return len(engine.index.collection)
+
+
+def _rss_bytes() -> float:
+    """Resident set size of this process (0.0 when unreadable)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            pages = float(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+        except ImportError:
+            return 0.0
+        # ru_maxrss is KiB on linux (high-water, not current — good enough
+        # for the fallback path)
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+
+
+def _build_info_exposition() -> str:
+    """The conventional ``*_build_info`` gauge: labels carry the metadata,
+    the value is always 1."""
+    return (
+        "# HELP repro_build_info repro build metadata (value is always 1)\n"
+        "# TYPE repro_build_info gauge\n"
+        f'repro_build_info{{version="{__version__}",'
+        f'python="{platform.python_version()}"}} 1\n'
+    )
+
+
+def _parse_traceparent(
+    headers: Optional[Iterable[Tuple[bytes, bytes]]],
+) -> Tuple[Optional[str], Optional[str]]:
+    """W3C ``traceparent`` from the request headers: (trace_id, span_id).
+
+    ``(None, None)`` when absent or malformed — a bad header joins no
+    distributed trace but must never fail the request.
+    """
+    for name, value in headers or ():
+        if bytes(name).lower() != b"traceparent":
+            continue
+        match = _TRACEPARENT.match(
+            bytes(value).decode("latin-1").strip().lower()
+        )
+        if match and match.group("trace") != "0" * 32:
+            return match.group("trace"), match.group("parent")
+    return None, None
+
+
+def _request_trace_document(
+    trace_id: str,
+    parent_span: Optional[str],
+    request,
+    batch_size: int,
+    received: float,
+    finished: float,
+) -> Dict:
+    """One request's full trace tree, synthesized after its future resolved.
+
+    An asyncio handler cannot host a thread-local tracer trace (request
+    coroutines interleave on one event-loop thread), so the tree is built
+    from the coalescer ticket's timestamps instead: a ``serve.request``
+    root, a ``serve.queue`` child covering the coalescing-window wait, the
+    shared batch's span tree grafted in (id-renumbered, time-rebased onto
+    this request's origin), and a ``serve.demux`` tail.
+    """
+    duration = max(0.0, finished - received)
+    dispatched = (
+        request.dispatched if request.dispatched is not None else finished
+    )
+    spans: List[Dict] = [
+        {
+            "id": 1,
+            "parent": None,
+            "name": "serve.request",
+            "start_ms": 0.0,
+            "ms": 1000.0 * duration,
+        },
+        {
+            "id": 2,
+            "parent": 1,
+            "name": "serve.queue",
+            "start_ms": max(0.0, 1000.0 * (request.arrived_perf - received)),
+            "ms": max(0.0, 1000.0 * (dispatched - request.arrived_perf)),
+        },
+    ]
+    next_id, batch_end = 3, dispatched
+    if request.batch_document is not None:
+        next_id, batch_end = _graft_spans(
+            spans, next_id, 1, request.batch_document, received
+        )
+    spans.append(
+        {
+            "id": next_id,
+            "parent": 1,
+            "name": "serve.demux",
+            "start_ms": max(0.0, 1000.0 * (batch_end - received)),
+            "ms": max(0.0, 1000.0 * (finished - batch_end)),
+        }
+    )
+    meta: Dict = {
+        "query": request.query,
+        "metric": request.key.metric,
+        "threshold": request.key.threshold,
+        "batch_size": batch_size,
+    }
+    if parent_span is not None:
+        meta["parent_span"] = parent_span
+    return {
+        "trace_id": trace_id,
+        "name": "serve.request",
+        "meta": meta,
+        "started_s": received,
+        "seconds": duration,
+        "spans": spans,
+    }
+
+
+def _graft_spans(
+    spans: List[Dict],
+    next_id: int,
+    root_id: int,
+    batch_document: Dict,
+    origin: float,
+) -> Tuple[int, float]:
+    """Embed a finished trace document's span tree under ``root_id``.
+
+    Span ids are renumbered past ``next_id`` and start times rebased from
+    the batch trace's own origin onto ``origin`` (both are perf_counter
+    readings, so the offset is exact).  Returns the next free span id and
+    the batch's absolute end time.
+    """
+    batch_started = float(batch_document.get("started_s", origin))
+    offset_ms = 1000.0 * (batch_started - origin)
+    mapping: Dict[int, int] = {}
+    for span in batch_document.get("spans", ()):
+        new_id = next_id
+        next_id += 1
+        mapping[span["id"]] = new_id
+        spans.append(
+            {
+                "id": new_id,
+                "parent": mapping.get(span.get("parent"), root_id),
+                "name": span["name"],
+                "start_ms": float(span.get("start_ms", 0.0)) + offset_ms,
+                "ms": float(span.get("ms", 0.0)),
+            }
+        )
+    batch_end = batch_started + float(batch_document.get("seconds", 0.0))
+    return next_id, batch_end
 
 
 async def _read_json(receive) -> Dict:
@@ -379,18 +731,29 @@ async def _read_json(receive) -> Dict:
     return document
 
 
-async def _send_json(send, status: int, document: Dict) -> None:
+async def _send_json(
+    send,
+    status: int,
+    document: Dict,
+    extra_headers: Sequence[Tuple[bytes, bytes]] = (),
+) -> None:
     body = json.dumps(document, sort_keys=True, default=float).encode()
-    await _send_bytes(send, status, body, b"application/json")
+    await _send_bytes(send, status, body, b"application/json", extra_headers)
 
 
-async def _send_text(send, status: int, text: str) -> None:
-    await _send_bytes(
-        send, status, text.encode(), b"text/plain; version=0.0.4"
-    )
+async def _send_text(
+    send, status: int, text: str, ctype: bytes = b"text/plain; version=0.0.4"
+) -> None:
+    await _send_bytes(send, status, text.encode(), ctype)
 
 
-async def _send_bytes(send, status: int, body: bytes, ctype: bytes) -> None:
+async def _send_bytes(
+    send,
+    status: int,
+    body: bytes,
+    ctype: bytes,
+    extra_headers: Sequence[Tuple[bytes, bytes]] = (),
+) -> None:
     await send(
         {
             "type": "http.response.start",
@@ -398,6 +761,7 @@ async def _send_bytes(send, status: int, body: bytes, ctype: bytes) -> None:
             "headers": [
                 (b"content-type", ctype),
                 (b"content-length", str(len(body)).encode()),
+                *extra_headers,
             ],
         }
     )

@@ -49,13 +49,32 @@ class BatchKey(NamedTuple):
 
 
 class _PendingRequest:
-    __slots__ = ("query", "key", "future", "arrived")
+    """One submitted query plus the telemetry the serving layer reads back.
+
+    ``arrived_perf``/``dispatched`` are ``perf_counter`` readings (same
+    clock as trace spans) bracketing the queue+coalesce wait, and
+    ``batch_document`` is the trace document of the batch this request
+    rode in (``None`` when tracing is off or the trace was sampled out).
+    """
+
+    __slots__ = (
+        "query",
+        "key",
+        "future",
+        "arrived",
+        "arrived_perf",
+        "dispatched",
+        "batch_document",
+    )
 
     def __init__(self, query: str, key: BatchKey, arrived: float) -> None:
         self.query = query
         self.key = key
         self.future: Future = Future()
         self.arrived = arrived
+        self.arrived_perf = time.perf_counter()
+        self.dispatched: Optional[float] = None
+        self.batch_document: Optional[dict] = None
 
 
 class BatchCoalescer:
@@ -102,6 +121,11 @@ class BatchCoalescer:
         self._pending: List[_PendingRequest] = []
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._inflight = 0
+        self.metrics.register_gauge("serve.queue.depth", self.pending_count)
+        self.metrics.register_gauge(
+            "serve.batch.inflight", lambda: self._inflight
+        )
 
     # ------------------------------------------------------------------ #
     # caller side
@@ -109,6 +133,12 @@ class BatchCoalescer:
     def submit(self, query: str, key: BatchKey) -> Future:
         """Enqueue one request; the future resolves to ``(result, batch)``
         where ``batch`` is the size of the engine call it rode in."""
+        return self.submit_request(query, key).future
+
+    def submit_request(self, query: str, key: BatchKey) -> _PendingRequest:
+        """:meth:`submit`, but returning the whole :class:`_PendingRequest`
+        ticket — the serving layer reads its queue/dispatch timestamps and
+        batch trace document after the future resolves."""
         request = _PendingRequest(query, key, time.monotonic())
         with self._wake:
             if self._closed:
@@ -118,7 +148,13 @@ class BatchCoalescer:
             self._pending.append(request)
             self.metrics.inc("serve.requests")
             self._wake.notify_all()
-        return request.future
+        return request
+
+    def pending_count(self) -> int:
+        """Requests queued but not yet handed to the engine (the value the
+        ``serve.queue.depth`` gauge and admission control read)."""
+        with self._lock:
+            return len(self._pending)
 
     def start(self) -> "BatchCoalescer":
         """Start the dispatcher thread (idempotent; submit() auto-starts)."""
@@ -168,6 +204,7 @@ class BatchCoalescer:
                 else 0
             ),
             "rescued_requests": self.metrics.counter("serve.rescued_requests"),
+            "pending": self.pending_count(),
         }
 
     # ------------------------------------------------------------------ #
@@ -229,13 +266,17 @@ class BatchCoalescer:
         if len(live) > 1:
             self.metrics.inc("serve.coalesced_requests", len(live))
         started = time.perf_counter()
+        for request in live:
+            request.dispatched = started
+        self._inflight = len(live)
+        trace_ctx = _TRACER.trace(
+            "serve.batch",
+            requests=len(live),
+            metric=key.metric,
+            threshold=key.threshold,
+        )
         try:
-            with _TRACER.trace(
-                "serve.batch",
-                requests=len(live),
-                metric=key.metric,
-                threshold=key.threshold,
-            ):
+            with trace_ctx:
                 results = self._run_batch(queries, key)
             if len(results) != len(live):
                 raise RuntimeError(
@@ -249,10 +290,13 @@ class BatchCoalescer:
             self._rescue(live, key, error)
             return
         finally:
+            self._inflight = 0
             self.metrics.record_time(
                 "serve.batch.seconds", time.perf_counter() - started
             )
+        batch_document = getattr(trace_ctx, "document", None)
         for request, result in zip(live, results):
+            request.batch_document = batch_document
             request.future.set_result((result, len(live)))
 
     def _rescue(

@@ -36,6 +36,7 @@ _REASONS = {
     405: "Method Not Allowed",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",

@@ -463,3 +463,167 @@ class TestInstrumentationEndToEnd:
         JaccardSearcher(index).search(word_collection.strings[0], 0.6)
         assert METRICS.counters == {}
         assert METRICS.timers == {}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        from repro.obs import Gauge
+
+        registry = MetricsRegistry(enabled=True)
+        registry.set_gauge("queue.depth", 3)
+        assert registry.gauge("queue.depth") == 3.0
+        registry.gauges["queue.depth"].add(2)
+        assert registry.gauge("queue.depth") == 5.0
+        assert isinstance(registry.gauges["queue.depth"], Gauge)
+        assert registry.gauge("never") == 0.0
+
+    def test_disabled_registry_ignores_set(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.set_gauge("x", 1.0)
+        assert registry.gauges == {}
+
+    def test_callback_gauge_resolves_live(self):
+        registry = MetricsRegistry(enabled=True)
+        cell = {"value": 7.0}
+        registry.register_gauge("live", lambda: cell["value"])
+        assert registry.gauge("live") == 7.0
+        cell["value"] = 11.0
+        assert registry.gauge("live") == 11.0
+
+    def test_register_gauge_is_wiring_not_recording(self):
+        # like merge(), registration applies even while disabled
+        registry = MetricsRegistry(enabled=False)
+        registry.register_gauge("live", lambda: 1.0)
+        assert registry.gauge("live") == 1.0
+
+    def test_failing_callback_degrades_to_last_value(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def explode():
+            raise RuntimeError("sensor gone")
+
+        registry.register_gauge("flaky", explode)
+        assert registry.gauge("flaky") == 0.0  # degraded, not raised
+
+    def test_snapshot_includes_resolved_gauges(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.set_gauge("depth", 4)
+        registry.register_gauge("live", lambda: 2.5)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"] == {"depth": 4.0, "live": 2.5}
+        json.dumps(snapshot)  # still JSON-ready
+
+    def test_snapshot_omits_gauges_key_when_none(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("c")
+        assert "gauges" not in registry.snapshot()
+
+    def test_merge_sums_value_gauges_keeps_callbacks_authoritative(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.set_gauge("depth", 2)
+        registry.register_gauge("live", lambda: 9.0)
+        registry.merge({"gauges": {"depth": 3, "live": 100, "new": 1}})
+        assert registry.gauge("depth") == 5.0
+        assert registry.gauge("live") == 9.0  # local callback wins
+        assert registry.gauge("new") == 1.0
+
+    def test_reset_keeps_callback_gauges_drops_values(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.set_gauge("depth", 2)
+        registry.register_gauge("live", lambda: 1.0)
+        registry.reset()
+        assert "depth" not in registry.gauges
+        assert registry.gauge("live") == 1.0
+
+    def test_prometheus_exposition_of_gauges(self):
+        from repro.obs import to_prometheus
+
+        registry = MetricsRegistry(enabled=True)
+        registry.set_gauge("serve.queue.depth", 3)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_serve_queue_depth gauge" in text.splitlines()
+        assert "repro_serve_queue_depth 3.0" in text
+
+
+class TestExpositionChecker:
+    """The satellite exposition-format checker (repro.obs.check_exposition)."""
+
+    def _full_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("serve.requests", 5)
+        registry.record_time("serve.batch.seconds", 0.5)
+        for value in (1, 5, 9):
+            registry.observe("serve.batch_size", value)
+        registry.set_gauge("serve.queue.depth", 2)
+        return registry
+
+    def test_real_exposition_passes(self):
+        from repro.obs import check_exposition, to_prometheus
+
+        text = to_prometheus(self._full_registry())
+        assert check_exposition(text) == []
+
+    def test_labeled_samples_pass(self):
+        from repro.obs import check_exposition
+
+        text = (
+            "# HELP repro_build_info build metadata\n"
+            "# TYPE repro_build_info gauge\n"
+            'repro_build_info{version="1.0.0",python="3.11.1"} 1\n'
+        )
+        assert check_exposition(text) == []
+
+    def test_missing_help_is_reported(self):
+        from repro.obs import check_exposition
+
+        text = "# TYPE repro_x counter\nrepro_x_total 1\n"
+        assert any("HELP" in problem for problem in check_exposition(text))
+
+    def test_counter_sample_must_use_total_suffix(self):
+        from repro.obs import check_exposition
+
+        text = (
+            "# HELP repro_x c\n# TYPE repro_x counter\n" "repro_x 1\n"
+        )
+        assert any("_total" in problem for problem in check_exposition(text))
+
+    def test_non_cumulative_buckets_are_reported(self):
+        from repro.obs import check_exposition
+
+        text = (
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="3"} 4\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 9.0\n"
+            "repro_h_count 5\n"
+        )
+        assert any(
+            "cumulative" in problem for problem in check_exposition(text)
+        )
+
+    def test_histogram_must_end_at_inf(self):
+        from repro.obs import check_exposition
+
+        text = (
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 9.0\n"
+            "repro_h_count 5\n"
+        )
+        assert any("+Inf" in problem for problem in check_exposition(text))
+
+    def test_bad_charset_is_reported(self):
+        from repro.obs import check_exposition
+
+        assert check_exposition("repro-bad.name 1\n")
+
+    def test_parse_prometheus_round_trip(self):
+        from repro.obs import parse_prometheus, to_prometheus
+
+        text = to_prometheus(self._full_registry())
+        samples = parse_prometheus(text)
+        assert samples["repro_serve_requests_total"] == 5.0
+        assert samples["repro_serve_queue_depth"] == 2.0
+        assert samples['repro_serve_batch_size_bucket{le="+Inf"}'] == 3.0
+        assert samples["repro_serve_batch_size_count"] == 3.0

@@ -221,10 +221,12 @@ def _call(app, method, path, document=None):
 
     async def _run():
         body = b"" if document is None else json.dumps(document).encode()
+        raw_path, separator, query = path.partition("?")
         scope = {
             "type": "http",
             "method": method,
-            "path": path,
+            "path": raw_path,
+            "query_string": query.encode() if separator else b"",
             "headers": [],
         }
         messages = [
@@ -575,3 +577,285 @@ class TestServerThread:
             server.stop()
         with pytest.raises(RuntimeError, match="closed"):
             app.coalescer.submit("q", BatchKey("jaccard", 0.5))
+
+
+# ---------------------------------------------------------------------- #
+# observability: traces, gauges, debug routes, backpressure
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def traced_app(engine):
+    from repro.obs import TRACER
+
+    app = ServeApp(engine, window_ms=20.0, max_batch=32, trace_sample=1.0)
+    TRACER.clear()
+    yield app
+    app.close()
+    TRACER.configure(enabled=False, sample_rate=1.0, slow_ms=None)
+    TRACER.clear()
+
+
+def _gather(app, queries, threshold=0.5, headers=()):
+    """Run concurrent /search requests through the ASGI app; returns
+    [(response_headers, body_document)] in request order."""
+
+    async def _one(query):
+        body = json.dumps({"query": query, "threshold": threshold}).encode()
+        scope = {
+            "type": "http",
+            "method": "POST",
+            "path": "/search",
+            "headers": list(headers),
+        }
+        sent = []
+
+        async def receive():
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message):
+            sent.append(message)
+
+        await app(scope, receive, send)
+        return dict(sent[0].get("headers", [])), json.loads(sent[1]["body"])
+
+    async def _all():
+        return await asyncio.gather(*(_one(query) for query in queries))
+
+    return asyncio.run(_all())
+
+
+class TestRequestTracing:
+    def test_response_carries_traceparent_and_trace_id(
+        self, traced_app, word_strings
+    ):
+        ((headers, document),) = _gather(traced_app, word_strings[:1])
+        trace_id = document["trace_id"]
+        assert len(trace_id) == 32
+        assert headers[b"traceparent"].startswith(b"00-" + trace_id.encode())
+
+    def test_incoming_traceparent_is_honoured(self, traced_app, word_strings):
+        upstream = b"00-" + b"ab" * 16 + b"-" + b"cd" * 8 + b"-01"
+        ((headers, document),) = _gather(
+            traced_app,
+            word_strings[:1],
+            headers=[(b"traceparent", upstream)],
+        )
+        assert document["trace_id"] == "ab" * 16
+        assert headers[b"traceparent"].startswith(b"00-" + b"ab" * 16)
+
+    def test_malformed_traceparent_is_ignored(self, traced_app, word_strings):
+        ((_, document),) = _gather(
+            traced_app,
+            word_strings[:1],
+            headers=[(b"traceparent", b"not-a-traceparent")],
+        )
+        assert len(document["trace_id"]) == 32
+
+    def test_coalesced_request_trace_is_one_tree_with_all_stages(
+        self, traced_app, word_strings
+    ):
+        # THE tentpole acceptance: one coalesced POST /search produces one
+        # trace tree whose queue-wait, batch-execute and demux stages are
+        # distinct spans, retrievable via GET /debug/trace
+        results = _gather(traced_app, word_strings[:6])
+        assert max(doc["batch_size"] for _, doc in results) > 1
+        status, payload = _call(traced_app, "GET", "/debug/trace")
+        assert status == 200
+        documents = [
+            json.loads(line) for line in payload.decode().splitlines()
+        ]
+        requests = [d for d in documents if d["name"] == "serve.request"]
+        assert len(requests) == 6
+        batches = [d for d in documents if d["name"] == "serve.batch"]
+        assert len(batches) >= 1  # the shared batch span is also retained
+        document = requests[0]
+        by_name = {}
+        for span in document["spans"]:
+            by_name.setdefault(span["name"], span)
+        for stage in ("serve.request", "serve.queue", "serve.batch",
+                      "serve.execute", "serve.demux"):
+            assert stage in by_name, f"missing {stage} span"
+        root = by_name["serve.request"]
+        assert root["parent"] is None
+        assert by_name["serve.queue"]["parent"] == root["id"]
+        assert by_name["serve.demux"]["parent"] == root["id"]
+        assert by_name["serve.batch"]["parent"] == root["id"]
+        assert (
+            by_name["serve.execute"]["parent"] == by_name["serve.batch"]["id"]
+        )
+        # ids are unique and every parent exists in the same tree
+        ids = [span["id"] for span in document["spans"]]
+        assert len(ids) == len(set(ids))
+        for span in document["spans"]:
+            assert span["parent"] is None or span["parent"] in ids
+        # the batched kernel stays engaged under the batch trace: the six
+        # coalesced queries share ONE batched filter stage
+        names = [span["name"] for span in document["spans"]]
+        assert names.count("search.filter") == 1
+
+    def test_trace_tree_shape_same_serial_and_pooled(
+        self, engine, word_strings
+    ):
+        # same span-tree shape whether the coalesced batch runs on the
+        # dispatcher thread (workers=1) or fans out to a fork pool
+        from repro.obs import TRACER
+
+        shapes = {}
+        for workers in (1, 2):
+            app = ServeApp(
+                engine,
+                window_ms=20.0,
+                max_batch=32,
+                batch_workers=workers,
+                trace_sample=1.0,
+            )
+            TRACER.clear()
+            try:
+                _gather(app, word_strings[:6])
+                status, payload = _call(app, "GET", "/debug/trace?n=64")
+                documents = [
+                    json.loads(line)
+                    for line in payload.decode().splitlines()
+                ]
+                request = next(
+                    d for d in documents if d["name"] == "serve.request"
+                )
+                spans = {span["id"]: span for span in request["spans"]}
+                shapes[workers] = {
+                    (
+                        span["name"],
+                        spans[span["parent"]]["name"]
+                        if span["parent"] is not None
+                        else None,
+                    )
+                    for span in request["spans"]
+                    if span["name"].startswith("serve.")
+                }
+            finally:
+                app.close()
+                TRACER.configure(
+                    enabled=False, sample_rate=1.0, slow_ms=None
+                )
+                TRACER.clear()
+        assert shapes[1] == shapes[2]
+        assert ("serve.queue", "serve.request") in shapes[1]
+        assert ("serve.execute", "serve.batch") in shapes[1]
+
+
+class TestDebugRoutes:
+    def test_debug_vars_snapshot(self, traced_app, word_strings):
+        _gather(traced_app, word_strings[:2])
+        status, document = _call_json(traced_app, "GET", "/debug/vars")
+        assert status == 200
+        assert document["service"] == "repro.serve"
+        assert document["engine"] == "SimilarityEngine"
+        assert document["traces"]["enabled"] is True
+        assert document["traces"]["buffered"] >= 1
+        gauges = document["gauges"]
+        for name in (
+            "serve.queue.depth",
+            "serve.batch.inflight",
+            "serve.uptime_seconds",
+            "process.rss_bytes",
+            "engine.cache.entries",
+            "engine.cache.bytes",
+            "engine.pool.workers",
+        ):
+            assert name in gauges, name
+        assert gauges["process.rss_bytes"] > 0
+        assert document["coalescing"]["requests"] == 2
+
+    def test_debug_trace_n_parameter_and_validation(
+        self, traced_app, word_strings
+    ):
+        _gather(traced_app, word_strings[:4])
+        status, payload = _call(traced_app, "GET", "/debug/trace?n=2")
+        assert status == 200
+        assert len(payload.decode().splitlines()) == 2
+        assert _call(traced_app, "GET", "/debug/trace?n=bogus")[0] == 400
+        assert _call(traced_app, "GET", "/debug/trace?n=-1")[0] == 400
+
+    def test_debug_routes_reject_other_methods(self, app):
+        assert _call(app, "POST", "/debug/vars")[0] == 405
+        assert _call(app, "POST", "/debug/trace")[0] == 405
+
+    def test_metrics_exposition_passes_the_checker(
+        self, traced_app, word_strings
+    ):
+        from repro.obs import check_exposition, parse_prometheus
+
+        _gather(traced_app, word_strings[:3])
+        status, payload = _call(traced_app, "GET", "/metrics")
+        text = payload.decode()
+        assert status == 200
+        assert check_exposition(text) == []
+        samples = parse_prometheus(text)
+        assert samples["repro_serve_requests_total"] == 3.0
+        assert "repro_serve_queue_depth" in samples
+        assert "repro_process_rss_bytes" in samples
+        assert 'repro_build_info{version=' in text
+        # per-route latency histograms back `repro top`'s p50/p99
+        assert any(
+            key.startswith("repro_serve_route_search_latency_ms_bucket")
+            for key in samples
+        )
+
+
+class TestBackpressure:
+    def test_shed_answers_429_with_retry_after(self, engine, word_strings):
+        app = ServeApp(engine, window_ms=20.0, max_pending=0)
+        try:
+
+            async def _run():
+                body = json.dumps(
+                    {"query": word_strings[0], "threshold": 0.5}
+                ).encode()
+                scope = {
+                    "type": "http",
+                    "method": "POST",
+                    "path": "/search",
+                    "headers": [],
+                }
+                sent = []
+
+                async def receive():
+                    return {
+                        "type": "http.request",
+                        "body": body,
+                        "more_body": False,
+                    }
+
+                async def send(message):
+                    sent.append(message)
+
+                await app(scope, receive, send)
+                return sent
+
+            sent = asyncio.run(_run())
+            assert sent[0]["status"] == 429
+            headers = dict(sent[0]["headers"])
+            assert int(headers[b"retry-after"]) >= 1
+            document = json.loads(sent[1]["body"])
+            assert "max_pending" in document["error"]
+            assert app.metrics.counter("serve.shed") == 1
+            status, payload = _call(app, "GET", "/metrics")
+            assert "repro_serve_shed_total 1" in payload.decode()
+            status, vars_doc = _call_json(app, "GET", "/debug/vars")
+            assert vars_doc["shed"] == 1
+        finally:
+            app.close()
+
+    def test_unbounded_by_default(self, app, word_strings):
+        results = _gather(app, word_strings[:4])
+        assert all(doc["count"] >= 1 for _, doc in results)
+        assert app.metrics.counter("serve.shed") == 0
+
+    def test_shed_requests_never_reach_the_engine(self, engine):
+        app = ServeApp(engine, window_ms=20.0, max_pending=0)
+        try:
+            status, document = _call_json(
+                app, "POST", "/search", {"query": "x", "threshold": 0.5}
+            )
+            assert status == 429
+            assert app.coalescer.stats()["requests"] == 0
+        finally:
+            app.close()

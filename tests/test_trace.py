@@ -501,3 +501,120 @@ class TestSearchAndJoinIntegration:
         assert document["meta"]["threshold"] == 0.8
         names = {span["name"] for span in document["spans"]}
         assert "join.finalize" in names
+
+
+class TestExternalDocumentSurface:
+    """offer()/recent()/attach_span()/context.document — the serving
+    layer's tracer surface (request documents are synthesized outside the
+    thread-local machinery and handed back in)."""
+
+    def test_context_document_is_kept_even_when_sampled_out(self):
+        tracer = Tracer().configure(enabled=True, sample_rate=0.0)
+        context = tracer.trace("serve.batch", requests=3)
+        with context:
+            with tracer.span("serve.execute"):
+                pass
+        assert tracer.drain() == []  # sampled out of the buffer...
+        document = context.document  # ...but the caller still gets the tree
+        assert document is not None
+        assert document["name"] == "serve.batch"
+        assert [span["name"] for span in document["spans"]] == [
+            "serve.batch",
+            "serve.execute",
+        ]
+
+    def test_offer_respects_enabled_and_sampling(self):
+        disabled = Tracer()
+        assert disabled.offer({"name": "x", "seconds": 0.0}) is False
+        assert list(disabled.buffer) == []
+
+        tracer = Tracer().configure(enabled=True, sample_rate=1.0)
+        assert tracer.offer({"name": "x", "seconds": 0.0}) is True
+        assert [document["name"] for document in tracer.buffer] == ["x"]
+
+    def test_offer_marks_slow_documents(self):
+        tracer = Tracer().configure(
+            enabled=True, sample_rate=0.0, slow_ms=10.0
+        )
+        assert tracer.offer({"name": "fast", "seconds": 0.001}) is False
+        assert tracer.offer({"name": "slow", "seconds": 0.5}) is True
+        (document,) = tracer.slow_log
+        assert document["name"] == "slow"
+        assert document["slow"] is True
+
+    def test_recent_peeks_without_draining(self, tracer):
+        for index in range(5):
+            with tracer.trace(f"t{index}"):
+                pass
+        newest = tracer.recent(2)
+        assert [document["name"] for document in newest] == ["t3", "t4"]
+        assert tracer.recent(0) == []
+        assert len(tracer.drain()) == 5  # recent() consumed nothing
+
+    def test_attach_span_adds_a_closed_child(self, tracer):
+        import time as _time
+
+        start = _time.perf_counter()
+        end = start + 0.25
+        with tracer.trace("fanout"):
+            node = tracer.attach_span("engine.shard[0].batch", start, end)
+            assert node is not None
+        (document,) = tracer.drain()
+        by_name = {span["name"]: span for span in document["spans"]}
+        shard = by_name["engine.shard[0].batch"]
+        assert shard["parent"] == 1
+        assert shard["ms"] == pytest.approx(250.0, rel=1e-3)
+
+    def test_attach_span_without_active_trace_is_noop(self, tracer):
+        assert tracer.attach_span("orphan", 0.0, 1.0) is None
+        assert not tracer.is_tracing()
+
+
+class TestBatchKernelUnderActiveTrace:
+    """The serving regression: inside an already-active trace the batched
+    kernel path must be kept (one batched search.filter span), while a
+    bare enabled tracer still falls back to one trace per query."""
+
+    def test_kernel_path_kept_inside_active_trace(self, word_collection):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        index = InvertedIndex(word_collection, scheme="css")
+        searcher = JaccardSearcher(index, algorithm="mergeskip")
+        queries = list(word_collection.strings[:6])
+        tracer = TRACER
+        tracer.configure(enabled=True, sample_rate=1.0, slow_ms=None)
+        tracer.clear()
+        try:
+            context = tracer.trace("serve.batch", requests=len(queries))
+            with context:
+                batched = searcher.search_many_batched(queries, 0.5)
+            document = context.document
+            names = [span["name"] for span in document["spans"]]
+            # exactly one batched filter stage, not one per query
+            assert names.count("search.filter") == 1
+            assert names.count("search.verify") == len(queries)
+            # and only the one batch trace was recorded
+            assert len(tracer.drain()) == 1
+        finally:
+            tracer.configure(enabled=False, sample_rate=1.0, slow_ms=None)
+            tracer.clear()
+        for query, result in zip(queries, batched):
+            assert list(result) == list(searcher.search(query, 0.5))
+
+    def test_bare_enabled_tracer_still_traces_per_query(
+        self, word_collection
+    ):
+        from repro.search import InvertedIndex, JaccardSearcher
+
+        index = InvertedIndex(word_collection, scheme="css")
+        searcher = JaccardSearcher(index, algorithm="mergeskip")
+        queries = list(word_collection.strings[:4])
+        TRACER.configure(enabled=True, sample_rate=1.0, slow_ms=None)
+        TRACER.clear()
+        try:
+            searcher.search_many_batched(queries, 0.5)
+            documents = TRACER.drain()
+        finally:
+            TRACER.configure(enabled=False, sample_rate=1.0, slow_ms=None)
+            TRACER.clear()
+        assert len(documents) == len(queries)  # one root trace per query
