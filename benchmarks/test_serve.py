@@ -84,6 +84,8 @@ def test_serve_load(benchmark):
 
         start = time.perf_counter()
         with ThreadPoolExecutor(CLIENTS) as pool:
+            # repro: noqa RA04 -- bench clients ride a thread pool only;
+            # the closure captures the live server URL on purpose
             documents = list(pool.map(client, queries))
         elapsed = time.perf_counter() - start
 

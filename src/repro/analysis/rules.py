@@ -20,7 +20,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
-__all__ = ["Violation", "Module", "Rule", "RULES", "register_rule", "rule_table"]
+__all__ = [
+    "Violation",
+    "Module",
+    "Rule",
+    "RULES",
+    "register_rule",
+    "rule_table",
+    "statement_spans",
+    "enclosing_span",
+    "following_span",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +97,68 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 def rule_table() -> List[Tuple[str, str]]:
     """``(code, summary)`` pairs for ``repro lint --explain`` and the docs."""
     return [(code, RULES[code].summary) for code in sorted(RULES)]
+
+
+def statement_spans(tree: ast.AST) -> List[Tuple[int, int, bool]]:
+    """``(lineno, end_lineno, is_simple)`` for statements and except clauses.
+
+    The spans drive comment scoping: an inline ``# repro: noqa`` (or
+    ``guarded-by``) tag applies to the whole statement it sits on, not just
+    its first physical line, so multi-line calls and decorated defs can be
+    tagged on any of their lines.  ``ast.ExceptHandler`` is included so a
+    tag on an ``except`` header scopes to that clause alone rather than the
+    enclosing ``try`` statement.
+    """
+    spans: List[Tuple[int, int, bool]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.stmt, ast.ExceptHandler)):
+            simple = not hasattr(node, "body")
+            spans.append((node.lineno, node.end_lineno or node.lineno, simple))
+    spans.sort()
+    return spans
+
+
+def enclosing_span(
+    spans: Iterable[Tuple[int, int, bool]],
+    line: int,
+    simple_only: bool = False,
+) -> Optional[Tuple[int, int]]:
+    """The innermost (shortest) span containing ``line``, if any.
+
+    With ``simple_only`` compound statements (anything with a body) are
+    skipped, so a standalone comment *inside* a multi-line expression
+    resolves to that statement rather than the whole enclosing block.
+    """
+    best: Optional[Tuple[int, int]] = None
+    for start, end, simple in spans:
+        if simple_only and not simple:
+            continue
+        if start <= line <= end:
+            if best is None or end - start < best[1] - best[0]:
+                best = (start, end)
+    return best
+
+
+def following_span(
+    spans: Iterable[Tuple[int, int, bool]], line: int
+) -> Optional[Tuple[int, int]]:
+    """The span of the first statement starting strictly after ``line``.
+
+    When several statements share that start line (``if x: y = 1``), the
+    widest one wins so a standalone comment covers the whole construct.
+    """
+    start: Optional[int] = None
+    end = 0
+    for s, e, _ in spans:
+        if s <= line:
+            continue
+        if start is None or s < start:
+            start, end = s, e
+        elif s == start:
+            end = max(end, e)
+    if start is None:
+        return None
+    return (start, end)
 
 
 def _walk(module: Module) -> Iterable[ast.AST]:
@@ -401,6 +473,10 @@ class NoAssertInvariants(Rule):
     )
 
     def check(self, module: Module) -> Iterator[Violation]:
+        if not module.in_package("repro"):
+            # tests and benchmarks assert by design; only shipped library
+            # code has to survive ``python -O``
+            return
         for node in _walk(module):
             if isinstance(node, ast.Assert):
                 yield self.violation(

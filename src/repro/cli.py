@@ -525,12 +525,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tokenize_args(check)
 
     lint = commands.add_parser(
-        "lint", help="run the repo-specific static analysis rules (RA01-RA09)"
+        "lint", help="run the repo-specific static analysis rules (RA01-RA13)"
     )
     lint.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: the repro package)",
+        help="files or directories to lint (default: the repro package "
+        "plus the tests/ and benchmarks/ trees of a source checkout)",
     )
     lint.add_argument(
         "--select",
@@ -538,10 +539,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run, e.g. RA01,RA07 (default all)",
     )
     lint.add_argument(
+        "--project",
+        action="store_true",
+        help="build the whole-program index and run the project rules "
+        "(RA10-RA13: lock discipline, async blocking, fork safety, "
+        "telemetry manifest) as well",
+    )
+    lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="findings as human-readable lines or a JSON array",
+        help="findings as human-readable lines, a schema-stable JSON "
+        "document, or GitHub Actions ::error annotations",
     )
     lint.add_argument(
         "--explain",
@@ -1201,15 +1210,25 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import format_violations, lint_paths, rule_table
+    from .analysis import (
+        format_violations,
+        lint_paths,
+        project_rule_table,
+        rule_table,
+    )
 
     if args.explain:
         for code, summary in rule_table():
             print(f"{code}  {summary}")
+        for code, summary in project_rule_table():
+            print(f"{code}* {summary}")
+        print("(* = project rule; needs --project)")
         return 0
     select = args.select.split(",") if args.select else None
     try:
-        violations, files_checked = lint_paths(args.paths or None, select)
+        violations, files_checked = lint_paths(
+            args.paths or None, select, project=args.project
+        )
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -222,7 +222,8 @@ class DecodeCache:
             _METRICS.inc("engine.cache.invalidations", dropped)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
         """Point-in-time counters (available even with obs disabled)."""
@@ -239,8 +240,9 @@ class DecodeCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     # the engine is shipped to process-pool workers; locks don't pickle
     def __getstate__(self):

@@ -67,10 +67,11 @@ def _init_worker(engine: "SimilarityEngine") -> None:
     # outright — a fork can snapshot it mid-acquire by another parent
     # thread, and a lock held by a thread that does not exist here would
     # deadlock the worker's own teardown.
-    engine._pool = None
-    engine._pool_kind = None
-    engine._pool_workers = 0
     engine._pool_lock = threading.RLock()
+    with engine._pool_lock:
+        engine._pool = None
+        engine._pool_kind = None
+        engine._pool_workers = 0
     # the worker records into its own fork-inherited registry; each chunk
     # resets it, runs profiled, and ships the delta back (see _run_chunk)
     _METRICS.enabled = False
@@ -361,7 +362,9 @@ class SimilarityEngine:
             return _answer_chunk(self.searcher, queries, threshold, use_kernel)
 
     def _chunk_task(self, chunk: List[str], threshold, use_kernel: bool):
-        if self._pool_kind == "process":
+        with self._pool_lock:
+            pool_kind = self._pool_kind
+        if pool_kind == "process":
             # workers record telemetry into their own registries and ship
             # the delta back with the results (see _run_chunk)
             return (_run_chunk, chunk, threshold, _obs_config(), use_kernel)
@@ -539,7 +542,8 @@ class SimilarityEngine:
     def pool_workers(self) -> int:
         """Size of the live batch worker pool (0 when none is up) —
         what the serving layer's pool-size gauge reads."""
-        return self._pool_workers
+        with self._pool_lock:
+            return self._pool_workers
 
     def cache_stats(self) -> Dict[str, int]:
         """Decode-cache counters (all zero when the cache is disabled)."""

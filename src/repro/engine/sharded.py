@@ -652,9 +652,10 @@ class ShardedEngine:
         engine.kernel = kernel
         engine.scheme = manifest["scheme"]
         engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
-        engine._pool = None
-        engine._pool_workers = 0
         engine._pool_lock = threading.RLock()
+        with engine._pool_lock:
+            engine._pool = None
+            engine._pool_workers = 0
         engine._num_records = sum(int(a.size) for a in assignments)
         engine.build_seconds = 0.0
         engine.shards = [
@@ -758,9 +759,10 @@ class ShardedEngine:
         engine.kernel = kernel
         engine.scheme = manifest["scheme"]
         engine._cache_knobs = (cache_entries, cache_bytes, cache_admit_after)
-        engine._pool = None
-        engine._pool_workers = 0
         engine._pool_lock = threading.RLock()
+        with engine._pool_lock:
+            engine._pool = None
+            engine._pool_workers = 0
         engine._num_records = manifest["num_records"]
         engine.build_seconds = 0.0
         engine.shards = [
@@ -833,7 +835,8 @@ class ShardedEngine:
     def pool_workers(self) -> int:
         """Size of the live fan-out pool (0 when none is up) — what the
         serving layer's pool-size gauge reads."""
-        return self._pool_workers
+        with self._pool_lock:
+            return self._pool_workers
 
     def cache_stats(self) -> Dict[str, int]:
         """Decode-cache counters summed over every shard's cache."""

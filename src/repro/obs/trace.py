@@ -209,11 +209,17 @@ class Tracer:
             self.sample_rate = sample_rate
         if slow_ms is not ...:
             self.slow_ms = slow_ms
-        if buffer_size is not None and buffer_size != self.buffer.maxlen:
-            self.buffer_size = buffer_size
-            self.buffer = deque(self.buffer, maxlen=buffer_size)
-        if slow_log_size is not None and slow_log_size != self.slow_log.maxlen:
-            self.slow_log = deque(self.slow_log, maxlen=slow_log_size)
+        # the retention deques are swapped under the ring lock so a
+        # concurrent _admit/drain never writes into the discarded deque
+        with self._lock:
+            if buffer_size is not None and buffer_size != self.buffer.maxlen:
+                self.buffer_size = buffer_size
+                self.buffer = deque(self.buffer, maxlen=buffer_size)
+            if (
+                slow_log_size is not None
+                and slow_log_size != self.slow_log.maxlen
+            ):
+                self.slow_log = deque(self.slow_log, maxlen=slow_log_size)
         return self
 
     def clear(self) -> None:

@@ -268,7 +268,8 @@ class BatchCoalescer:
         started = time.perf_counter()
         for request in live:
             request.dispatched = started
-        self._inflight = len(live)
+        with self._wake:
+            self._inflight = len(live)
         trace_ctx = _TRACER.trace(
             "serve.batch",
             requests=len(live),
@@ -290,7 +291,8 @@ class BatchCoalescer:
             self._rescue(live, key, error)
             return
         finally:
-            self._inflight = 0
+            with self._wake:
+                self._inflight = 0
             self.metrics.record_time(
                 "serve.batch.seconds", time.perf_counter() - started
             )

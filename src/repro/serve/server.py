@@ -284,6 +284,8 @@ class _Lifespan:
                 f"app ended lifespan during {phase}"
                 + (f": {error}" if error else "")
             )
+        # repro: noqa RA11 -- reply is an asyncio task awaited to
+        # completion just above; result() on a done task cannot block
         message = reply.result()
         if message["type"].endswith(".failed"):
             raise RuntimeError(

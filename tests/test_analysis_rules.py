@@ -629,15 +629,73 @@ class TestSuppressions:
         assert codes(found) == ["RA02"]
 
     def test_missing_reason_is_flagged(self, tmp_path):
+        # the tag is assembled from two literals so linting THIS file does
+        # not see a reasonless suppression on this line
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            "GROUPS = 69  # repro: " + "noqa RA02\n",
+        )
+        assert "RA00" in codes(found)
+        assert "justification" in found[0].message
+
+    def test_inline_noqa_covers_the_whole_statement(self, tmp_path):
+        # regression: the tag sits on the first physical line, the flagged
+        # constant on a later line of the same multi-line statement
         found = lint_snippet(
             tmp_path,
             "repro/compression/newmod.py",
             """
-            GROUPS = 69  # repro: noqa RA02
+            GROUPS = max(  # repro: noqa RA02 -- deliberate, for this test
+                69,
+                69,
+            )
             """,
         )
-        assert "RA00" in codes(found)
-        assert "justification" in found[0].message
+        assert found == []
+
+    def test_inline_noqa_on_the_last_line_covers_the_statement(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            GROUPS = max(
+                69,
+                69,
+            )  # repro: noqa RA02 -- deliberate, for this test
+            """,
+        )
+        assert found == []
+
+    def test_standalone_noqa_inside_a_statement_covers_it(self, tmp_path):
+        # a comment line physically inside a multi-line statement covers
+        # that statement, not whatever comes after it
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            GROUPS = max(
+                # repro: noqa RA02 -- deliberate, for this test
+                69,
+                69,
+            )
+            """,
+        )
+        assert found == []
+
+    def test_inline_noqa_does_not_leak_past_its_statement(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            "repro/compression/newmod.py",
+            """
+            FIRST = max(  # repro: noqa RA02 -- deliberate, for this test
+                69,
+            )
+            SECOND = 69
+            """,
+        )
+        assert codes(found) == ["RA02"]
+        assert found[0].line == 5
 
     def test_selection_restricts_rules(self, tmp_path):
         found = lint_snippet(
@@ -674,9 +732,35 @@ class TestEngine:
         found = lint_snippet(
             tmp_path, "repro/compression/newmod.py", "COST = 69\n"
         )
-        decoded = json.loads(format_violations(found, "json"))
-        assert decoded[0]["rule"] == "RA02"
-        assert decoded[0]["line"] == 1
+        decoded = json.loads(format_violations(found, "json", 1))
+        assert decoded["schema"] == "repro.analysis/v1"
+        assert decoded["files_checked"] == 1
+        assert decoded["violations"][0]["rule"] == "RA02"
+        assert decoded["violations"][0]["line"] == 1
+
+    def test_json_format_is_schema_stable(self, tmp_path):
+        # sorted keys + fixed schema tag: byte-identical runs diff cleanly
+        found = lint_snippet(
+            tmp_path, "repro/compression/newmod.py", "COST = 69\n"
+        )
+        text = format_violations(found, "json", 1)
+        assert text == format_violations(found, "json", 1)
+        assert text.index('"files_checked"') < text.index('"schema"')
+        assert text.index('"schema"') < text.index('"violations"')
+
+    def test_github_format_emits_error_annotations(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "repro/compression/newmod.py", "COST = 69\n"
+        )
+        text = format_violations(found, "github", 1)
+        first = text.splitlines()[0]
+        assert first.startswith("::error file=")
+        assert ",line=1," in first
+        assert "title=RA02::" in first
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="format"):
+            format_violations([], "yaml")
 
     def test_missing_path_raises(self):
         with pytest.raises(FileNotFoundError):

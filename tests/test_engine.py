@@ -388,7 +388,8 @@ class TestBatchFailureSemantics:
             ]
             real_pool = engine._ensure_pool(2)
             assert engine._pool_kind == "thread"
-            engine._pool = _FlakyPool(real_pool, fail_at=3)
+            with engine._pool_lock:  # write discipline: sanitizer-checked
+                engine._pool = _FlakyPool(real_pool, fail_at=3)
             with enabled_metrics() as registry:
                 results = engine.search_batch(queries, 0.7, workers=2)
             # the flaky pool was retired, answers are complete and correct
@@ -410,7 +411,8 @@ class TestBatchFailureSemantics:
             real_pool = engine._ensure_pool(2)
             if engine._pool_kind != "process":
                 pytest.skip("no fork pool on this platform")
-            engine._pool = _FlakyPool(real_pool, fail_at=3)
+            with engine._pool_lock:  # write discipline: sanitizer-checked
+                engine._pool = _FlakyPool(real_pool, fail_at=3)
             with enabled_metrics() as registry:
                 results = engine.search_batch(queries, 0.7, workers=2)
             assert engine._pool is None
@@ -455,7 +457,8 @@ class TestBatchFailureSemantics:
             engine.searcher = wrapper
             real_pool = engine._ensure_pool(2)
             assert engine._pool_kind == "thread"
-            engine._pool = _FlakyPool(real_pool, fail_at=3)
+            with engine._pool_lock:  # write discipline: sanitizer-checked
+                engine._pool = _FlakyPool(real_pool, fail_at=3)
             with pytest.raises(RuntimeError, match="poisoned"):
                 engine.search_batch(queries, 0.7, workers=2)
             assert wrapper.calls.count("!!poison!!") == 1
